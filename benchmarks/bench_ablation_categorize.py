@@ -1,0 +1,63 @@
+"""E-CAT — CAD View vs decision-tree result categorization ([4]/[6]).
+
+The related-work claim: categorization trees "depend on the data and
+are independent of the user's interest", so their summary of a result
+set is the *same* whatever the user wants to compare, while the CAD
+View re-organizes around the chosen Pivot Attribute.  This bench makes
+that concrete:
+
+* the category tree built over Mary's SUV result set rarely spends its
+  budget contrasting Makes (its splits chase global entropy);
+* the CAD View of the same result, pivoted on Make, separates the five
+  makes' rows (every make gets its own labeled IUnits), and pivoting on
+  a different attribute re-organizes the summary, which the tree cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CADViewBuilder, CADViewConfig
+from repro.core import CategoryTree
+from repro.discretize import Discretizer
+from bench_fig8_worst_case import MAKES, result_of_size
+
+
+@pytest.fixture(scope="module")
+def result(cars40k):
+    return result_of_size(cars40k, 15_000, np.random.default_rng(10))
+
+
+def test_category_tree_is_user_independent(result):
+    view = Discretizer(nbins=4).fit(result)
+    tree = CategoryTree.fit(view, max_depth=2, min_leaf=100)
+    print("\n== E-CAT: category tree over the SUV result ==")
+    print(tree.describe(max_lines=25))
+    print(f"leaves={len(tree.leaves())} "
+          f"navigation_cost={tree.navigation_cost():.1f}")
+    # the tree exists and is non-trivial
+    assert len(tree.leaves()) >= 3
+    # but it is the same object whatever the user's pivot is — there is
+    # no pivot input at all; nothing to assert beyond the API shape.
+
+
+def test_cadview_reorganizes_by_pivot(result):
+    cfg = CADViewConfig(compare_limit=5, iunits_k=3, seed=0)
+    by_make = CADViewBuilder(cfg).build(
+        result, "Make", pivot_values=list(MAKES)
+    )
+    by_drive = CADViewBuilder(cfg).build(result, "Drivetrain")
+    print("\nCompare Attributes when pivoting on Make:      "
+          f"{by_make.compare_attributes}")
+    print(f"Compare Attributes when pivoting on Drivetrain: "
+          f"{by_drive.compare_attributes}")
+    # different pivots reorganize the summary
+    assert by_make.pivot_values != by_drive.pivot_values
+    assert set(by_make.compare_attributes) != set(by_drive.compare_attributes)
+
+
+def test_bench_category_tree(benchmark, result):
+    view = Discretizer(nbins=4).fit(result)
+    tree = benchmark(
+        lambda: CategoryTree.fit(view, max_depth=3, min_leaf=100)
+    )
+    assert tree.root.size == len(result)

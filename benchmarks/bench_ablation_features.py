@@ -1,0 +1,82 @@
+"""E-FS — ablation of the Compare Attribute selector (Sec. 3.1.1).
+
+Compares the paper's chi-square selector against mutual information,
+symmetric uncertainty, and a random baseline:
+
+* the paper's anecdote — for pivot = Year, ``Model`` must outrank
+  ``Mileage`` ("a specific model is prominent in the database for only
+  a short period of time");
+* downstream contrast — Compare Attributes chosen by an informed
+  selector should yield pivot rows that are easier to tell apart
+  (higher mean Algorithm-2 distance between pivot values) than randomly
+  chosen attributes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CADViewBuilder, CADViewConfig
+from repro.discretize import Discretizer
+from repro.features import (
+    ChiSquareSelector,
+    MutualInformationSelector,
+    SymmetricUncertaintySelector,
+)
+from repro.iunits import ranked_list_distance
+from bench_fig8_worst_case import MAKES, result_of_size
+
+SELECTORS = {
+    "chi2": ChiSquareSelector(),
+    "mutual_info": MutualInformationSelector(),
+    "symmetric_u": SymmetricUncertaintySelector(),
+}
+
+
+def test_paper_anecdote_all_selectors(cars40k):
+    view = Discretizer(nbins=6).fit(cars40k)
+    print("\n== E-FS: pivot=Year attribute rankings ==")
+    for name, selector in SELECTORS.items():
+        ranking = [f.attribute for f in selector.rank(view, "Year")]
+        print(f"{name:>12}: {ranking[:5]}")
+        assert ranking.index("Model") < ranking.index("Mileage"), name
+
+
+def mean_pairwise_row_distance(cad):
+    values = cad.pivot_values
+    dists = [
+        cad.value_distance(a, b)
+        for i, a in enumerate(values)
+        for b in values[i + 1:]
+    ]
+    return float(np.mean(dists))
+
+
+def test_downstream_contrast_vs_random(cars40k):
+    result = result_of_size(cars40k, 15_000, np.random.default_rng(8))
+    cfg = CADViewConfig(compare_limit=5, iunits_k=3, seed=0)
+
+    informed = CADViewBuilder(cfg, selector=ChiSquareSelector()).build(
+        result, "Make", pivot_values=list(MAKES)
+    )
+    informed_d = mean_pairwise_row_distance(informed)
+
+    rng = np.random.default_rng(9)
+    random_ds = []
+    pool = [n for n in result.schema.names if n != "Make"]
+    for _ in range(3):
+        pinned = list(rng.choice(pool, size=5, replace=False))
+        cad = CADViewBuilder(cfg).build(
+            result, "Make", pivot_values=list(MAKES), pinned=pinned
+        )
+        random_ds.append(mean_pairwise_row_distance(cad))
+    random_d = float(np.mean(random_ds))
+    print(f"\nmean Algorithm-2 row distance: chi2={informed_d:.2f} "
+          f"random={random_d:.2f}")
+    assert informed_d >= random_d * 0.9  # informed should not contrast less
+
+
+def test_bench_chi2_ranking(benchmark, cars40k):
+    view = Discretizer(nbins=6).fit(cars40k)
+    sel = ChiSquareSelector()
+    ranks = benchmark(lambda: sel.rank(view, "Make"))
+    assert ranks[0].attribute == "Model"

@@ -1,0 +1,62 @@
+"""E-F10 — Figure 10: build time vs number of Compare Attributes.
+
+The paper sweeps |I| = 1..11 for 10K/20K/30K/40K result sizes: more
+Compare Attributes means clustering in a wider one-hot space, so time
+grows with |I| — the basis of Optimization 3 (show few Compare
+Attributes).
+"""
+
+import numpy as np
+import pytest
+
+from repro import CADViewBuilder, CADViewConfig
+from bench_fig8_worst_case import MAKES, result_of_size
+
+I_VALUES = (1, 3, 5, 7, 9, 11)
+SIZES = (10_000, 20_000, 40_000)
+
+
+def build_time(result, n_attrs, repeats=3):
+    times = []
+    for r in range(repeats):
+        cfg = CADViewConfig(
+            compare_limit=n_attrs, iunits_k=6, generated_l=10, seed=r,
+        )
+        cad = CADViewBuilder(cfg).build(
+            result, pivot="Make", pivot_values=list(MAKES)
+        )
+        times.append(cad.profile.iunits_s)  # the clustering share
+    return float(np.mean(times))
+
+
+def test_figure10_series(cars40k):
+    rng = np.random.default_rng(3)
+    results = {n: result_of_size(cars40k, n, rng) for n in SIZES}
+    print("\n== Figure 10: clustering time (ms) vs Compare Attributes ==")
+    header = " ".join(f"{n//1000}K".rjust(9) for n in SIZES)
+    print(f"{'|I|':>4} {header}")
+    series = {n: [] for n in SIZES}
+    for i in I_VALUES:
+        row = []
+        for n in SIZES:
+            t = build_time(results[n], i)
+            series[n].append(t)
+            row.append(f"{t*1e3:>9.1f}")
+        print(f"{i:>4} " + " ".join(row))
+
+    for n in SIZES:
+        assert series[n][-1] > series[n][0]
+    assert series[40_000][-1] > series[10_000][-1]
+
+
+def test_bench_full_width_at_20k(benchmark, cars40k):
+    rng = np.random.default_rng(4)
+    result = result_of_size(cars40k, 20_000, rng)
+    cfg = CADViewConfig(compare_limit=11, iunits_k=6, generated_l=10, seed=0)
+
+    cad = benchmark(
+        lambda: CADViewBuilder(cfg).build(
+            result, pivot="Make", pivot_values=list(MAKES)
+        )
+    )
+    assert len(cad.compare_attributes) >= 9

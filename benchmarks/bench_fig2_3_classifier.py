@@ -1,0 +1,59 @@
+"""E-F2 / E-F3 — Figures 2 & 3: the Simple Classifier task.
+
+Figure 2 reports per-user F1 of the built classifier, Figure 3 the
+per-user completion time, Solr vs TPFacet, plus the in-text mixed-model
+analysis ("TPFacet affects the quality of classifier by chi2(1)=5.572,
+p=0.018, increasing the F1 score by about 0.078 +/- 0.0285" and
+"lowering [time] by about 5.44 +/- 1.56 minutes").
+
+Expected shape: TPFacet raises F1 with lower variance and cuts time by
+roughly 4x; both effects significant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CADViewConfig
+from repro.facets import FacetedEngine
+from repro.study import TPFacetAgent, UserProfile, mushroom_task_suite
+
+from conftest import print_user_table
+
+
+def test_figure2_f1_scores(study):
+    print_user_table(
+        "Figure 2: Simple Classifier F1", study.table("classifier", "quality")
+    )
+    eff = study.analyze("classifier", "quality")
+    print(f"mixed model (paper: chi2(1)=5.572, p=0.018, +0.078): {eff}")
+    assert eff.effect > 0, "TPFacet must raise F1"
+    solr = [m.quality for m in study.of("classifier", "Solr")]
+    tp = [m.quality for m in study.of("classifier", "TPFacet")]
+    assert np.std(tp) <= np.std(solr), "TPFacet variance must be lower"
+
+
+def test_figure3_times(study):
+    print_user_table(
+        "Figure 3: Simple Classifier time (min)",
+        study.table("classifier", "minutes"),
+    )
+    eff = study.analyze("classifier", "minutes")
+    print(f"mixed model (paper: chi2(1)=8.54, p=0.003, -5.44 min): {eff}")
+    print(f"speedup: {study.speedup('classifier'):.2f}x (paper: ~4x)")
+    assert eff.effect < 0 and eff.p_value < 0.01
+    assert study.speedup("classifier") > 2.0
+
+
+def test_bench_tpfacet_classifier_agent(benchmark, mushroom8124):
+    engine = FacetedEngine(mushroom8124)
+    task = mushroom_task_suite().classifier[0]
+    user = UserProfile("U1", 1, speed=1.0, diligence=0.8)
+
+    def run():
+        agent = TPFacetAgent(
+            engine, user, np.random.default_rng(0), CADViewConfig(seed=1)
+        )
+        return agent.do_classifier(task)
+
+    out = benchmark(run)
+    task.validate(out.answer)

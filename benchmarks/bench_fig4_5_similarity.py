@@ -1,0 +1,64 @@
+"""E-F4 / E-F5 — Figures 4 & 5: the Most Similar Facet Value Pair task.
+
+Figure 4 reports the rank (1 = best of the 6 possible pairs) of each
+user's chosen pair; Figure 5 the completion time.  The paper found *no*
+significant quality difference (all 8 users solved the easy gill-color
+task; on the harder task two TPFacet users landed on the pair that is
+rank 2 under the task metric but rank 1 under Algorithm 2), and a large
+time effect ("chi2(1)=12.04, p=0.0005, lowering it by about 6.00 +/-
+1.23 minutes", ~4x).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CADViewConfig
+from repro.facets import FacetedEngine
+from repro.study import TPFacetAgent, UserProfile, mushroom_task_suite
+
+from conftest import print_user_table
+
+
+def test_figure4_pair_ranks(study):
+    print_user_table(
+        "Figure 4: Most Similar Pair rank (1=best)",
+        study.table("similar_pair", "quality"),
+        fmt="{:.0f}",
+    )
+    eff = study.analyze("similar_pair", "quality")
+    print(f"mixed model (paper: no significant difference): {eff}")
+    # every answer is a top-2 pair on both interfaces
+    for m in study.of("similar_pair"):
+        assert m.quality <= 2.0
+
+    # the easy task (T2a, gill colors) is solved by everyone — the
+    # paper: "all the eight users got correct answer for this task"
+    t2a = [m for m in study.of("similar_pair") if m.task_id == "T2a"]
+    assert all(m.quality == 1.0 for m in t2a)
+
+
+def test_figure5_times(study):
+    print_user_table(
+        "Figure 5: Most Similar Pair time (min)",
+        study.table("similar_pair", "minutes"),
+    )
+    eff = study.analyze("similar_pair", "minutes")
+    print(f"mixed model (paper: chi2(1)=12.04, p=0.0005, -6.00 min): {eff}")
+    print(f"speedup: {study.speedup('similar_pair'):.2f}x (paper: ~4x)")
+    assert eff.effect < 0 and eff.p_value < 0.01
+    assert study.speedup("similar_pair") > 2.0
+
+
+def test_bench_tpfacet_similarity_agent(benchmark, mushroom8124):
+    engine = FacetedEngine(mushroom8124)
+    task = mushroom_task_suite().similar_pair[0]
+    user = UserProfile("U1", 1, speed=1.0, diligence=0.7)
+
+    def run():
+        agent = TPFacetAgent(
+            engine, user, np.random.default_rng(0), CADViewConfig(seed=1)
+        )
+        return agent.do_similar_pair(task)
+
+    out = benchmark(run)
+    assert len(out.answer) == 2

@@ -1,0 +1,60 @@
+"""E-F6 / E-F7 — Figures 6 & 7: the Alternative Search Condition task.
+
+Figure 6 reports each user's retrieval error (digest distance between
+the given condition's result and the alternative's result); Figure 7
+the completion time.  Paper: "TPFacet affects the users alternative
+search condition by chi2(1)=3.28, p=0.07, lowering the retrieval error
+by about 0.329 +/- 0.172 ... most users were able to do the task with
+five times lower retrieval error", and time "chi2(1)=2.58, p=0.108,
+lowering it by about 2.00 +/- 1.14 minutes" (1.5-2x).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CADViewConfig
+from repro.facets import FacetedEngine
+from repro.study import TPFacetAgent, UserProfile, mushroom_task_suite
+
+from conftest import print_user_table
+
+
+def test_figure6_retrieval_error(study):
+    print_user_table(
+        "Figure 6: Alternative Condition retrieval error",
+        study.table("alternative", "quality"),
+        fmt="{:.3f}",
+    )
+    eff = study.analyze("alternative", "quality")
+    print(f"mixed model (paper: chi2(1)=3.28, p=0.07, error -0.329): {eff}")
+    assert eff.effect < 0, "TPFacet must lower retrieval error"
+    solr = np.mean([m.quality for m in study.of("alternative", "Solr")])
+    tp = np.mean([m.quality for m in study.of("alternative", "TPFacet")])
+    assert solr / max(tp, 1e-9) > 3.0, "roughly 5x lower error expected"
+
+
+def test_figure7_times(study):
+    print_user_table(
+        "Figure 7: Alternative Condition time (min)",
+        study.table("alternative", "minutes"),
+    )
+    eff = study.analyze("alternative", "minutes")
+    print(f"mixed model (paper: chi2(1)=2.58, p=0.108, -2.00 min): {eff}")
+    print(f"speedup: {study.speedup('alternative'):.2f}x (paper: 1.5-2x)")
+    assert eff.effect < 0
+    assert study.speedup("alternative") > 1.2
+
+
+def test_bench_tpfacet_alternative_agent(benchmark, mushroom8124):
+    engine = FacetedEngine(mushroom8124)
+    task = mushroom_task_suite().alternative[0]
+    user = UserProfile("U1", 1, speed=1.0, diligence=0.8)
+
+    def run():
+        agent = TPFacetAgent(
+            engine, user, np.random.default_rng(0), CADViewConfig(seed=1)
+        )
+        return agent.do_alternative(task)
+
+    out = benchmark(run)
+    task.validate(out.answer)

@@ -1,0 +1,78 @@
+"""E-F8 — Figure 8: worst-case CAD View build time vs result size.
+
+The paper's setup: query results of 5K-40K tuples, all 11 attributes as
+Compare Attributes (|I| = 11), l = 15 generated IUnits, k = 6 shown,
+|V| = 5 pivot values, no optimizations; total time split into Compare
+Attribute computation, IUnit generation, and "others".  Averaged over
+random result subsets (the paper uses 50 simulations; we use 5 per size
+to keep the bench quick — the variance is small).
+
+Expected shape: total time grows with result size and IUnit generation
+(clustering) dominates.  Deviation from the paper: our vectorized
+chi-square is far cheaper than Weka's, so the Compare Attribute share
+is much smaller than the paper's ~40%; see EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CADViewBuilder, CADViewConfig
+from repro.query import In
+
+MAKES = ("Ford", "Chevrolet", "Toyota", "Honda", "Jeep")
+SIZES = (5_000, 10_000, 20_000, 30_000, 40_000)
+SIMULATIONS = 5
+
+NAIVE = CADViewConfig(
+    compare_limit=11, iunits_k=6, generated_l=15, seed=0,
+)
+
+
+def result_of_size(cars, n, rng):
+    """A random result subset of ~n tuples over the five pivot makes."""
+    pool = cars.filter(In("Make", MAKES).mask(cars))
+    return pool.sample(min(n, len(pool)), rng)
+
+
+def measure(cars, n, simulations=SIMULATIONS):
+    rng = np.random.default_rng(42)
+    buckets = np.zeros(3)
+    for _ in range(simulations):
+        result = result_of_size(cars, n, rng)
+        cad = CADViewBuilder(NAIVE).build(
+            result, pivot="Make", pivot_values=list(MAKES)
+        )
+        p = cad.profile
+        buckets += (p.compare_attrs_s, p.iunits_s, p.others_s)
+    return buckets / simulations
+
+
+def test_figure8_series(cars40k):
+    print("\n== Figure 8: worst-case CAD View build time (ms) ==")
+    print(f"{'result size':>12} {'compare':>9} {'iunits':>9} "
+          f"{'others':>9} {'total':>9}")
+    totals = []
+    for n in SIZES:
+        ca, iu, ot = measure(cars40k, n)
+        total = ca + iu + ot
+        totals.append(total)
+        print(f"{n:>12} {ca*1e3:>9.1f} {iu*1e3:>9.1f} "
+              f"{ot*1e3:>9.1f} {total*1e3:>9.1f}")
+    # shape: monotone-ish growth; the largest size costs clearly more
+    assert totals[-1] > totals[0] * 1.5
+    # IUnit generation dominates the worst case in our substrate
+    ca, iu, ot = measure(cars40k, SIZES[-1], simulations=2)
+    assert iu > ca
+
+
+def test_bench_worst_case_40k(benchmark, cars40k):
+    rng = np.random.default_rng(0)
+    result = result_of_size(cars40k, 40_000, rng)
+
+    def build():
+        return CADViewBuilder(NAIVE).build(
+            result, pivot="Make", pivot_values=list(MAKES)
+        )
+
+    cad = benchmark(build)
+    assert cad.profile.total_s > 0

@@ -1,0 +1,64 @@
+"""E-F9 — Figure 9: build time vs number of generated IUnits (l).
+
+The paper sweeps l = 1..15 for 10K/20K/30K/40K result sizes and finds
+time grows with l (clustering with more centers costs more), with
+larger result sets uniformly slower — the basis of Optimization 2
+(generate fewer IUnits while the result set is broad).
+"""
+
+import numpy as np
+import pytest
+
+from repro import CADViewBuilder, CADViewConfig
+from bench_fig8_worst_case import MAKES, result_of_size
+
+L_VALUES = (1, 3, 6, 9, 12, 15)
+SIZES = (10_000, 20_000, 40_000)
+
+
+def build_time(result, l, repeats=3):
+    times = []
+    for r in range(repeats):
+        cfg = CADViewConfig(
+            compare_limit=5, iunits_k=min(6, l), generated_l=l, seed=r,
+        )
+        cad = CADViewBuilder(cfg).build(
+            result, pivot="Make", pivot_values=list(MAKES)
+        )
+        times.append(cad.profile.total_s)
+    return float(np.mean(times))
+
+
+def test_figure9_series(cars40k):
+    rng = np.random.default_rng(1)
+    results = {n: result_of_size(cars40k, n, rng) for n in SIZES}
+    print("\n== Figure 9: time (ms) vs generated IUnits l ==")
+    header = " ".join(f"{n//1000}K".rjust(9) for n in SIZES)
+    print(f"{'l':>4} {header}")
+    series = {n: [] for n in SIZES}
+    for l in L_VALUES:
+        row = []
+        for n in SIZES:
+            t = build_time(results[n], l)
+            series[n].append(t)
+            row.append(f"{t*1e3:>9.1f}")
+        print(f"{l:>4} " + " ".join(row))
+
+    for n in SIZES:
+        # more generated IUnits cost more (compare the extremes)
+        assert series[n][-1] > series[n][0]
+    # larger result sets are uniformly slower at the largest l
+    assert series[40_000][-1] > series[10_000][-1]
+
+
+def test_bench_l15_at_20k(benchmark, cars40k):
+    rng = np.random.default_rng(2)
+    result = result_of_size(cars40k, 20_000, rng)
+    cfg = CADViewConfig(compare_limit=5, iunits_k=6, generated_l=15, seed=0)
+
+    cad = benchmark(
+        lambda: CADViewBuilder(cfg).build(
+            result, pivot="Make", pivot_values=list(MAKES)
+        )
+    )
+    assert max(len(r) for r in cad.rows.values()) <= 6

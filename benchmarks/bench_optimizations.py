@@ -1,0 +1,77 @@
+"""E-OPT — Sec. 6.3: the optimization ladder at the 40K worst case.
+
+The paper combines sampling for feature selection, sampling for
+clustering, and adaptive l to bring the 40K CAD View under ~500 ms.
+This bench walks the ladder from naive to fully optimized and checks
+(i) each step never makes things much worse, (ii) the fully optimized
+build is comfortably interactive, and (iii) sampling preserves the top
+Compare Attributes (the paper's rank-stability claim).
+"""
+
+import numpy as np
+import pytest
+
+from repro import CADViewBuilder, CADViewConfig
+from repro.core.optimizer import optimization_ladder
+from bench_fig8_worst_case import MAKES, result_of_size
+
+BASE = CADViewConfig(compare_limit=11, iunits_k=6, generated_l=15, seed=0)
+
+
+@pytest.fixture(scope="module")
+def worst_case(cars40k):
+    return result_of_size(cars40k, 40_000, np.random.default_rng(5))
+
+
+def timed_build(result, cfg, repeats=3):
+    times = []
+    cad = None
+    for _ in range(repeats):
+        cad = CADViewBuilder(cfg).build(
+            result, pivot="Make", pivot_values=list(MAKES)
+        )
+        times.append(cad.profile.total_s)
+    return float(np.mean(times)), cad
+
+
+def test_optimization_ladder(worst_case):
+    print("\n== Sec 6.3: optimization ladder at 40K ==")
+    rows = []
+    for name, cfg in optimization_ladder(BASE):
+        t, cad = timed_build(worst_case, cfg)
+        rows.append((name, t, cad))
+        print(f"{name:>22}: {t*1e3:8.1f} ms "
+              f"(l_effective={cfg.effective_l(len(worst_case))})")
+    naive_t = rows[0][1]
+    final_t = rows[-1][1]
+    assert final_t <= naive_t * 1.25, "optimizations must not regress much"
+    assert final_t < 1.0, "fully optimized must be interactive"
+
+
+def test_sampling_rank_stability(worst_case):
+    """Paper: top Compare Attributes from a 5-10K sample match the
+    full-data ranking."""
+    exact = CADViewBuilder(BASE).build(
+        worst_case, "Make", pivot_values=list(MAKES)
+    )
+    sampled = CADViewBuilder(BASE.with_(fs_sample=8_000)).build(
+        worst_case, "Make", pivot_values=list(MAKES)
+    )
+    top_exact = exact.compare_attributes[:5]
+    top_sampled = sampled.compare_attributes[:5]
+    overlap = len(set(top_exact) & set(top_sampled))
+    print(f"\ntop-5 exact:   {top_exact}")
+    print(f"top-5 sampled: {top_sampled} (overlap {overlap}/5)")
+    assert overlap >= 4
+
+
+def test_bench_optimized_40k(benchmark, worst_case):
+    from repro.core.optimizer import recommended_config
+
+    cfg = recommended_config(BASE, len(worst_case))
+    cad = benchmark(
+        lambda: CADViewBuilder(cfg).build(
+            worst_case, pivot="Make", pivot_values=list(MAKES)
+        )
+    )
+    assert cad.profile.total_s < 1.0

@@ -1,0 +1,69 @@
+"""E-WORK — interactive latency over a realistic exploration workload.
+
+The paper's Fig. 8 sweeps iid row subsets; real exploration states are
+conjunctive facet selections with skewed result sizes.  This bench
+generates such a workload (the facet-click-biased generator of
+``repro.study.workload``), builds an optimized CAD View for each query
+result, and reports the latency distribution — the p95 is what an
+interactive system actually has to keep under budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CADViewBuilder, CADViewConfig
+from repro.core.optimizer import recommended_config
+from repro.errors import CADViewError, EmptyResultError
+from repro.study import random_conjunctive_queries
+
+N_QUERIES = 25
+BASE = CADViewConfig(compare_limit=5, iunits_k=3, seed=0)
+
+
+def build_for(query, cars):
+    """Build an optimized CAD View for one workload query, pivoting on
+    the first attribute the query did NOT constrain."""
+    constrained = set(query.predicate.attributes())
+    pivot = next(
+        (a for a in ("Make", "BodyType", "Drivetrain", "Color")
+         if a not in constrained), "Make",
+    )
+    cfg = recommended_config(BASE, len(query.result))
+    return CADViewBuilder(cfg).build(
+        query.result, pivot, exclude=tuple(constrained)
+    )
+
+
+def test_workload_latency_distribution(cars40k):
+    queries = random_conjunctive_queries(
+        cars40k, N_QUERIES, target_selectivity=0.08, seed=12
+    )
+    latencies = []
+    skipped = 0
+    for q in queries:
+        try:
+            cad = build_for(q, cars40k)
+        except (EmptyResultError, CADViewError):
+            skipped += 1  # degenerate states (e.g. single-row results)
+            continue
+        latencies.append(cad.profile.total_s)
+    assert latencies, "workload produced no buildable states"
+    lat = np.array(latencies) * 1e3
+    print(f"\n== E-WORK: CAD View latency over {len(lat)} exploration "
+          f"states ({skipped} skipped) ==")
+    print(f"p50 {np.percentile(lat, 50):7.1f} ms")
+    print(f"p95 {np.percentile(lat, 95):7.1f} ms")
+    print(f"max {lat.max():7.1f} ms")
+    # the interactivity budget the paper targets (sub-second, Sec. 3.1.2)
+    assert np.percentile(lat, 95) < 1_000
+
+
+def test_bench_median_workload_state(benchmark, cars40k):
+    queries = random_conjunctive_queries(
+        cars40k, 10, target_selectivity=0.08, seed=13
+    )
+    # pick the median-sized result as the representative state
+    queries.sort(key=lambda q: len(q.result))
+    query = queries[len(queries) // 2]
+    cad = benchmark(lambda: build_for(query, cars40k))
+    assert cad.profile.total_s > 0

@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures: paper-scale datasets and the study run.
+
+Datasets are generated at the paper's scale (YahooUsedCar 40,000 x 11;
+Mushroom 8,124 x 23) once per session.  The simulated user study also
+runs once and is shared by the three study-figure benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.generators import generate_mushroom, generate_usedcars
+from repro.study import run_study
+
+
+@pytest.fixture(scope="session")
+def cars40k():
+    """The YahooUsedCar-scale table (40,000 x 11)."""
+    return generate_usedcars(40_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def mushroom8124():
+    """The UCI-Mushroom-scale table (8,124 x 23)."""
+    return generate_mushroom(8_124, seed=13)
+
+
+@pytest.fixture(scope="session")
+def study(mushroom8124):
+    """The full crossover user study (Figures 2-7 share it)."""
+    return run_study(mushroom8124, seed=2016)
+
+
+def print_user_table(title, table, fmt="{:.2f}"):
+    """Per-user Solr/TPFacet bars, the layout of Figures 2-7."""
+    users = sorted(table, key=lambda u: int(u[1:]))
+    print(f"\n== {title} ==")
+    print(f"{'user':>6} {'Solr':>10} {'TPFacet':>10}")
+    for u in users:
+        row = table[u]
+        print(
+            f"{u:>6} {fmt.format(row['Solr']):>10} "
+            f"{fmt.format(row['TPFacet']):>10}"
+        )

@@ -1,0 +1,78 @@
+"""A scripted tour of the SQL dialect, statement by statement.
+
+Shows every statement type the paper's query model defines (Sec. 2.1.2
+and 2.1.3) against the used-car data, printing each statement and its
+result the way an interactive shell would.
+
+Run:  python examples/sql_interface.py
+      python examples/sql_interface.py --interactive   (a tiny REPL)
+"""
+
+import sys
+
+from repro import CADView, CADViewConfig, DBExplorer, Table, generate_usedcars
+from repro.core.render import render_cadview
+from repro.errors import ReproError
+
+SCRIPT = [
+    "SELECT Make, Model, Price FROM UsedCars "
+    "WHERE Price < 15K AND BodyType = SUV ORDER BY Price ASC LIMIT 5",
+
+    "CREATE CADVIEW Shortlist AS SET pivot = Make SELECT Price "
+    "FROM UsedCars WHERE Mileage BETWEEN 10K AND 30K AND "
+    "Transmission = Automatic AND BodyType = SUV AND "
+    "Make IN (Jeep, Toyota, Honda, Ford, Chevrolet) "
+    "LIMIT COLUMNS 5 IUNITS 3",
+
+    "HIGHLIGHT SIMILAR IUNITS IN Shortlist "
+    "WHERE SIMILARITY(Chevrolet, 1) > 3.0",
+
+    "REORDER ROWS IN Shortlist ORDER BY SIMILARITY(Chevrolet) DESC",
+
+    "CREATE CADVIEW ByPrice AS SET pivot = Make SELECT Price "
+    "FROM UsedCars WHERE BodyType = Sedan IUNITS 2 ORDER BY Price ASC",
+]
+
+
+def show(result) -> None:
+    if isinstance(result, Table):
+        print(f"-- {len(result)} row(s)")
+        for row in result.head(8).iter_rows():
+            print("   ", {k: v for k, v in row.items()})
+    elif isinstance(result, CADView):
+        print(render_cadview(result, cell_width=26))
+    elif isinstance(result, list):
+        for ref, sim in result:
+            print(f"   similar IUnit {ref} (similarity {sim:.2f})")
+        if not result:
+            print("   (no IUnit clears the threshold)")
+    else:
+        print("   ", result)
+
+
+def main() -> None:
+    dbx = DBExplorer(CADViewConfig(seed=3))
+    dbx.register("UsedCars", generate_usedcars(20_000, seed=7))
+
+    if "--interactive" in sys.argv:
+        print("dbexplorer> type a statement, or 'quit'")
+        while True:
+            try:
+                line = input("dbexplorer> ").strip()
+            except EOFError:
+                break
+            if line.lower() in ("quit", "exit", ""):
+                break
+            try:
+                show(dbx.execute(line))
+            except ReproError as exc:
+                print(f"error: {exc}")
+        return
+
+    for statement in SCRIPT:
+        print(f"\ndbexplorer> {statement}")
+        show(dbx.execute(statement))
+
+
+if __name__ == "__main__":
+    main()

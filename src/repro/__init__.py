@@ -1,0 +1,79 @@
+"""repro - DBExplorer: Exploratory Search in Databases (EDBT 2016).
+
+A from-scratch reproduction of Singh, Cafarella & Jagadish's DBExplorer:
+the Conditional Attribute Dependency (CAD) View data-summarization
+technique, its faceted-navigation integration (TPFacet), and the paper's
+full evaluation (user-study tasks and performance figures).
+
+Quickstart::
+
+    from repro import DBExplorer, generate_usedcars
+
+    dbx = DBExplorer()
+    dbx.register("UsedCars", generate_usedcars(40_000))
+    cad = dbx.execute('''
+        CREATE CADVIEW CompareMakes AS
+        SET pivot = Make
+        SELECT Price
+        FROM UsedCars
+        WHERE Mileage BETWEEN 10K AND 30K AND Transmission = Automatic
+          AND BodyType = SUV
+          AND Make IN (Jeep, Toyota, Honda, Ford, Chevrolet)
+        LIMIT COLUMNS 5 IUNITS 3''')
+    print(dbx.render("CompareMakes"))
+"""
+
+from repro.core import (
+    BuildProfile,
+    CADView,
+    CADViewBuilder,
+    CADViewConfig,
+    DBExplorer,
+    IUnitRef,
+    render_cadview,
+)
+from repro.dataset import AttrKind, Attribute, Column, Schema, Table
+from repro.dataset.generators import (
+    generate_mushroom,
+    generate_usedcars,
+    mushroom_schema,
+    usedcars_schema,
+)
+from repro.errors import (
+    CADViewError,
+    EmptyResultError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownAttributeError,
+)
+from repro.iunits import IUnit, iunit_similarity, ranked_list_distance
+from repro.query import (
+    And, Between, Cmp, Eq, In, IsMissing, Ne, Not, Or, Predicate,
+    QueryEngine, TruePred, parse, parse_predicate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "DBExplorer", "CADView", "CADViewBuilder", "CADViewConfig",
+    "IUnitRef", "BuildProfile", "render_cadview",
+    # dataset
+    "AttrKind", "Attribute", "Schema", "Column", "Table",
+    "generate_usedcars", "usedcars_schema",
+    "generate_mushroom", "mushroom_schema",
+    # iunits
+    "IUnit", "iunit_similarity", "ranked_list_distance",
+    # query
+    "Predicate", "TruePred", "Eq", "Ne", "In", "Between", "Cmp",
+    "IsMissing", "And", "Or", "Not", "QueryEngine",
+    "parse", "parse_predicate",
+    # errors
+    "ReproError", "SchemaError", "UnknownAttributeError",
+    "TypeMismatchError", "QueryError", "ParseError", "CADViewError",
+    "EmptyResultError",
+]

@@ -1,0 +1,247 @@
+"""Command-line interface.
+
+Usage (``python -m repro <command> ...``)::
+
+    python -m repro gen-data usedcars --rows 40000 --out cars.csv
+    python -m repro cadview --dataset usedcars --rows 20000 \
+        --sql "CREATE CADVIEW v AS SET pivot = Make SELECT Price \
+               FROM data WHERE BodyType = SUV LIMIT COLUMNS 5 IUNITS 3"
+    python -m repro repl --dataset usedcars --rows 20000
+    python -m repro study --rows 8124
+    python -m repro profile --rows 40000
+    python -m repro deps --dataset usedcars
+
+Datasets come either from the built-in generators or from a CSV written
+by ``gen-data`` (pass ``--csv`` with ``--dataset`` naming its schema).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core import CADView, CADViewConfig, DBExplorer
+from repro.core.render import render_cadview
+from repro.dataset.table import Table
+from repro.dataset.generators import (
+    generate_mushroom,
+    generate_usedcars,
+    mushroom_schema,
+    usedcars_schema,
+)
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_ROWS = {"usedcars": 40_000, "mushroom": 8_124}
+
+
+def _load_table(args) -> Table:
+    if args.csv:
+        schema = (
+            usedcars_schema() if args.dataset == "usedcars"
+            else mushroom_schema()
+        )
+        return Table.from_csv(args.csv, schema)
+    rows = args.rows or _DEFAULT_ROWS[args.dataset]
+    if args.dataset == "usedcars":
+        return generate_usedcars(rows, seed=args.seed)
+    return generate_mushroom(rows, seed=args.seed)
+
+
+def _add_data_args(parser, default_dataset="usedcars") -> None:
+    parser.add_argument(
+        "--dataset", choices=("usedcars", "mushroom"),
+        default=default_dataset,
+        help="which built-in dataset (and schema) to use",
+    )
+    parser.add_argument("--rows", type=int, default=None,
+                        help="rows to generate (default: paper scale)")
+    parser.add_argument("--seed", type=int, default=7, help="RNG seed")
+    parser.add_argument("--csv", default=None,
+                        help="load this CSV instead of generating")
+
+
+def _show(result, cell_width: int) -> None:
+    if isinstance(result, Table):
+        print(f"-- {len(result)} row(s)")
+        for row in result.head(10).iter_rows():
+            print("  ", row)
+        if len(result) > 10:
+            print("   ...")
+    elif isinstance(result, CADView):
+        print(render_cadview(result, cell_width=cell_width))
+    elif isinstance(result, list):
+        if not result:
+            print("-- empty result")
+        for item in result:
+            if (
+                isinstance(item, tuple)
+                and len(item) == 2
+                and isinstance(item[1], float)
+            ):  # HIGHLIGHT SIMILAR IUNITS rows
+                ref, sim = item
+                print(f"   {ref}  similarity {sim:.2f}")
+            else:  # DESCRIBE / SHOW CADVIEWS rows
+                if isinstance(item, tuple):
+                    print("   " + "  ".join(str(p) for p in item))
+                else:
+                    print(f"   {item}")
+    else:
+        print(result)
+
+
+def cmd_gen_data(args) -> int:
+    """``gen-data``: write a generated dataset to CSV."""
+    table = _load_table(args)
+    table.to_csv(args.out)
+    print(f"wrote {len(table)} rows x {len(table.schema)} attributes "
+          f"to {args.out}")
+    return 0
+
+
+def cmd_cadview(args) -> int:
+    """``cadview``: execute one statement against the loaded table."""
+    dbx = DBExplorer(CADViewConfig(seed=args.seed))
+    dbx.register("data", _load_table(args))
+    _show(dbx.execute(args.sql), args.cell_width)
+    return 0
+
+
+def cmd_repl(args) -> int:
+    """``repl``: interactive statement shell."""
+    dbx = DBExplorer(CADViewConfig(seed=args.seed))
+    table = _load_table(args)
+    dbx.register("data", table)
+    print(f"loaded {len(table)} rows as table 'data'; "
+          f"type statements, or 'quit'")
+    while True:
+        try:
+            line = input("dbexplorer> ").strip()
+        except EOFError:
+            print()
+            return 0
+        if not line:
+            continue
+        if line.lower() in ("quit", "exit"):
+            return 0
+        try:
+            _show(dbx.execute(line), args.cell_width)
+        except ReproError as exc:
+            print(f"error: {exc}")
+
+
+def cmd_study(args) -> int:
+    """``study``: run the simulated user study and print the analysis."""
+    from repro.study import run_study
+
+    args.dataset = "mushroom"
+    table = _load_table(args)
+    print(f"running the user study on {len(table)} rows...")
+    results = run_study(table, seed=args.study_seed)
+    for task_type in ("classifier", "similar_pair", "alternative"):
+        q = results.analyze(task_type, "quality")
+        t = results.analyze(task_type, "minutes")
+        print(f"\n{task_type}: speedup {results.speedup(task_type):.2f}x")
+        print(f"  quality: {q}")
+        print(f"  time:    {t}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """``profile``: time a naive and an optimized CAD View build."""
+    import numpy as np
+
+    from repro.core.builder import CADViewBuilder
+    from repro.core.optimizer import recommended_config
+
+    table = _load_table(args)
+    pivot = "Make" if args.dataset == "usedcars" else "class"
+    base = CADViewConfig(
+        compare_limit=args.compare, iunits_k=args.iunits,
+        generated_l=args.generated, seed=args.seed,
+    )
+    for name, config in (
+        ("naive", base),
+        ("optimized", recommended_config(base, len(table))),
+    ):
+        cad = CADViewBuilder(config).build(table, pivot)
+        print(f"{name:>10}: {cad.profile}")
+    return 0
+
+
+def cmd_deps(args) -> int:
+    """``deps``: print discovered FDs and top correlations."""
+    from repro.features.dependencies import (
+        correlation_pairs, discover_dependencies,
+    )
+
+    table = _load_table(args)
+    print("soft functional dependencies (strength >= 0.98):")
+    for dep in discover_dependencies(table, threshold=0.98):
+        print(f"  {dep}")
+    print("\nstrongest correlations (Cramér's V):")
+    for x, y, v in correlation_pairs(table)[:10]:
+        print(f"  {x} ~ {y}: {v:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DBExplorer (EDBT 2016) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen-data", help="generate a dataset CSV")
+    p.add_argument("dataset", choices=("usedcars", "mushroom"))
+    p.add_argument("--rows", type=int, default=None)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", required=True, help="output CSV path")
+    p.set_defaults(func=cmd_gen_data, csv=None)
+
+    p = sub.add_parser("cadview", help="run one statement")
+    _add_data_args(p)
+    p.add_argument("--sql", required=True, help="statement to execute")
+    p.add_argument("--cell-width", type=int, default=26)
+    p.set_defaults(func=cmd_cadview)
+
+    p = sub.add_parser("repl", help="interactive statement shell")
+    _add_data_args(p)
+    p.add_argument("--cell-width", type=int, default=26)
+    p.set_defaults(func=cmd_repl)
+
+    p = sub.add_parser("study", help="run the simulated user study")
+    p.add_argument("--rows", type=int, default=None)
+    p.add_argument("--seed", type=int, default=13)
+    p.add_argument("--study-seed", type=int, default=2016)
+    p.set_defaults(func=cmd_study, csv=None, dataset="mushroom")
+
+    p = sub.add_parser("profile", help="profile a CAD View build")
+    _add_data_args(p)
+    p.add_argument("--compare", type=int, default=11)
+    p.add_argument("--iunits", type=int, default=6)
+    p.add_argument("--generated", type=int, default=15)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("deps", help="discover attribute dependencies")
+    _add_data_args(p)
+    p.set_defaults(func=cmd_deps)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

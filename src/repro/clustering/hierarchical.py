@@ -1,0 +1,121 @@
+"""Agglomerative hierarchical clustering (average linkage).
+
+An alternative candidate-IUnit generator: k-means (the paper's choice)
+is fast but spherical; average-linkage agglomeration handles elongated
+value-cooccurrence clusters and gives a dendrogram that a tuning pass
+can cut at any ``k`` without refitting.  Exposed for the clustering
+ablation; O(n^2 log n)-ish, so callers sample first (the same
+Optimization-1 sampling the CAD builder uses).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+
+__all__ = ["AgglomerativeResult", "agglomerative"]
+
+
+@dataclass(frozen=True)
+class AgglomerativeResult:
+    """Flat clustering cut from the dendrogram at ``n_clusters``."""
+
+    labels: np.ndarray          # (n,) int32
+    n_clusters: int
+    merge_heights: Tuple[float, ...]  # linkage distance of each merge
+
+    def cluster_sizes(self) -> np.ndarray:
+        """(n_clusters,) member counts."""
+        return np.bincount(self.labels, minlength=self.n_clusters)
+
+
+def agglomerative(
+    X: np.ndarray,
+    n_clusters: int,
+    max_rows: Optional[int] = 2_000,
+    seed: int = 0,
+) -> AgglomerativeResult:
+    """Average-linkage agglomeration of the rows of ``X``.
+
+    With more than ``max_rows`` rows, a uniform sample is clustered and
+    the remaining rows are assigned to the nearest cluster mean — the
+    standard scalable approximation.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2 or X.shape[0] == 0:
+        raise QueryError("X must be a non-empty 2-D array")
+    if n_clusters < 1:
+        raise QueryError(f"n_clusters must be >= 1, got {n_clusters}")
+    n_all = X.shape[0]
+    rng = np.random.default_rng(seed)
+    if max_rows is not None and n_all > max_rows:
+        sample_idx = np.sort(rng.choice(n_all, size=max_rows, replace=False))
+    else:
+        sample_idx = np.arange(n_all)
+    S = X[sample_idx]
+    n = S.shape[0]
+    k = min(n_clusters, n)
+
+    # Lance-Williams average linkage with a lazy priority queue.
+    sq = np.einsum("ij,ij->i", S, S)
+    d = np.sqrt(np.maximum(0.0, sq[:, None] + sq[None, :] - 2 * (S @ S.T)))
+    active = [True] * n
+    sizes = [1] * n
+    members: List[List[int]] = [[i] for i in range(n)]
+    dist = {
+        (i, j): float(d[i, j])
+        for i in range(n) for j in range(i + 1, n)
+    }
+    heap = [(v, i, j) for (i, j), v in dist.items()]
+    heapq.heapify(heap)
+    merges: List[float] = []
+    clusters_left = n
+    while clusters_left > k and heap:
+        v, i, j = heapq.heappop(heap)
+        if not (active[i] and active[j]):
+            continue
+        if dist.get((i, j)) != v:
+            continue  # stale entry
+        # merge j into i (average linkage update)
+        merges.append(v)
+        active[j] = False
+        ni, nj = sizes[i], sizes[j]
+        members[i].extend(members[j])
+        members[j] = []
+        sizes[i] = ni + nj
+        for m in range(n):
+            if m in (i, j) or not active[m]:
+                continue
+            a, b = (min(i, m), max(i, m)), (min(j, m), max(j, m))
+            new = (ni * dist.get(a, 0.0) + nj * dist.get(b, 0.0)) / (ni + nj)
+            dist[a] = new
+            dist.pop(b, None)
+            heapq.heappush(heap, (new, a[0], a[1]))
+        clusters_left -= 1
+
+    # flatten: label the sample
+    sample_labels = np.full(n, -1, dtype=np.int32)
+    cluster_ids = [i for i in range(n) if active[i]]
+    means = np.empty((len(cluster_ids), X.shape[1]))
+    for new_id, cid in enumerate(cluster_ids):
+        idx = np.asarray(members[cid], dtype=int)
+        sample_labels[idx] = new_id
+        means[new_id] = S[idx].mean(axis=0)
+
+    labels = np.empty(n_all, dtype=np.int32)
+    labels[sample_idx] = sample_labels
+    rest = np.setdiff1d(np.arange(n_all), sample_idx, assume_unique=False)
+    if rest.size:
+        R = X[rest]
+        d2 = (
+            np.einsum("ij,ij->i", R, R)[:, None]
+            - 2.0 * (R @ means.T)
+            + np.einsum("ij,ij->i", means, means)[None, :]
+        )
+        labels[rest] = d2.argmin(axis=1).astype(np.int32)
+    return AgglomerativeResult(labels, len(cluster_ids), tuple(merges))

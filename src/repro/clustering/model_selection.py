@@ -1,0 +1,103 @@
+"""Choosing the number of clusters.
+
+Paper Sec. 3.1.2 lists "trying to infer the ideal number of clusters
+using the clustering algorithm" among the things that slow interactive
+summarization down — which is why the CAD View uses a fixed ``l``
+(e.g. ``1.5 k``).  This module provides the inference anyway, both as an
+offline tuning aid and so the cost the paper avoids can be measured:
+
+* :func:`select_num_clusters` — silhouette- or elbow-based selection
+  over a candidate range, optionally on a row sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clustering.kmeans import KMeans
+from repro.clustering.quality import silhouette_score
+from repro.errors import QueryError
+
+__all__ = ["ClusterCountChoice", "select_num_clusters"]
+
+
+@dataclass(frozen=True)
+class ClusterCountChoice:
+    """The selection outcome with the full evaluation trace."""
+
+    best_k: int
+    method: str
+    scores: Tuple[Tuple[int, float], ...]  # (k, criterion value)
+
+
+def _elbow_index(inertias: Sequence[float]) -> int:
+    """Index of the elbow: the point farthest from the line joining the
+    first and last (k, inertia) points — the classic geometric rule."""
+    n = len(inertias)
+    if n <= 2:
+        return n - 1
+    x = np.arange(n, dtype=float)
+    y = np.asarray(inertias, dtype=float)
+    # normalize both axes so the distance is scale-free
+    x = (x - x[0]) / max(x[-1] - x[0], 1e-12)
+    span = max(y[0] - y[-1], 1e-12)
+    y = (y - y[-1]) / span
+    # line from (0, y0') to (1, 0): distance of each point
+    x0, y0, x1, y1 = 0.0, y[0], 1.0, 0.0
+    num = np.abs((y1 - y0) * x - (x1 - x0) * y + x1 * y0 - y1 * x0)
+    den = float(np.hypot(y1 - y0, x1 - x0))
+    return int(np.argmax(num / den))
+
+
+def select_num_clusters(
+    X: np.ndarray,
+    candidates: Sequence[int] = tuple(range(2, 11)),
+    method: str = "silhouette",
+    sample: Optional[int] = 2_000,
+    seed: int = 0,
+) -> ClusterCountChoice:
+    """Pick a cluster count from ``candidates``.
+
+    ``method="silhouette"`` maximizes the (sampled) silhouette score;
+    ``method="elbow"`` takes the inertia curve's elbow.  ``sample`` caps
+    the rows used for both fitting and scoring.
+    """
+    if method not in ("silhouette", "elbow"):
+        raise QueryError(f"unknown method {method!r}")
+    candidates = sorted(set(int(k) for k in candidates))
+    if not candidates or candidates[0] < 2:
+        raise QueryError("candidates must be >= 2")
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2 or X.shape[0] < 2:
+        raise QueryError("X must be 2-D with at least 2 rows")
+    rng = np.random.default_rng(seed)
+    if sample is not None and X.shape[0] > sample:
+        X = X[rng.choice(X.shape[0], size=sample, replace=False)]
+
+    scores: List[Tuple[int, float]] = []
+    fits = {}
+    for k in candidates:
+        if k > X.shape[0]:
+            break
+        fit = KMeans(k, seed=seed).fit(X, rng)
+        fits[k] = fit
+        if method == "elbow":
+            scores.append((k, fit.inertia))
+        else:
+            if len(np.unique(fit.labels)) < 2:
+                scores.append((k, -1.0))
+            else:
+                scores.append(
+                    (k, silhouette_score(X, fit.labels, sample=None))
+                )
+    if not scores:
+        raise QueryError("no feasible candidate cluster counts")
+
+    if method == "elbow":
+        idx = _elbow_index([s for _, s in scores])
+    else:
+        idx = int(np.argmax([s for _, s in scores]))
+    return ClusterCountChoice(scores[idx][0], method, tuple(scores))

@@ -1,0 +1,99 @@
+"""Cluster quality measures used by tests and ablation benches."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import QueryError
+
+__all__ = ["inertia", "silhouette_score", "davies_bouldin"]
+
+
+def inertia(X: np.ndarray, labels: np.ndarray, centers: np.ndarray) -> float:
+    """Sum of squared distances of points to their assigned centers."""
+    diffs = X - centers[labels]
+    return float(np.einsum("ij,ij->", diffs, diffs))
+
+
+def silhouette_score(
+    X: np.ndarray,
+    labels: np.ndarray,
+    sample: Optional[int] = 2000,
+    seed: int = 0,
+) -> float:
+    """Mean silhouette coefficient in [-1, 1]; higher = better separated.
+
+    Sub-samples to ``sample`` points (distance matrix is quadratic).
+    Requires at least two clusters with members.
+    """
+    X = np.asarray(X, dtype=float)
+    labels = np.asarray(labels)
+    if len(np.unique(labels)) < 2:
+        raise QueryError("silhouette needs at least 2 clusters")
+    n = X.shape[0]
+    if sample is not None and n > sample:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(n, size=sample, replace=False)
+        X, labels = X[idx], labels[idx]
+        if len(np.unique(labels)) < 2:
+            raise QueryError("sample collapsed to a single cluster")
+        n = sample
+
+    d = np.sqrt(
+        np.maximum(
+            0.0,
+            np.add.outer(
+                np.einsum("ij,ij->i", X, X), np.einsum("ij,ij->i", X, X)
+            ) - 2.0 * (X @ X.T),
+        )
+    )
+    uniq = np.unique(labels)
+    scores = np.zeros(n)
+    for i in range(n):
+        own = labels[i]
+        same = labels == own
+        n_same = same.sum()
+        a = d[i][same].sum() / (n_same - 1) if n_same > 1 else 0.0
+        b = np.inf
+        for c in uniq:
+            if c == own:
+                continue
+            mask = labels == c
+            b = min(b, d[i][mask].mean())
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())
+
+
+def davies_bouldin(
+    X: np.ndarray, labels: np.ndarray, centers: np.ndarray
+) -> float:
+    """Davies–Bouldin index; lower = better separated."""
+    uniq = np.unique(labels)
+    if len(uniq) < 2:
+        raise QueryError("Davies-Bouldin needs at least 2 clusters")
+    scatters = []
+    used_centers = []
+    for c in uniq:
+        members = X[labels == c]
+        center = centers[c]
+        scatters.append(
+            float(np.sqrt(((members - center) ** 2).sum(axis=1)).mean())
+        )
+        used_centers.append(center)
+    centers_arr = np.array(used_centers)
+    k = len(uniq)
+    total = 0.0
+    for i in range(k):
+        worst = 0.0
+        for j in range(k):
+            if i == j:
+                continue
+            sep = float(np.linalg.norm(centers_arr[i] - centers_arr[j]))
+            if sep == 0:
+                continue
+            worst = max(worst, (scatters[i] + scatters[j]) / sep)
+        total += worst
+    return total / k

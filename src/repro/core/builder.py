@@ -1,0 +1,322 @@
+"""The CAD View construction pipeline (paper Sections 2.2.2, 3, 6.3).
+
+Build order, mirroring the paper's sub-problems:
+
+1. Discretize the result set (pre-processing, Sec. 2.2.1).
+2. Problem 1.1 — pick Compare Attributes with chi-square feature
+   selection (on a sample when Optimization 1 is enabled).
+3. Problem 1.2 — for each pivot value, cluster its tuples on the
+   Compare Attributes with k-means (one-hot encoding) and label the
+   ``l`` clusters as candidate IUnits.
+4. Problem 2 — keep the diversified top-k per pivot value (div-astar).
+
+Every phase is timed into a :class:`BuildProfile` with the same three
+buckets the paper's Figure 8 reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cadview import CADView, CADViewConfig
+from repro.core.profile import BuildProfile
+from repro.dataset.table import Table
+from repro.discretize.discretizer import DiscretizedView, Discretizer
+from repro.errors import CADViewError, EmptyResultError
+from repro.clustering.encoding import one_hot_encode
+from repro.clustering.kmeans import KMeans
+from repro.features.selection import (
+    FeatureSelector,
+    select_compare_attributes,
+)
+from repro.iunits.diversify import diversified_topk
+from repro.iunits.labeling import LabelingConfig, build_iunits
+from repro.iunits.ranking import PreferenceFunction
+from repro.iunits.similarity import default_tau
+
+__all__ = ["CADViewBuilder"]
+
+
+class CADViewBuilder:
+    """Builds :class:`CADView` objects from result sets.
+
+    >>> builder = CADViewBuilder(CADViewConfig(compare_limit=5, iunits_k=3))
+    >>> cad = builder.build(result, pivot="Make", pinned=("Price",))
+    """
+
+    def __init__(
+        self,
+        config: CADViewConfig = CADViewConfig(),
+        selector: Optional[FeatureSelector] = None,
+        preference: Optional[PreferenceFunction] = None,
+    ):
+        self.config = config
+        self.selector = selector
+        self.preference = preference
+
+    # -- public API -------------------------------------------------------
+
+    def build(
+        self,
+        result: Table,
+        pivot: str,
+        pivot_values: Optional[Sequence[str]] = None,
+        pinned: Sequence[str] = (),
+        name: str = "cadview",
+        exclude: Sequence[str] = (),
+    ) -> CADView:
+        """Construct the CAD View for ``result`` and ``pivot``.
+
+        Parameters
+        ----------
+        result:
+            The current result set ``R`` (already filtered by the user's
+            selections).
+        pivot:
+            The Pivot Attribute ``fp``.
+        pivot_values:
+            The selected values ``V``; ``None`` takes every value present
+            in ``R`` (the paper's default).
+        pinned:
+            Compare Attributes the user explicitly SELECTed (the ``N``
+            of the query model); honored first, in order.
+        exclude:
+            Attributes never to auto-select (e.g. attributes already
+            pinned by WHERE equality selections, which carry a single
+            value in ``R`` and hence zero contrast).
+        """
+        config = self.config
+        profile = BuildProfile()
+        if len(result) == 0:
+            raise EmptyResultError("result set is empty")
+        result.schema[pivot]  # raises UnknownAttributeError when absent
+
+        # pre-processing: context-dependent discretization of R
+        with profile.timed("others"):
+            discretizer = Discretizer(
+                strategy=config.strategy, nbins=config.nbins
+            )
+            view = discretizer.fit(result)
+            values = self._pivot_values(view, pivot, pivot_values)
+
+        # Problem 1.1 — Compare Attributes
+        with profile.timed("compare_attrs"):
+            compare = self._compare_attributes(
+                result, discretizer, view, pivot, pinned, exclude
+            )
+            if len(compare) < min(config.compare_limit,
+                                  len(view.attribute_names) - 1):
+                # contrast-based selection can come up short (e.g. a
+                # single pivot value has no contrast at all); fill the
+                # remaining slots with the highest-entropy attributes,
+                # which still summarize the partition's structure
+                compare = self._entropy_fallback(
+                    view, pivot, compare, exclude
+                )
+        if not compare:
+            raise CADViewError(
+                f"no usable Compare Attribute for pivot {pivot!r}"
+            )
+
+        # Problems 1.2 + 2 — candidate IUnits, then diversified top-k
+        labeling = LabelingConfig(
+            max_display=config.max_display,
+            alpha=config.label_alpha,
+            min_share=config.min_share,
+        )
+        tau = default_tau(len(compare), config.tau_alpha)
+        l = config.effective_l(len(result))
+        rows = {}
+        candidates = {}
+        rng = np.random.default_rng(config.seed)
+        for value in values:
+            with profile.timed("iunits"):
+                cands = self._candidate_iunits(
+                    view, pivot, value, compare, labeling, l, rng
+                )
+            with profile.timed("others"):
+                top = diversified_topk(
+                    cands,
+                    config.iunits_k,
+                    tau,
+                    self.preference,
+                    exact=config.exact_topk,
+                )
+            candidates[value] = cands
+            rows[value] = top
+
+        return CADView(
+            name, pivot, values, compare, rows, view, config, profile,
+            candidates,
+        )
+
+    def refine(
+        self,
+        cad: CADView,
+        extra_predicate,
+        name: Optional[str] = None,
+    ) -> CADView:
+        """Incrementally refine a view after the user narrows the query.
+
+        Applies ``extra_predicate`` to the view's underlying result and
+        rebuilds only the per-pivot-value clustering — the context
+        (discretization bins, label domains) and the Compare Attributes
+        are reused, which keeps successive views comparable while the
+        user drills down and skips the two selection phases entirely.
+
+        Pivot values left with no tuples drop out of the refined view.
+        """
+        config = self.config
+        profile = BuildProfile()
+        old_view = cad.view
+        with profile.timed("others"):
+            mask = extra_predicate.mask(old_view.table)
+            if not mask.any():
+                raise EmptyResultError(
+                    "refinement predicate matches no tuples"
+                )
+            view = old_view.restrict(mask)
+            present = view.value_counts(cad.pivot_attribute)
+            values = [v for v in cad.pivot_values if v in present]
+            if not values:
+                raise EmptyResultError(
+                    "no pivot value survives the refinement"
+                )
+
+        compare = list(cad.compare_attributes)
+        labeling = LabelingConfig(
+            max_display=config.max_display,
+            alpha=config.label_alpha,
+            min_share=config.min_share,
+        )
+        tau = default_tau(len(compare), config.tau_alpha)
+        l = config.effective_l(len(view))
+        rows = {}
+        candidates = {}
+        rng = np.random.default_rng(config.seed)
+        for value in values:
+            with profile.timed("iunits"):
+                cands = self._candidate_iunits(
+                    view, cad.pivot_attribute, value, compare, labeling,
+                    l, rng,
+                )
+            with profile.timed("others"):
+                top = diversified_topk(
+                    cands, config.iunits_k, tau, self.preference,
+                    exact=config.exact_topk,
+                )
+            candidates[value] = cands
+            rows[value] = top
+        return CADView(
+            name or cad.name, cad.pivot_attribute, values, compare, rows,
+            view, config, profile, candidates,
+        )
+
+    # -- phases ---------------------------------------------------------------
+
+    @staticmethod
+    def _pivot_values(
+        view: DiscretizedView,
+        pivot: str,
+        requested: Optional[Sequence[str]],
+    ) -> List[str]:
+        present = view.value_counts(pivot)
+        if requested is None:
+            # all values present, most frequent first (stable display)
+            return sorted(present, key=lambda v: (-present[v], v))
+        values = []
+        for v in requested:
+            if str(v) not in present:
+                raise EmptyResultError(
+                    f"pivot value {v!r} has no tuples in the result set"
+                )
+            values.append(str(v))
+        if not values:
+            raise CADViewError("pivot_values must not be empty")
+        return values
+
+    def _compare_attributes(
+        self,
+        result: Table,
+        discretizer: Discretizer,
+        view: DiscretizedView,
+        pivot: str,
+        pinned: Sequence[str],
+        exclude: Sequence[str],
+    ) -> List[str]:
+        config = self.config
+        fs_view = view
+        if config.fs_sample is not None and len(result) > config.fs_sample:
+            # Optimization 1: rank attributes on a uniform sample
+            sample = result.sample(
+                config.fs_sample, np.random.default_rng(config.seed)
+            )
+            fs_view = discretizer.fit(sample)
+        return select_compare_attributes(
+            fs_view,
+            pivot,
+            pinned=pinned,
+            limit=config.compare_limit,
+            alpha=config.alpha,
+            selector=self.selector,
+            exclude=exclude,
+        )
+
+    def _entropy_fallback(
+        self,
+        view: DiscretizedView,
+        pivot: str,
+        chosen: Sequence[str],
+        exclude: Sequence[str],
+    ) -> List[str]:
+        """Top up the Compare Attributes by within-view value entropy."""
+        chosen = list(chosen)
+        skip = set(chosen) | {pivot} | set(exclude)
+        scored = []
+        for name in view.attribute_names:
+            if name in skip:
+                continue
+            counts = np.array(list(view.value_counts(name).values()), float)
+            if counts.size < 2:
+                continue
+            p = counts / counts.sum()
+            entropy = float(-(p * np.log2(p)).sum())
+            scored.append((-entropy, name))
+        scored.sort()
+        for _, name in scored:
+            if len(chosen) >= self.config.compare_limit:
+                break
+            chosen.append(name)
+        return chosen
+
+    def _candidate_iunits(
+        self,
+        view: DiscretizedView,
+        pivot: str,
+        value: str,
+        compare: Sequence[str],
+        labeling: LabelingConfig,
+        l: int,
+        rng: np.random.Generator,
+    ):
+        code = view.code_of(pivot, value)
+        partition = view.restrict(view.codes(pivot) == code)
+        config = self.config
+        if (
+            config.cluster_sample is not None
+            and len(partition) > config.cluster_sample
+        ):
+            keep = rng.choice(
+                len(partition), size=config.cluster_sample, replace=False
+            )
+            mask = np.zeros(len(partition), dtype=bool)
+            mask[keep] = True
+            partition = partition.restrict(mask)
+        encoding = one_hot_encode(partition, compare)
+        km = KMeans(n_clusters=l, seed=int(rng.integers(2**31)))
+        fit = km.fit(encoding.matrix, rng)
+        return build_iunits(
+            partition, fit.labels, pivot, value, compare, labeling
+        )

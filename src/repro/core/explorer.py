@@ -1,0 +1,206 @@
+"""DBExplorer: the statement-level facade tying everything together.
+
+Executes the paper's SQL dialect end-to-end: ordinary SELECTs through
+the query engine, ``CREATE CADVIEW`` through the builder (with the
+statement's LIMIT COLUMNS / IUNITS / ORDER BY honored), and the two
+in-view search statements against the named-view registry.
+
+>>> dbx = DBExplorer()
+>>> dbx.register("UsedCars", cars)
+>>> cad = dbx.execute('''CREATE CADVIEW CompareMakes AS
+...     SET pivot = Make SELECT Price FROM UsedCars
+...     WHERE BodyType = SUV LIMIT COLUMNS 5 IUNITS 3''')
+>>> hits = dbx.execute(
+...     "HIGHLIGHT SIMILAR IUNITS IN CompareMakes "
+...     "WHERE SIMILARITY(Chevrolet, 3) > 3.5")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.builder import CADViewBuilder
+from repro.core.cadview import CADView, CADViewConfig, IUnitRef
+from repro.core.render import render_cadview
+from repro.dataset.table import Table
+from repro.errors import CADViewError, QueryError
+from repro.iunits.iunit import IUnit
+from repro.query.ast import (
+    CreateCadViewStatement,
+    DescribeStatement,
+    DropCadViewStatement,
+    HighlightSimilarStatement,
+    OrderKey,
+    ReorderRowsStatement,
+    SelectStatement,
+    ShowCadViewsStatement,
+)
+from repro.query.engine import QueryEngine
+from repro.query.parser import parse
+
+__all__ = ["DBExplorer"]
+
+ExecuteResult = Union[Table, CADView, List[Tuple[IUnitRef, float]]]
+
+
+class DBExplorer:
+    """Register tables, run statements, keep named CAD Views."""
+
+    def __init__(self, config: CADViewConfig = CADViewConfig()):
+        self.engine = QueryEngine()
+        self.config = config
+        self._views: Dict[str, CADView] = {}
+
+    # -- catalog -----------------------------------------------------------
+
+    def register(self, name: str, table: Table) -> None:
+        """Register a table for FROM clauses."""
+        self.engine.register(name, table)
+
+    def view(self, name: str) -> CADView:
+        """Look up a named CAD View created earlier."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise CADViewError(
+                f"unknown CAD View {name!r}; have {sorted(self._views)}"
+            ) from None
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, sql: str) -> ExecuteResult:
+        """Parse and run one statement, returning its natural result."""
+        stmt = parse(sql)
+        if isinstance(stmt, SelectStatement):
+            return self._select(stmt)
+        if isinstance(stmt, CreateCadViewStatement):
+            return self._create_cadview(stmt)
+        if isinstance(stmt, HighlightSimilarStatement):
+            view = self.view(stmt.view)
+            return view.similar_iunits(
+                stmt.pivot_value, stmt.iunit_id, stmt.threshold
+            )
+        if isinstance(stmt, ReorderRowsStatement):
+            view = self.view(stmt.view)
+            reordered = view.reorder_by_similarity(stmt.pivot_value)
+            if not stmt.descending:
+                order = [reordered.pivot_values[0]] + list(
+                    reversed(reordered.pivot_values[1:])
+                )
+                reordered = CADView(
+                    reordered.name, reordered.pivot_attribute, order,
+                    reordered.compare_attributes, reordered.rows,
+                    reordered.view, reordered.config, reordered.profile,
+                    reordered.candidates,
+                )
+            self._views[stmt.view] = reordered
+            return reordered
+        if isinstance(stmt, DescribeStatement):
+            return self._describe(stmt.table)
+        if isinstance(stmt, ShowCadViewsStatement):
+            return sorted(self._views)
+        if isinstance(stmt, DropCadViewStatement):
+            if stmt.name not in self._views:
+                raise CADViewError(f"unknown CAD View {stmt.name!r}")
+            del self._views[stmt.name]
+            return sorted(self._views)
+        raise QueryError(f"cannot execute statement {stmt!r}")
+
+    def render(self, view_name: str, **kwargs) -> str:
+        """ASCII-render a named view (see :func:`render_cadview`)."""
+        return render_cadview(self.view(view_name), **kwargs)
+
+    # -- statement handlers -------------------------------------------------
+
+    def _describe(self, table_name: str) -> List[Tuple[str, str, str]]:
+        """(name, kind, queriable/hidden) rows for DESCRIBE."""
+        table = self.engine.table(table_name)
+        return [
+            (a.name, a.kind.value,
+             "queriable" if a.queriable else "hidden")
+            for a in table.schema
+        ]
+
+    def _select(self, stmt: SelectStatement) -> Table:
+        table = self.engine.table(stmt.table)
+        result = self.engine.select(
+            table, stmt.where, stmt.columns or None, limit=None
+        )
+        if stmt.order_by:
+            result = self.engine.order_by(
+                result,
+                [k.attribute for k in stmt.order_by],
+                [k.ascending for k in stmt.order_by],
+            )
+        if stmt.limit is not None:
+            result = result.head(stmt.limit)
+        return result
+
+    def _create_cadview(self, stmt: CreateCadViewStatement) -> CADView:
+        table = self.engine.table(stmt.table)
+        result = self.engine.select(table, stmt.where)
+        config = self.config
+        if stmt.limit_columns is not None:
+            config = config.with_(compare_limit=stmt.limit_columns)
+        if stmt.iunits is not None:
+            config = config.with_(iunits_k=stmt.iunits)
+        builder = CADViewBuilder(config)
+        cad = builder.build(
+            result,
+            pivot=stmt.pivot,
+            pinned=stmt.select,
+            name=stmt.name,
+        )
+        if stmt.order_by:
+            cad = _sort_iunits(cad, stmt.order_by)
+        self._views[stmt.name] = cad
+        return cad
+
+
+def _sort_iunits(cad: CADView, keys: Tuple[OrderKey, ...]) -> CADView:
+    """Re-rank each row's IUnits by ORDER BY keys (paper Sec. 2.1.2).
+
+    Keys must be binned numeric Compare Attributes; IUnits sort on the
+    frequency-weighted mean bin midpoint.
+    """
+    midpoint_cache: Dict[str, np.ndarray] = {}
+    for key in keys:
+        if key.attribute not in cad.compare_attributes:
+            raise CADViewError(
+                f"ORDER BY attribute {key.attribute!r} is not a Compare "
+                f"Attribute of this view"
+            )
+        if not cad.view.is_binned(key.attribute):
+            raise CADViewError(
+                f"ORDER BY needs a numeric attribute, "
+                f"{key.attribute!r} is categorical"
+            )
+        midpoint_cache[key.attribute] = np.array(
+            [(b.lo + b.hi) / 2.0 for b in cad.view.bins(key.attribute)]
+        )
+
+    def sort_key(unit: IUnit):
+        parts = []
+        for key in keys:
+            dist = np.asarray(unit.distributions[key.attribute], dtype=float)
+            total = dist.sum()
+            mean = (
+                float(np.dot(dist, midpoint_cache[key.attribute]) / total)
+                if total else float("inf")
+            )
+            parts.append(mean if key.ascending else -mean)
+        return tuple(parts)
+
+    rows = {}
+    for value in cad.pivot_values:
+        ordered = sorted(cad.rows[value], key=sort_key)
+        rows[value] = [
+            u.with_uid(rank) for rank, u in enumerate(ordered, start=1)
+        ]
+    return CADView(
+        cad.name, cad.pivot_attribute, cad.pivot_values,
+        cad.compare_attributes, rows, cad.view, cad.config, cad.profile,
+        cad.candidates,
+    )

@@ -1,0 +1,13 @@
+"""Relational substrate: schemas, typed columns, and the column-store table.
+
+This package is the "traditional relational database" of the paper's
+Example 1 — the thing that can evaluate queries but by itself gives users
+no help in gaining familiarity with the data.  Everything else in the
+library (faceted navigation, CAD Views) is built on top of it.
+"""
+
+from repro.dataset.column import Column
+from repro.dataset.schema import AttrKind, Attribute, Schema
+from repro.dataset.table import Table
+
+__all__ = ["AttrKind", "Attribute", "Schema", "Column", "Table"]

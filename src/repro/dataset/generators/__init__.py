@@ -1,0 +1,32 @@
+"""Dataset generators standing in for the paper's two real datasets.
+
+* :func:`generate_usedcars` — synthetic Yahoo-style used-car listings
+  (40,000 x 11 by default), with built-in conditional dependencies.
+* :func:`generate_mushroom` — synthetic UCI-style mushroom records
+  (8124 x 23), sampled from a hand-written Bayesian network.
+
+Both are deterministic given their seed; see DESIGN.md section 3 for the
+substitution rationale.
+"""
+
+from repro.dataset.generators.mushroom import (
+    MUSHROOM_ATTRIBUTES,
+    generate_mushroom,
+    mushroom_schema,
+)
+from repro.dataset.generators.usedcars import (
+    CAR_CATALOG,
+    CarModel,
+    generate_usedcars,
+    usedcars_schema,
+)
+
+__all__ = [
+    "CarModel",
+    "CAR_CATALOG",
+    "usedcars_schema",
+    "generate_usedcars",
+    "MUSHROOM_ATTRIBUTES",
+    "mushroom_schema",
+    "generate_mushroom",
+]

@@ -1,0 +1,203 @@
+"""Schema objects for the relational substrate.
+
+The paper (Example 1) assumes a single relation ``D`` with ``n``
+attributes, a mix of categorical attributes (``Make``, ``Model``,
+``Drivetrain``...) and numeric ones (``Price``, ``Mileage``, ``Year``...).
+Some attributes are *queriable* — exposed in the forms-based query panel —
+and some are *hidden* (Limitation 2 of the paper: ``Engine`` exists in the
+data but cannot be selected directly).  The schema records all of this.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, UnknownAttributeError
+
+__all__ = ["AttrKind", "Attribute", "Schema"]
+
+
+class AttrKind(enum.Enum):
+    """The storage/semantic kind of an attribute.
+
+    CATEGORICAL
+        Unordered string-valued domain (``Make``, ``Color``).
+    NUMERIC
+        Real-valued (``Price``, ``FuelEconomy``); binned into ranges
+        before it participates in a CAD View (paper Sec. 2.2.1).
+    ORDINAL
+        Integer-valued with a natural order but a small domain
+        (``Year``, ``NumCylinders``); may be used directly or binned.
+    """
+
+    CATEGORICAL = "categorical"
+    NUMERIC = "numeric"
+    ORDINAL = "ordinal"
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for kinds stored as numbers (NUMERIC and ORDINAL)."""
+        return self is not AttrKind.CATEGORICAL
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single attribute (column) of a relation.
+
+    Parameters
+    ----------
+    name:
+        Column name; unique within a :class:`Schema`.
+    kind:
+        The :class:`AttrKind` of the column.
+    queriable:
+        Whether the front-end exposes this attribute in its query panel.
+        Hidden attributes (``queriable=False``) are exactly the ones the
+        paper's Limitation 2 is about: present in the data, visible in
+        CAD View IUnits, but not directly selectable.
+    description:
+        Optional human-readable description.
+    """
+
+    name: str
+    kind: AttrKind
+    queriable: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if not isinstance(self.kind, AttrKind):
+            raise SchemaError(f"kind must be an AttrKind, got {self.kind!r}")
+
+    @property
+    def is_categorical(self) -> bool:
+        """True for string-valued attributes."""
+        return self.kind is AttrKind.CATEGORICAL
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for NUMERIC and ORDINAL attributes."""
+        return self.kind.is_numeric
+
+
+class Schema:
+    """An ordered, named collection of :class:`Attribute` objects.
+
+    Behaves like an immutable ordered mapping from attribute name to
+    :class:`Attribute`; also supports positional access.
+
+    >>> schema = Schema([
+    ...     Attribute("Make", AttrKind.CATEGORICAL),
+    ...     Attribute("Price", AttrKind.NUMERIC),
+    ... ])
+    >>> schema["Make"].is_categorical
+    True
+    >>> schema.names
+    ('Make', 'Price')
+    """
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        names = [a.name for a in attrs]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate attribute names: {sorted(duplicates)}")
+        self._attrs: Tuple[Attribute, ...] = attrs
+        self._by_name = {a.name: a for a in attrs}
+
+    # -- mapping/sequence protocol ------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attrs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, key) -> Attribute:
+        if isinstance(key, int):
+            return self._attrs[key]
+        try:
+            return self._by_name[key]
+        except KeyError:
+            raise UnknownAttributeError(key, self.names) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attrs == other._attrs
+
+    def __hash__(self) -> int:
+        return hash(self._attrs)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{a.name}:{a.kind.value}" for a in self._attrs)
+        return f"Schema({cols})"
+
+    # -- convenience views --------------------------------------------
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Attribute names, in schema order."""
+        return tuple(a.name for a in self._attrs)
+
+    @property
+    def categorical_names(self) -> Tuple[str, ...]:
+        """Names of the categorical attributes, in schema order."""
+        return tuple(a.name for a in self._attrs if a.is_categorical)
+
+    @property
+    def numeric_names(self) -> Tuple[str, ...]:
+        """Names of the numeric/ordinal attributes, in schema order."""
+        return tuple(a.name for a in self._attrs if a.is_numeric)
+
+    @property
+    def queriable_names(self) -> Tuple[str, ...]:
+        """Names the front-end exposes for direct selection."""
+        return tuple(a.name for a in self._attrs if a.queriable)
+
+    @property
+    def hidden_names(self) -> Tuple[str, ...]:
+        """Names present in the data but not directly selectable."""
+        return tuple(a.name for a in self._attrs if not a.queriable)
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` in the schema order."""
+        self[name]  # raise UnknownAttributeError if absent
+        return self.names.index(name)
+
+    def subset(self, names: Sequence[str]) -> "Schema":
+        """A new schema containing ``names`` in the given order."""
+        return Schema([self[n] for n in names])
+
+    def require(self, names: Iterable[str]) -> None:
+        """Raise :class:`UnknownAttributeError` for the first unknown name."""
+        for n in names:
+            self[n]
+
+    def with_queriable(
+        self, queriable: Optional[Sequence[str]] = None
+    ) -> "Schema":
+        """A copy where exactly ``queriable`` attributes are queriable.
+
+        ``None`` makes every attribute queriable.
+        """
+        if queriable is not None:
+            self.require(queriable)
+            allowed = set(queriable)
+        else:
+            allowed = set(self.names)
+        return Schema(
+            Attribute(a.name, a.kind, a.name in allowed, a.description)
+            for a in self._attrs
+        )
+
+
+# Dataclasses with default field() values are not used above, but keep
+# the import for subclasses defined elsewhere.
+_ = field

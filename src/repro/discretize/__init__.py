@@ -1,0 +1,17 @@
+"""Discretization: binning strategies, V-optimal histograms, Discretizer."""
+
+from repro.discretize.binning import (
+    Bin,
+    bin_indices,
+    equal_depth_bins,
+    equal_width_bins,
+    format_number,
+)
+from repro.discretize.discretizer import DiscretizedView, Discretizer
+from repro.discretize.histogram import v_optimal_bins, v_optimal_partition
+
+__all__ = [
+    "Bin", "format_number", "equal_width_bins", "equal_depth_bins",
+    "bin_indices", "v_optimal_partition", "v_optimal_bins",
+    "Discretizer", "DiscretizedView",
+]

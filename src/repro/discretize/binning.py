@@ -1,0 +1,160 @@
+"""Binning strategies for numeric attributes.
+
+The paper requires "attribute value cardinality reduction ... as a
+pre-processing step" (Sec. 2.2.1), suggesting histogram-construction
+techniques [Jagadish & Suel].  This module provides the classic
+equi-width and equi-depth schemes; :mod:`repro.discretize.histogram`
+adds the V-optimal scheme from that reference.
+
+A :class:`Bin` is a closed-open interval ``[lo, hi)`` except the last
+bin of a binning, which is closed on both ends so the maximum belongs
+somewhere.  Bin labels use the paper's compact style: ``[15K-20K]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.query.predicates import Between, Predicate
+
+__all__ = ["Bin", "format_number", "equal_width_bins", "equal_depth_bins",
+           "bin_indices"]
+
+
+def format_number(x: float) -> str:
+    """Human format with K/M abbreviation, Table-1 style.
+
+    >>> format_number(25000)
+    '25K'
+    >>> format_number(2011)
+    '2011'
+    >>> format_number(17.5)
+    '17.5'
+    """
+    if abs(x) >= 1_000_000 and x == round(x / 100_000) * 100_000:
+        v = x / 1_000_000
+        return f"{v:.1f}".rstrip("0").rstrip(".") + "M"
+    if abs(x) >= 5_000 and x == round(x / 500) * 500:
+        v = x / 1_000
+        return f"{v:.1f}".rstrip("0").rstrip(".") + "K"
+    if x == int(x):
+        return str(int(x))
+    return f"{x:g}"
+
+
+@dataclass(frozen=True)
+class Bin:
+    """One value range produced by a binning strategy."""
+
+    lo: float
+    hi: float
+    closed_hi: bool = False
+
+    @property
+    def label(self) -> str:
+        """Compact range label, e.g. ``15K-20K`` or ``2011-2012``.
+
+        Degenerate single-value bins label as the bare value.
+        """
+        if self.lo == self.hi:
+            return format_number(self.lo)
+        return f"{format_number(self.lo)}-{format_number(self.hi)}"
+
+    def contains(self, x: float) -> bool:
+        """Membership test honoring the closed/open upper end."""
+        if self.closed_hi:
+            return self.lo <= x <= self.hi
+        return self.lo <= x < self.hi
+
+    def predicate(self, attr: str) -> Predicate:
+        """A selectable predicate equivalent to this bin.
+
+        Uses BETWEEN, which is inclusive; for open-ended bins we nudge
+        the upper bound just below ``hi``.  This is how an IUnit label
+        like ``Price [15K-20K]`` becomes a query the user can apply
+        (paper Limitation 2: selecting via surrogate queriable ranges).
+        """
+        hi = self.hi if self.closed_hi else np.nextafter(self.hi, -np.inf)
+        return Between(attr, self.lo, hi)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def _validate(values: np.ndarray, nbins: int) -> np.ndarray:
+    if nbins < 1:
+        raise QueryError(f"nbins must be >= 1, got {nbins}")
+    values = np.asarray(values, dtype=float)
+    values = values[~np.isnan(values)]
+    if values.size == 0:
+        raise QueryError("cannot bin an all-missing column")
+    return values
+
+
+def _bins_from_edges(edges: Sequence[float]) -> List[Bin]:
+    bins = []
+    for i in range(len(edges) - 1):
+        bins.append(
+            Bin(float(edges[i]), float(edges[i + 1]),
+                closed_hi=(i == len(edges) - 2))
+        )
+    return bins
+
+
+def equal_width_bins(values: Sequence[float], nbins: int) -> List[Bin]:
+    """Split ``[min, max]`` into ``nbins`` equal-width ranges.
+
+    Edges are snapped to "round" numbers (1-2-5 grid) so labels read like
+    the paper's ``[25K-30K]`` rather than ``[24,713-29,821]``.
+    """
+    vals = _validate(values, nbins)
+    lo, hi = float(vals.min()), float(vals.max())
+    if lo == hi:
+        return [Bin(lo, hi, closed_hi=True)]
+    raw_step = (hi - lo) / nbins
+    # snap the step to a 1/2/2.5/5 x 10^k grid; allow a slightly smaller
+    # step (down to 3/4 of raw) so we do not drastically under-bin
+    mag = 10.0 ** np.floor(np.log10(raw_step))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= 0.75 * raw_step:
+            break
+    start = np.floor(lo / step) * step
+    edges = [start]
+    while edges[-1] < hi:
+        edges.append(edges[-1] + step)
+    return _bins_from_edges(edges)
+
+
+def equal_depth_bins(values: Sequence[float], nbins: int) -> List[Bin]:
+    """Quantile (equi-depth) binning: roughly equal tuple counts per bin.
+
+    Duplicate quantile edges (heavy ties) are merged, so the result may
+    have fewer than ``nbins`` bins.
+    """
+    vals = _validate(values, nbins)
+    qs = np.linspace(0.0, 1.0, nbins + 1)
+    edges = np.quantile(vals, qs)
+    edges = np.unique(edges)
+    if len(edges) == 1:
+        return [Bin(float(edges[0]), float(edges[0]), closed_hi=True)]
+    return _bins_from_edges(edges)
+
+
+def bin_indices(values: Sequence[float], bins: Sequence[Bin]) -> np.ndarray:
+    """Index of the bin containing each value; ``-1`` for missing/outside.
+
+    Vectorized via ``searchsorted`` on the bin edges.
+    """
+    values = np.asarray(values, dtype=float)
+    edges = np.array([b.lo for b in bins] + [bins[-1].hi])
+    idx = np.searchsorted(edges, values, side="right") - 1
+    # the maximum value belongs in the last (closed) bin
+    idx[values == bins[-1].hi] = len(bins) - 1
+    out_of_range = (idx < 0) | (idx >= len(bins)) | np.isnan(values)
+    idx = np.where(out_of_range, -1, idx)
+    return idx.astype(np.int32)

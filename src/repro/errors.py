@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-classes mirror the major
+subsystems: schema/data errors, query errors (including SQL parse
+errors), and CAD View construction errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table or column was used inconsistently with its schema."""
+
+
+class UnknownAttributeError(SchemaError, KeyError):
+    """An attribute name does not exist in the schema.
+
+    Inherits from ``KeyError`` so ``table["nope"]`` behaves like a
+    normal mapping lookup failure while still being a
+    :class:`ReproError`.
+    """
+
+    def __init__(self, name: str, available: tuple = ()):  # type: ignore[type-arg]
+        self.name = name
+        self.available = tuple(available)
+        hint = ""
+        if self.available:
+            hint = f" (available: {', '.join(self.available)})"
+        super().__init__(f"unknown attribute {name!r}{hint}")
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0]
+
+
+class TypeMismatchError(SchemaError):
+    """A value or operation does not match the attribute's type."""
+
+
+class QueryError(ReproError):
+    """A query could not be evaluated."""
+
+
+class ParseError(QueryError):
+    """A SQL/CADVIEW statement could not be parsed.
+
+    Carries the offending position so interfaces can point at it.
+    """
+
+    def __init__(self, message: str, text: str = "", pos: int = -1):
+        self.text = text
+        self.pos = pos
+        if pos >= 0 and text:
+            snippet = text[max(0, pos - 20):pos + 20]
+            message = f"{message} at position {pos}: ...{snippet!r}..."
+        super().__init__(message)
+
+
+class CADViewError(ReproError):
+    """The CAD View could not be constructed as requested."""
+
+
+class EmptyResultError(CADViewError):
+    """The selection produced no tuples for a required pivot value."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative numerical procedure failed to converge."""

@@ -1,0 +1,15 @@
+"""Faceted navigation: the Solr-like baseline engine, digests, TPFacet."""
+
+from repro.facets.digest import Digest
+from repro.facets.engine import FacetedEngine, FacetSession
+from repro.facets.ranking import FacetRank, rank_facets
+from repro.facets.tpfacet import Phase, TPFacetSession
+
+__all__ = [
+    "Digest",
+    "FacetedEngine",
+    "FacetSession",
+    "Phase",
+    "TPFacetSession",
+    "FacetRank", "rank_facets",
+]

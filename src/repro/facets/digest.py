@@ -1,0 +1,79 @@
+"""Faceted summary digests (the baseline interface's data summary).
+
+A faceted interface's query panel shows, for every queriable attribute,
+the attribute values occurring in the current result set with their
+tuple counts (paper Sec. 5: "This summary digest typically comprises
+all the attribute values that appear in the selected items, grouped by
+their corresponding attribute.  The tuple count for each attribute
+value may also be included.").
+
+The user study compares digests with cosine similarity (Sec. 6.2.2
+gives Solr users "a cosine-similarity based distance metric to compare
+the summary digests"; Sec. 6.2.3 scores task 3 by "the similarity
+between their faceted summary digest"), so digests know how to measure
+distance to one another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+
+__all__ = ["Digest"]
+
+
+@dataclass(frozen=True)
+class Digest:
+    """Per-attribute value counts of one result set."""
+
+    counts: Mapping[str, Mapping[str, int]]
+    total: int
+
+    def attributes(self) -> Tuple[str, ...]:
+        """The attributes the digest covers."""
+        return tuple(self.counts)
+
+    def values(self, attribute: str) -> Dict[str, int]:
+        """Value -> count for one attribute."""
+        try:
+            return dict(self.counts[attribute])
+        except KeyError:
+            raise QueryError(
+                f"attribute {attribute!r} not in digest "
+                f"(have {list(self.counts)})"
+            ) from None
+
+    # -- similarity ---------------------------------------------------
+
+    def attribute_cosine(self, other: "Digest", attribute: str) -> float:
+        """Cosine similarity of one attribute's count vectors."""
+        a = self.values(attribute)
+        b = other.values(attribute)
+        keys = sorted(set(a) | set(b))
+        if not keys:
+            return 1.0  # both empty: identical
+        va = np.array([a.get(k, 0) for k in keys], dtype=float)
+        vb = np.array([b.get(k, 0) for k in keys], dtype=float)
+        na, nb = np.linalg.norm(va), np.linalg.norm(vb)
+        if na == 0 and nb == 0:
+            return 1.0
+        if na == 0 or nb == 0:
+            return 0.0
+        return float(np.dot(va, vb) / (na * nb))
+
+    def cosine_similarity(self, other: "Digest") -> float:
+        """Mean per-attribute cosine similarity over shared attributes."""
+        shared = [a for a in self.counts if a in other.counts]
+        if not shared:
+            raise QueryError("digests share no attributes")
+        return float(
+            np.mean([self.attribute_cosine(other, a) for a in shared])
+        )
+
+    def distance(self, other: "Digest") -> float:
+        """``1 - cosine_similarity`` — the study's retrieval-error metric."""
+        return 1.0 - self.cosine_similarity(other)

@@ -1,0 +1,164 @@
+"""The faceted navigation engine — our Apache Solr stand-in (Sec. 5/6).
+
+A :class:`FacetedEngine` wraps a table and exposes Solr-style faceting:
+for any selection state it computes the result set and the summary
+digest (per-attribute value counts).  Numeric attributes facet over
+fixed ranges computed once from the full table, like a configured Solr
+range facet.
+
+A :class:`FacetSession` holds the interactive state: per-attribute sets
+of selected facet values.  Values within one attribute OR together;
+attributes AND together — standard faceted-navigation semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dataset.table import Table
+from repro.discretize.discretizer import DiscretizedView, Discretizer
+from repro.errors import QueryError
+from repro.facets.digest import Digest
+from repro.query.predicates import And, Or, Predicate, TruePred
+
+__all__ = ["FacetedEngine", "FacetSession"]
+
+
+class FacetedEngine:
+    """Facet counts and selection evaluation over one table."""
+
+    def __init__(
+        self,
+        table: Table,
+        queriable: Optional[Sequence[str]] = None,
+        nbins: int = 6,
+        strategy: str = "width",
+    ):
+        self.table = table
+        if queriable is None:
+            queriable = table.schema.queriable_names
+        else:
+            table.schema.require(queriable)
+        self.queriable: Tuple[str, ...] = tuple(queriable)
+        # fixed facet domains from the full table (Solr-style config)
+        self._view: DiscretizedView = Discretizer(
+            strategy=strategy, nbins=nbins
+        ).fit(table, self.queriable)
+
+    # -- facet metadata -------------------------------------------------
+
+    def facet_values(self, attribute: str) -> Tuple[str, ...]:
+        """All facet values (labels) of one queriable attribute."""
+        self._check(attribute)
+        return self._view.labels(attribute)
+
+    def predicate_for(self, attribute: str, value: str) -> Predicate:
+        """The predicate selecting one facet value."""
+        self._check(attribute)
+        code = self._view.code_of(attribute, value)
+        if code < 0:
+            raise QueryError(
+                f"{value!r} is not a facet value of {attribute!r} "
+                f"(have {list(self._view.labels(attribute))})"
+            )
+        return self._view.predicate_for(attribute, code)
+
+    def selection_predicate(
+        self, selections: Dict[str, Set[str]]
+    ) -> Predicate:
+        """AND over attributes of OR over each attribute's values."""
+        parts: List[Predicate] = []
+        for attribute, values in selections.items():
+            if not values:
+                continue
+            ors = [self.predicate_for(attribute, v) for v in sorted(values)]
+            parts.append(ors[0] if len(ors) == 1 else Or(ors))
+        return And(parts) if parts else TruePred()
+
+    # -- evaluation -----------------------------------------------------------
+
+    def result(self, selections: Dict[str, Set[str]]) -> Table:
+        """The result set of a selection state."""
+        pred = self.selection_predicate(selections)
+        return self.table.filter(pred.mask(self.table))
+
+    def digest_for_predicate(self, predicate: Predicate) -> Digest:
+        """The summary digest of an arbitrary predicate's result set.
+
+        The study's task-3 scoring compares the digest of the hidden
+        target selection with the digest of a user's alternative.
+        """
+        mask = predicate.mask(self.table)
+        restricted = self._view.restrict(mask)
+        counts = {a: restricted.value_counts(a) for a in self.queriable}
+        return Digest(counts, int(mask.sum()))
+
+    def digest(self, selections: Dict[str, Set[str]]) -> Digest:
+        """The summary digest of a selection state (one pass)."""
+        return self.digest_for_predicate(
+            self.selection_predicate(selections)
+        )
+
+    def _check(self, attribute: str) -> None:
+        if attribute not in self.queriable:
+            raise QueryError(
+                f"{attribute!r} is not a queriable facet "
+                f"(have {list(self.queriable)})"
+            )
+
+
+class FacetSession:
+    """One user's interactive faceted-navigation state.
+
+    Tracks selected facet values per attribute and counts interface
+    operations (the study's cost model charges per operation).
+    """
+
+    def __init__(self, engine: FacetedEngine):
+        self.engine = engine
+        self.selections: Dict[str, Set[str]] = {}
+        self.operations: List[Tuple[str, ...]] = []
+
+    # -- interaction -----------------------------------------------------
+
+    def toggle(self, attribute: str, value: str) -> None:
+        """Select/deselect one facet value (one click)."""
+        self.engine.predicate_for(attribute, value)  # validates
+        bucket = self.selections.setdefault(attribute, set())
+        if value in bucket:
+            bucket.remove(value)
+            if not bucket:
+                del self.selections[attribute]
+        else:
+            bucket.add(value)
+        self.operations.append(("toggle", attribute, value))
+
+    def clear(self, attribute: Optional[str] = None) -> None:
+        """Clear one attribute's selections, or everything."""
+        if attribute is None:
+            self.selections = {}
+        else:
+            self.selections.pop(attribute, None)
+        self.operations.append(("clear", attribute or "*"))
+
+    # -- observation ------------------------------------------------------
+
+    def digest(self) -> Digest:
+        """Read the query panel (one digest-inspection operation)."""
+        self.operations.append(("digest",))
+        return self.engine.digest(self.selections)
+
+    def result(self) -> Table:
+        """Open the results panel."""
+        self.operations.append(("result",))
+        return self.engine.result(self.selections)
+
+    def count(self) -> int:
+        """The result-count readout (cheap glance)."""
+        self.operations.append(("count",))
+        return len(self.engine.result(self.selections))
+
+    @property
+    def operation_count(self) -> int:
+        """Number of interface operations performed so far."""
+        return len(self.operations)

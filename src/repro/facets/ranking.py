@@ -1,0 +1,76 @@
+"""Facet ordering: which facets deserve the limited panel space.
+
+A faceted interface can show only a handful of attribute panels at a
+time.  This module ranks the queriable attributes for the *current*
+result set, combining the two signals interface research uses:
+
+* coverage — what fraction of the current result carries a value;
+* balance — the entropy of the value distribution, normalized by the
+  log of the displayed value count (a facet where one value holds 99%
+  of the results cannot discriminate anything).
+
+The score is coverage x normalized entropy, so already-pinned
+single-value facets (entropy 0 in the filtered result) naturally sink
+to the bottom — the same effect the CAD builder gets via its relevance
+gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.facets.engine import FacetedEngine
+
+__all__ = ["FacetRank", "rank_facets"]
+
+
+@dataclass(frozen=True)
+class FacetRank:
+    """One attribute's display score for the current result."""
+
+    attribute: str
+    score: float
+    coverage: float
+    entropy: float          # bits
+    n_values: int
+
+
+def rank_facets(
+    engine: FacetedEngine,
+    selections: Optional[Dict[str, Set[str]]] = None,
+    max_values: int = 50,
+) -> List[FacetRank]:
+    """Rank queriable facets for the current selection state.
+
+    Attributes with more than ``max_values`` distinct values in the
+    result are penalized (their normalization uses ``max_values``),
+    matching interfaces that truncate long facet lists.
+    """
+    selections = selections or {}
+    digest = engine.digest(selections)
+    total = max(digest.total, 1)
+    ranks: List[FacetRank] = []
+    for attribute in engine.queriable:
+        counts = np.array(
+            list(digest.values(attribute).values()), dtype=float
+        )
+        covered = float(counts.sum())
+        coverage = covered / total
+        if counts.size == 0 or covered == 0:
+            ranks.append(FacetRank(attribute, 0.0, 0.0, 0.0, 0))
+            continue
+        p = counts / covered
+        entropy = float(-(p * np.log2(p)).sum())
+        denom = np.log2(max(2, min(counts.size, max_values)))
+        over_cap_penalty = (
+            1.0 if counts.size <= max_values else max_values / counts.size
+        )
+        score = coverage * (entropy / denom) * over_cap_penalty
+        ranks.append(
+            FacetRank(attribute, score, coverage, entropy, counts.size)
+        )
+    ranks.sort(key=lambda r: (-r.score, r.attribute))
+    return ranks

@@ -1,0 +1,144 @@
+"""TPFacet: the two-phased faceted interface with the CAD View (Sec. 5).
+
+TPFacet modifies a basic faceted interface three ways (paper list):
+
+(i)   every queriable attribute is selectable as the Pivot Attribute;
+(ii)  clicking an IUnit highlights all similar IUnits;
+(iii) clicking a pivot value in the CAD View reorders the rows by
+      decreasing similarity to it.
+
+At any moment the interface shows either the results panel or the CAD
+View; the user toggles between the *query revision* phase (CAD View)
+and the *result set* phase (results panel).  A :class:`TPFacetSession`
+extends :class:`FacetSession` with that machinery and logs the same
+operation stream, so the study's cost model can price both interfaces
+uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.builder import CADViewBuilder
+from repro.core.cadview import CADView, CADViewConfig, IUnitRef
+from repro.errors import CADViewError, QueryError
+from repro.facets.engine import FacetedEngine, FacetSession
+
+__all__ = ["Phase", "TPFacetSession"]
+
+
+class Phase(enum.Enum):
+    """Which panel is on screen."""
+
+    RESULTS = "results"
+    CAD_VIEW = "cad_view"
+
+
+class TPFacetSession(FacetSession):
+    """A faceted session with the CAD View integrated.
+
+    The CAD View is rebuilt lazily: changing selections or the pivot
+    invalidates it; reading it builds it for the current result set.
+    """
+
+    def __init__(
+        self,
+        engine: FacetedEngine,
+        config: CADViewConfig = CADViewConfig(),
+    ):
+        super().__init__(engine)
+        self.config = config
+        self.phase = Phase.RESULTS
+        self._pivot: Optional[str] = None
+        self._pinned: Tuple[str, ...] = ()
+        self._cad: Optional[CADView] = None
+
+    # -- phase & pivot ---------------------------------------------------
+
+    def toggle_phase(self) -> Phase:
+        """Switch between the results panel and the CAD View."""
+        self.phase = (
+            Phase.CAD_VIEW if self.phase is Phase.RESULTS else Phase.RESULTS
+        )
+        self.operations.append(("phase", self.phase.value))
+        return self.phase
+
+    def set_pivot(self, attribute: str, pinned: Sequence[str] = ()) -> None:
+        """Choose the Pivot Attribute (the radio button of Sec. 5)."""
+        if attribute not in self.engine.queriable:
+            raise QueryError(
+                f"{attribute!r} is not selectable as pivot "
+                f"(queriable: {list(self.engine.queriable)})"
+            )
+        self._pivot = attribute
+        self._pinned = tuple(pinned)
+        self._cad = None
+        self.operations.append(("pivot", attribute))
+
+    @property
+    def pivot(self) -> Optional[str]:
+        """The currently selected Pivot Attribute, if any."""
+        return self._pivot
+
+    # -- selections invalidate the view -----------------------------------
+
+    def toggle(self, attribute: str, value: str) -> None:
+        super().toggle(attribute, value)
+        self._cad = None
+
+    def clear(self, attribute: Optional[str] = None) -> None:
+        super().clear(attribute)
+        self._cad = None
+
+    # -- the CAD View ------------------------------------------------------
+
+    def cadview(self) -> CADView:
+        """The CAD View of the current result set (built on demand)."""
+        if self._pivot is None:
+            raise CADViewError("set_pivot must be called first")
+        if self._cad is None:
+            result = self.engine.result(self.selections)
+            if len(result) == 0:
+                raise CADViewError(
+                    "current selections produce an empty result set"
+                )
+            builder = CADViewBuilder(self.config)
+            # attributes the user pinned to a single facet value carry no
+            # contrast; exclude them from auto-selection
+            exclude = [
+                a for a, vals in self.selections.items() if len(vals) == 1
+            ]
+            self._cad = builder.build(
+                result,
+                pivot=self._pivot,
+                pinned=self._pinned,
+                name="tpfacet",
+                exclude=exclude,
+            )
+            self.phase = Phase.CAD_VIEW
+        self.operations.append(("cadview",))
+        return self._cad
+
+    def click_iunit(
+        self, pivot_value: str, iunit_id: int,
+        threshold: Optional[float] = None,
+    ) -> List[Tuple[IUnitRef, float]]:
+        """Modification (ii): highlight IUnits similar to the clicked one."""
+        cad = self._require_cad()
+        self.operations.append(("click_iunit", pivot_value, str(iunit_id)))
+        return cad.similar_iunits(pivot_value, iunit_id, threshold)
+
+    def click_pivot_value(self, pivot_value: str) -> CADView:
+        """Modification (iii): reorder rows by similarity to the value."""
+        cad = self._require_cad()
+        self._cad = cad.reorder_by_similarity(pivot_value)
+        self.operations.append(("click_pivot_value", pivot_value))
+        return self._cad
+
+    def _require_cad(self) -> CADView:
+        if self._cad is None:
+            raise CADViewError(
+                "no CAD View on screen; call cadview() first"
+            )
+        return self._cad

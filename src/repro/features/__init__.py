@@ -1,0 +1,35 @@
+"""Feature selection for Compare Attributes (paper Sec. 3.1.1)."""
+
+from repro.features.chi2 import (
+    ChiSquareResult,
+    chi2_sf,
+    chi_square_test,
+    cramers_v,
+)
+from repro.features.bayesnet import ChowLiuTree
+from repro.features.contingency import contingency_table, marginals
+from repro.features.dependencies import (
+    Dependency,
+    correlation_pairs,
+    discover_dependencies,
+    fd_strength,
+)
+from repro.features.selection import (
+    ChiSquareSelector,
+    FeatureScore,
+    FeatureSelector,
+    MutualInformationSelector,
+    SymmetricUncertaintySelector,
+    select_compare_attributes,
+)
+
+__all__ = [
+    "contingency_table", "marginals",
+    "ChiSquareResult", "chi2_sf", "chi_square_test", "cramers_v",
+    "FeatureScore", "FeatureSelector", "ChiSquareSelector",
+    "MutualInformationSelector", "SymmetricUncertaintySelector",
+    "select_compare_attributes",
+    "ChowLiuTree",
+    "Dependency", "fd_strength", "discover_dependencies",
+    "correlation_pairs",
+]

@@ -1,0 +1,44 @@
+"""Contingency tables between a class attribute and a candidate feature.
+
+The Compare Attribute problem (paper Problem 1.1) is multi-class feature
+selection where the "classes" are the selected Pivot Attribute values.
+Every selector in :mod:`repro.features.selection` starts from the
+class x value contingency table built here.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+
+__all__ = ["contingency_table", "marginals"]
+
+
+def contingency_table(
+    class_codes: np.ndarray,
+    value_codes: np.ndarray,
+    n_classes: int,
+    n_values: int,
+) -> np.ndarray:
+    """(n_classes, n_values) count matrix; rows with a ``-1`` are dropped.
+
+    Vectorized: valid pairs are folded into a single flat index and
+    counted with ``bincount``.
+    """
+    class_codes = np.asarray(class_codes)
+    value_codes = np.asarray(value_codes)
+    if class_codes.shape != value_codes.shape:
+        raise QueryError("class and value code arrays differ in length")
+    valid = (class_codes >= 0) & (value_codes >= 0)
+    flat = class_codes[valid].astype(np.int64) * n_values + value_codes[valid]
+    counts = np.bincount(flat, minlength=n_classes * n_values)
+    return counts.reshape(n_classes, n_values).astype(np.float64)
+
+
+def marginals(table: np.ndarray) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Row sums, column sums and grand total of a contingency table."""
+    table = np.asarray(table, dtype=float)
+    return table.sum(axis=1), table.sum(axis=0), float(table.sum())

@@ -1,0 +1,106 @@
+"""The IUnit (Interaction Unit) model.
+
+An IUnit is "an interesting group of values for the Compare Attributes"
+(paper Sec. 2.1.1) — a labeled cluster of the tuples carrying one Pivot
+Attribute value.  Besides its display labels, an IUnit keeps the full
+per-attribute value-frequency distributions of its underlying cluster;
+those term-frequency vectors are what Algorithm 1 computes cosine
+similarity over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CADViewError
+
+__all__ = ["IUnit"]
+
+
+@dataclass(frozen=True)
+class IUnit:
+    """One labeled cluster.
+
+    Attributes
+    ----------
+    pivot_attribute / pivot_value:
+        The CAD View row this IUnit belongs to.
+    size:
+        Number of tuples in the underlying cluster.
+    compare_attributes:
+        The Compare Attributes, in display order (shared by the whole
+        CAD View).
+    distributions:
+        attribute -> frequency-count vector over the attribute's code
+        domain in the originating :class:`DiscretizedView`.
+    display:
+        attribute -> the representative value labels chosen by the
+        labeling step (what Table 1 prints in square brackets).
+    uid:
+        1-based position within its row after top-k ranking; ``None``
+        for unranked candidates.
+    """
+
+    pivot_attribute: str
+    pivot_value: str
+    size: int
+    compare_attributes: Tuple[str, ...]
+    distributions: Mapping[str, np.ndarray]
+    display: Mapping[str, Tuple[str, ...]]
+    uid: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        missing = [
+            a for a in self.compare_attributes if a not in self.distributions
+        ]
+        if missing:
+            raise CADViewError(f"IUnit lacks distributions for {missing}")
+
+    def with_uid(self, uid: int) -> "IUnit":
+        """A copy carrying its 1-based rank within the CAD View row."""
+        return IUnit(
+            self.pivot_attribute,
+            self.pivot_value,
+            self.size,
+            self.compare_attributes,
+            self.distributions,
+            self.display,
+            uid,
+        )
+
+    def label_text(self, attribute: str) -> str:
+        """Rendered label for one attribute, e.g. ``[Traverse LT] [Equinox LT]``.
+
+        Values grouped for having statistically similar frequencies share
+        one bracket (comma-separated); distinct-frequency representatives
+        get their own brackets.  We keep it simple and render each
+        representative in its own bracket pair unless the labeling step
+        grouped them (grouping is encoded by tuples inside ``display``).
+        """
+        values = self.display.get(attribute, ())
+        if not values:
+            return "[-]"
+        return " ".join(f"[{v}]" for v in values)
+
+    def top_values(self, attribute: str, n: int = 3) -> Tuple[Tuple[str, int], ...]:
+        """(label-index, count) pairs of the ``n`` most frequent codes.
+
+        Mainly for diagnostics; display labels come from ``display``.
+        """
+        dist = np.asarray(self.distributions[attribute])
+        order = np.argsort(dist)[::-1][:n]
+        return tuple((int(i), int(dist[i])) for i in order if dist[i] > 0)
+
+    def __repr__(self) -> str:
+        tag = f"#{self.uid}" if self.uid is not None else "cand"
+        return (
+            f"IUnit({self.pivot_value} {tag}, size={self.size}, "
+            f"{ {a: list(v) for a, v in self.display.items()} })"
+        )
+
+
+# keep dataclasses import available for subclass users
+_ = field

@@ -1,0 +1,180 @@
+"""Cluster labeling: turning raw clusters into IUnits (paper Sec. 3.1.2).
+
+"Our key contribution in creating the IUnits is the post-clustering step
+of cluster labeling."  For each cluster and each Compare Attribute we
+
+1. count the attribute's values inside the cluster (its term-frequency
+   vector, reused later by Algorithm 1),
+2. rank values by frequency,
+3. pick representative values using two thresholds: a *max display
+   count* and a *statistical difference between frequency counts* —
+   a value is shown alongside the top value only while its count is not
+   significantly below the count of the previously admitted value.
+
+The statistical-difference rule uses a two-proportion z-test on the
+counts (a value joins the representatives while its frequency is not
+significantly smaller at level ``alpha``); a simple ratio fallback is
+available for deterministic tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.special import ndtr
+
+from repro.discretize.discretizer import DiscretizedView
+from repro.errors import CADViewError
+from repro.iunits.iunit import IUnit
+
+__all__ = [
+    "LabelingConfig",
+    "representative_values",
+    "label_cluster",
+    "build_iunits",
+]
+
+
+@dataclass(frozen=True)
+class LabelingConfig:
+    """Thresholds of the labeling step.
+
+    max_display:
+        Maximum representative values shown per Compare Attribute
+        (Table 1 shows 1–2).
+    alpha:
+        Significance level of the two-proportion test; a candidate value
+        is grouped with the previous one while their counts are not
+        significantly different.
+    min_share:
+        A representative must cover at least this fraction of the
+        cluster (drops noise values in large clusters).
+    """
+
+    max_display: int = 2
+    alpha: float = 0.05
+    min_share: float = 0.15
+
+
+def _counts_significantly_below(
+    c_small: float, c_big: float, total: float, alpha: float
+) -> bool:
+    """Two-proportion z-test: is ``c_small/total`` significantly below
+    ``c_big/total``?"""
+    if total <= 0 or c_big <= 0:
+        return False
+    p1, p2 = c_big / total, c_small / total
+    pooled = (c_big + c_small) / (2.0 * total)
+    if pooled in (0.0, 1.0):
+        return False
+    se = np.sqrt(2.0 * pooled * (1.0 - pooled) / total)
+    if se == 0:
+        return p1 > p2
+    z = (p1 - p2) / se
+    p_value = 1.0 - float(ndtr(z))  # one-sided
+    return p_value <= alpha
+
+
+def representative_values(
+    counts: np.ndarray,
+    labels: Sequence[str],
+    config: LabelingConfig,
+) -> Tuple[str, ...]:
+    """Pick the display values for one attribute of one cluster.
+
+    Values are admitted in frequency order.  The first value is always
+    shown; each next value is shown only while (a) the display cap is
+    not hit, (b) it covers ``min_share`` of the cluster, and (c) its
+    count is *not* significantly below the previous admitted value's
+    count — the paper's "statistical difference between frequency
+    counts" threshold.
+    """
+    counts = np.asarray(counts, dtype=float)
+    total = counts.sum()
+    if total <= 0:
+        return ()
+    order = np.argsort(-counts, kind="stable")
+    chosen: List[str] = []
+    prev_count = None
+    for idx in order:
+        c = counts[idx]
+        if c <= 0 or len(chosen) >= config.max_display:
+            break
+        if chosen:
+            if c / total < config.min_share:
+                break
+            if _counts_significantly_below(c, prev_count, total, config.alpha):
+                break
+        chosen.append(labels[idx])
+        prev_count = c
+    return tuple(chosen)
+
+
+def label_cluster(
+    view: DiscretizedView,
+    member_mask: np.ndarray,
+    pivot_attribute: str,
+    pivot_value: str,
+    compare_attributes: Sequence[str],
+    config: LabelingConfig = LabelingConfig(),
+) -> IUnit:
+    """Label one cluster of ``view`` rows as an :class:`IUnit`.
+
+    ``member_mask`` selects the cluster's rows within ``view`` (which is
+    already restricted to the pivot value's partition).
+    """
+    member_mask = np.asarray(member_mask, dtype=bool)
+    size = int(member_mask.sum())
+    if size == 0:
+        raise CADViewError("cannot label an empty cluster")
+    distributions: Dict[str, np.ndarray] = {}
+    display: Dict[str, Tuple[str, ...]] = {}
+    for name in compare_attributes:
+        codes = view.codes(name)[member_mask]
+        valid = codes[codes >= 0]
+        counts = np.bincount(valid, minlength=view.ncodes(name)).astype(float)
+        distributions[name] = counts
+        display[name] = representative_values(
+            counts, view.labels(name), config
+        )
+    return IUnit(
+        pivot_attribute,
+        pivot_value,
+        size,
+        tuple(compare_attributes),
+        distributions,
+        display,
+    )
+
+
+def build_iunits(
+    view: DiscretizedView,
+    cluster_labels: np.ndarray,
+    pivot_attribute: str,
+    pivot_value: str,
+    compare_attributes: Sequence[str],
+    config: LabelingConfig = LabelingConfig(),
+) -> List[IUnit]:
+    """Label every cluster of a partition (Problem 1.2's output).
+
+    ``cluster_labels`` assigns each row of ``view`` to a cluster id;
+    negative ids are ignored (outliers).  Returns one IUnit per
+    non-empty cluster, unordered (ranking is Problem 2's job).
+    """
+    cluster_labels = np.asarray(cluster_labels)
+    iunits: List[IUnit] = []
+    for cid in np.unique(cluster_labels):
+        if cid < 0:
+            continue
+        mask = cluster_labels == cid
+        if not mask.any():
+            continue
+        iunits.append(
+            label_cluster(
+                view, mask, pivot_attribute, pivot_value,
+                compare_attributes, config,
+            )
+        )
+    return iunits

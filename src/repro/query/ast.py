@@ -1,0 +1,117 @@
+"""Parsed statement types for the SQL subset plus the paper's extensions.
+
+The paper (Sec. 2.1.2–2.1.3) extends SQL with three statements::
+
+    CREATE CADVIEW name AS
+      SET pivot = attr
+      SELECT a1, ..., aN FROM t [WHERE ...]
+      [LIMIT COLUMNS M] [IUNITS K]
+      [ORDER BY attr ASC|DESC, ...]
+
+    HIGHLIGHT SIMILAR IUNITS IN name WHERE SIMILARITY(value, iunit) > tau
+
+    REORDER ROWS IN name ORDER BY SIMILARITY(value) DESC
+
+plus ordinary ``SELECT ... FROM ... WHERE ... [LIMIT n]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.query.predicates import Predicate
+
+__all__ = [
+    "Statement",
+    "SelectStatement",
+    "CreateCadViewStatement",
+    "HighlightSimilarStatement",
+    "ReorderRowsStatement",
+    "DescribeStatement",
+    "ShowCadViewsStatement",
+    "DropCadViewStatement",
+    "OrderKey",
+]
+
+
+class Statement:
+    """Marker base class of parsed statements."""
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    """One ``ORDER BY`` key."""
+
+    attribute: str
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement(Statement):
+    """``SELECT columns FROM table [WHERE predicate] [LIMIT n]``.
+
+    ``columns == ()`` means ``*``.
+    """
+
+    table: str
+    columns: Tuple[str, ...] = ()
+    where: Optional[Predicate] = None
+    order_by: Tuple[OrderKey, ...] = ()
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CreateCadViewStatement(Statement):
+    """The paper's ``CREATE CADVIEW`` statement.
+
+    ``select`` holds the user-pinned Compare Attributes (the N explicit
+    attributes of the paper; the remaining M-N are auto-chosen).
+    """
+
+    name: str
+    pivot: str
+    table: str
+    select: Tuple[str, ...] = ()
+    where: Optional[Predicate] = None
+    limit_columns: Optional[int] = None
+    iunits: Optional[int] = None
+    order_by: Tuple[OrderKey, ...] = ()
+
+
+@dataclass(frozen=True)
+class HighlightSimilarStatement(Statement):
+    """``HIGHLIGHT SIMILAR IUNITS IN view WHERE SIMILARITY(v, i) > tau``."""
+
+    view: str
+    pivot_value: str
+    iunit_id: int
+    threshold: float
+
+
+@dataclass(frozen=True)
+class ReorderRowsStatement(Statement):
+    """``REORDER ROWS IN view ORDER BY SIMILARITY(v) DESC``."""
+
+    view: str
+    pivot_value: str
+    descending: bool = True
+
+
+@dataclass(frozen=True)
+class DescribeStatement(Statement):
+    """``DESCRIBE table`` — schema, kinds and queriability."""
+
+    table: str
+
+
+@dataclass(frozen=True)
+class ShowCadViewsStatement(Statement):
+    """``SHOW CADVIEWS`` — names of the registered CAD Views."""
+
+
+@dataclass(frozen=True)
+class DropCadViewStatement(Statement):
+    """``DROP CADVIEW name`` — forget a registered CAD View."""
+
+    name: str

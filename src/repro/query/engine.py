@@ -1,0 +1,121 @@
+"""The query engine: evaluate predicates and simple statements on tables.
+
+Also the registry of named tables (the ``FROM`` clause namespace) and
+named CAD Views (the ``CREATE CADVIEW name`` namespace).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.errors import QueryError
+from repro.query.predicates import Predicate, TruePred
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Evaluates selections/projections and holds the table catalog.
+
+    >>> engine = QueryEngine()
+    >>> engine.register("UsedCars", cars_table)
+    >>> suvs = engine.select(cars_table, Eq("BodyType", "SUV"))
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    # -- catalog ------------------------------------------------------
+
+    def register(self, name: str, table: Table) -> None:
+        """Register ``table`` under ``name`` for use in FROM clauses."""
+        self._tables[name] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a registered table."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            ) from None
+
+    @property
+    def table_names(self) -> tuple:
+        """Registered table names, sorted."""
+        return tuple(sorted(self._tables))
+
+    # -- evaluation ------------------------------------------------------
+
+    @staticmethod
+    def select(
+        table: Table,
+        predicate: Optional[Predicate] = None,
+        columns: Optional[Sequence[str]] = None,
+        limit: Optional[int] = None,
+    ) -> Table:
+        """``SELECT columns FROM table WHERE predicate LIMIT limit``.
+
+        ``columns=None`` means ``*``; ``predicate=None`` means no WHERE.
+        """
+        predicate = predicate or TruePred()
+        result = table.filter(predicate.mask(table))
+        if columns is not None:
+            result = result.project(columns)
+        if limit is not None:
+            result = result.head(limit)
+        return result
+
+    @staticmethod
+    def count(table: Table, predicate: Optional[Predicate] = None) -> int:
+        """Number of rows matching ``predicate`` (no materialization)."""
+        if predicate is None or isinstance(predicate, TruePred):
+            return len(table)
+        return int(np.count_nonzero(predicate.mask(table)))
+
+    @staticmethod
+    def group_count(
+        table: Table,
+        by: str,
+        predicate: Optional[Predicate] = None,
+    ) -> dict:
+        """Value -> count of ``by`` over the rows matching ``predicate``.
+
+        This is the primitive behind faceted digests: one call per
+        attribute gives the whole facet panel.
+        """
+        if predicate is not None and not isinstance(predicate, TruePred):
+            table = table.filter(predicate.mask(table))
+        return table.value_counts(by)
+
+    @staticmethod
+    def order_by(
+        table: Table, by: Sequence[str], ascending: Sequence[bool]
+    ) -> Table:
+        """Stable multi-key sort of ``table`` rows.
+
+        Categorical keys sort by value string; missing values sort last.
+        """
+        if len(by) != len(ascending):
+            raise QueryError("order_by: by and ascending differ in length")
+        order = np.arange(len(table))
+        # numpy lexsort-style: apply keys from least to most significant
+        for name, asc in zip(reversed(by), reversed(ascending)):
+            col = table[name]
+            if col.attribute.is_categorical:
+                # sort by the decoded strings so order is alphabetical
+                decode = np.array(
+                    list(col.categories) + [chr(0x10FFFF)], dtype=object
+                )
+                keys = decode[col.codes[order]]
+            else:
+                nums = col.numbers[order]
+                keys = np.where(np.isnan(nums), np.inf, nums)
+            idx = np.argsort(keys, kind="stable")
+            if not asc:
+                idx = idx[::-1]
+            order = order[idx]
+        return table.take(order)

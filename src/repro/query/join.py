@@ -1,0 +1,110 @@
+"""Equi-joins between tables.
+
+The paper's query model allows ``FROM table1, table2...``; real
+e-commerce schemas are rarely one denormalized table, so the substrate
+provides hash equi-joins.  A joined table is an ordinary
+:class:`~repro.dataset.table.Table`, so CAD Views build over joins with
+no special handling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.errors import QueryError, TypeMismatchError
+
+__all__ = ["hash_join"]
+
+
+def _key_values(table: Table, key: str) -> List:
+    col = table[key]
+    return [col[i] for i in range(len(table))]
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    on: Tuple[str, str],
+    how: str = "inner",
+    suffixes: Tuple[str, str] = ("_l", "_r"),
+) -> Table:
+    """Join ``left`` and ``right`` on ``left[on[0]] == right[on[1]]``.
+
+    ``how`` is ``"inner"`` or ``"left"`` (left-outer: unmatched left
+    rows keep missing right values).  Duplicate column names (other
+    than the join keys when they share a name) get ``suffixes``.
+    Missing key values never match, like SQL NULLs.
+    """
+    if how not in ("inner", "left"):
+        raise QueryError(f"unsupported join type {how!r}")
+    lkey, rkey = on
+    lcol, rcol = left.schema[lkey], right.schema[rkey]
+    if lcol.kind.is_numeric != rcol.kind.is_numeric:
+        raise TypeMismatchError(
+            f"cannot join {lkey!r} ({lcol.kind.value}) with "
+            f"{rkey!r} ({rcol.kind.value})"
+        )
+
+    # build the hash side on the right
+    index: Dict[object, List[int]] = {}
+    for i, v in enumerate(_key_values(right, rkey)):
+        if v is None:
+            continue
+        index.setdefault(v, []).append(i)
+
+    left_idx: List[int] = []
+    right_idx: List[Optional[int]] = []
+    for i, v in enumerate(_key_values(left, lkey)):
+        matches = index.get(v, []) if v is not None else []
+        if matches:
+            for j in matches:
+                left_idx.append(i)
+                right_idx.append(j)
+        elif how == "left":
+            left_idx.append(i)
+            right_idx.append(None)
+
+    # output schema: left columns keep their names; right columns are
+    # renamed on collision (the right join key is dropped when it would
+    # duplicate the left key's values under the same name)
+    same_key_name = lkey == rkey
+    out_attrs: List[Attribute] = list(left.schema)
+    right_names: List[Tuple[str, str]] = []  # (source name, output name)
+    taken = set(left.schema.names)
+    for attr in right.schema:
+        if same_key_name and attr.name == rkey:
+            continue
+        name = attr.name
+        if name in taken:
+            name = name + suffixes[1]
+            if name in taken:
+                raise QueryError(
+                    f"cannot disambiguate column {attr.name!r}"
+                )
+        taken.add(name)
+        right_names.append((attr.name, name))
+        out_attrs.append(
+            Attribute(name, attr.kind, attr.queriable, attr.description)
+        )
+    out_schema = Schema(out_attrs)
+
+    # materialize
+    data: Dict[str, List] = {a.name: [] for a in out_attrs}
+    lcache = {i: left.row(i) for i in set(left_idx)}
+    rcache = {j: right.row(j) for j in set(k for k in right_idx if k is not None)}
+    for i, j in zip(left_idx, right_idx):
+        lrow = lcache[i]
+        for name in left.schema.names:
+            data[name].append(lrow[name])
+        if j is None:
+            for _, out_name in right_names:
+                data[out_name].append(None)
+        else:
+            rrow = rcache[j]
+            for src, out_name in right_names:
+                data[out_name].append(rrow[src])
+    return Table.from_columns(out_schema, data)

@@ -1,0 +1,421 @@
+"""Recursive-descent parser for the SQL subset plus CADVIEW extensions.
+
+Accepts the statements shown verbatim in the paper, including its
+informal touches:
+
+* numeric literals may carry a ``K`` suffix (``10K`` == 10000) or ``M``
+  (``1M`` == 1000000) — the paper writes ``Mileage BETWEEN 10K AND 30K``;
+* bare identifiers on the right-hand side of comparisons are string
+  values (the paper writes ``Transmission = Automatic``);
+* keywords are case-insensitive; identifiers keep their case.
+
+Grammar (informal)::
+
+    statement   := select | create_cadview | highlight | reorder
+    select      := SELECT cols FROM ident [WHERE expr]
+                   [ORDER BY key (, key)*] [LIMIT int]
+    cols        := '*' | ident (',' ident)*
+    expr        := term (OR term)*
+    term        := factor (AND factor)*
+    factor      := NOT factor | '(' expr ')' | comparison
+    comparison  := ident ('='|'<>'|'!='|'<'|'<='|'>'|'>=') value
+                 | ident BETWEEN value AND value
+                 | ident IN '(' value (',' value)* ')'
+                 | ident IS [NOT] NULL
+                 | TRUE
+    value       := number | string | ident
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.query.ast import (
+    CreateCadViewStatement,
+    DescribeStatement,
+    DropCadViewStatement,
+    HighlightSimilarStatement,
+    OrderKey,
+    ReorderRowsStatement,
+    SelectStatement,
+    ShowCadViewsStatement,
+    Statement,
+)
+from repro.query.predicates import (
+    And, Between, Cmp, Eq, In, IsMissing, Ne, Not, Or, Predicate, TruePred,
+)
+
+__all__ = ["parse", "parse_predicate", "tokenize", "Token"]
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?\s*[KkMm]?(?![\w.]))
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<op><>|!=|<=|>=|=|<|>)
+  | (?P<punct>[(),*;])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "BETWEEN", "IN", "IS",
+    "NULL", "TRUE", "LIMIT", "ORDER", "BY", "ASC", "DESC", "CREATE",
+    "CADVIEW", "AS", "SET", "PIVOT", "COLUMNS", "IUNITS", "HIGHLIGHT",
+    "SIMILAR", "REORDER", "ROWS", "SIMILARITY", "DESCRIBE", "SHOW",
+    "CADVIEWS", "DROP",
+}
+
+
+class Token:
+    """One lexer token: kind in {number, string, ident, keyword, op, punct}."""
+
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value, pos: int):
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens, raising :class:`ParseError` on junk."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError("unexpected character", text, pos)
+        kind = m.lastgroup
+        raw = m.group()
+        if kind == "ws":
+            pass
+        elif kind == "number":
+            raw = raw.strip()
+            mult = 1.0
+            if raw[-1] in "KkMm":
+                mult = 1_000.0 if raw[-1] in "Kk" else 1_000_000.0
+                raw = raw[:-1].strip()
+            tokens.append(Token("number", float(raw) * mult, pos))
+        elif kind == "string":
+            tokens.append(Token("string", raw[1:-1].replace("''", "'"), pos))
+        elif kind == "ident":
+            upper = raw.upper()
+            if upper in _KEYWORDS:
+                tokens.append(Token("keyword", upper, pos))
+            else:
+                tokens.append(Token("ident", raw, pos))
+        else:
+            tokens.append(Token(kind, raw, pos))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.i = 0
+
+    # -- token helpers ------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("unexpected end of statement", self.text,
+                             len(self.text))
+        self.i += 1
+        return tok
+
+    def _accept_keyword(self, *words: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.kind == "keyword" and tok.value in words:
+            self.i += 1
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        tok = self._next()
+        if tok.kind != "keyword" or tok.value != word:
+            raise ParseError(f"expected {word}", self.text, tok.pos)
+
+    def _expect_punct(self, ch: str) -> None:
+        tok = self._next()
+        if tok.kind != "punct" or tok.value != ch:
+            raise ParseError(f"expected {ch!r}", self.text, tok.pos)
+
+    def _accept_punct(self, ch: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.kind == "punct" and tok.value == ch:
+            self.i += 1
+            return True
+        return False
+
+    def _expect_ident(self) -> str:
+        tok = self._next()
+        if tok.kind != "ident":
+            raise ParseError("expected identifier", self.text, tok.pos)
+        return tok.value
+
+    def _expect_number(self) -> float:
+        tok = self._next()
+        if tok.kind != "number":
+            raise ParseError("expected number", self.text, tok.pos)
+        return tok.value
+
+    def _expect_op(self, *ops: str) -> str:
+        tok = self._next()
+        if tok.kind != "op" or tok.value not in ops:
+            raise ParseError(f"expected one of {ops}", self.text, tok.pos)
+        return tok.value
+
+    # -- entry point -----------------------------------------------------
+
+    def statement(self) -> Statement:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("empty statement", self.text, 0)
+        if tok.kind != "keyword":
+            raise ParseError("statement must start with a keyword",
+                             self.text, tok.pos)
+        if tok.value == "SELECT":
+            stmt: Statement = self._select()
+        elif tok.value == "CREATE":
+            stmt = self._create_cadview()
+        elif tok.value == "HIGHLIGHT":
+            stmt = self._highlight()
+        elif tok.value == "REORDER":
+            stmt = self._reorder()
+        elif tok.value == "DESCRIBE":
+            self._next()
+            stmt = DescribeStatement(self._expect_ident())
+        elif tok.value == "SHOW":
+            self._next()
+            self._expect_keyword("CADVIEWS")
+            stmt = ShowCadViewsStatement()
+        elif tok.value == "DROP":
+            self._next()
+            self._expect_keyword("CADVIEW")
+            stmt = DropCadViewStatement(self._expect_ident())
+        else:
+            raise ParseError(f"unsupported statement {tok.value}",
+                             self.text, tok.pos)
+        self._accept_punct(";")
+        if self._peek() is not None:
+            raise ParseError("trailing input", self.text, self._peek().pos)
+        return stmt
+
+    # -- SELECT -----------------------------------------------------------
+
+    def _column_list(self) -> Tuple[str, ...]:
+        if self._accept_punct("*"):
+            return ()
+        cols = [self._expect_ident()]
+        while self._accept_punct(","):
+            cols.append(self._expect_ident())
+        return tuple(cols)
+
+    def _order_keys(self) -> Tuple[OrderKey, ...]:
+        keys = []
+        while True:
+            attr = self._expect_ident()
+            ascending = True
+            if self._accept_keyword("ASC"):
+                ascending = True
+            elif self._accept_keyword("DESC"):
+                ascending = False
+            keys.append(OrderKey(attr, ascending))
+            if not self._accept_punct(","):
+                break
+        return tuple(keys)
+
+    def _select(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        columns = self._column_list()
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = self.expr() if self._accept_keyword("WHERE") else None
+        order: Tuple[OrderKey, ...] = ()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order = self._order_keys()
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            limit = int(self._expect_number())
+        return SelectStatement(table, columns, where, order, limit)
+
+    # -- CREATE CADVIEW --------------------------------------------------
+
+    def _create_cadview(self) -> CreateCadViewStatement:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("CADVIEW")
+        name = self._expect_ident()
+        self._expect_keyword("AS")
+        self._expect_keyword("SET")
+        self._expect_keyword("PIVOT")
+        self._expect_op("=")
+        pivot = self._expect_ident()
+        self._expect_keyword("SELECT")
+        select = self._column_list()
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = self.expr() if self._accept_keyword("WHERE") else None
+        limit_columns = None
+        iunits = None
+        if self._accept_keyword("LIMIT"):
+            self._expect_keyword("COLUMNS")
+            limit_columns = int(self._expect_number())
+        if self._accept_keyword("IUNITS"):
+            iunits = int(self._expect_number())
+        order: Tuple[OrderKey, ...] = ()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order = self._order_keys()
+        return CreateCadViewStatement(
+            name, pivot, table, select, where, limit_columns, iunits, order
+        )
+
+    # -- HIGHLIGHT SIMILAR IUNITS ----------------------------------------
+
+    def _similarity_args(self, want: int) -> list:
+        self._expect_keyword("SIMILARITY")
+        self._expect_punct("(")
+        args: list = []
+        while True:
+            tok = self._next()
+            if tok.kind in ("ident", "string"):
+                args.append(tok.value)
+            elif tok.kind == "number":
+                args.append(tok.value)
+            else:
+                raise ParseError("bad SIMILARITY argument", self.text, tok.pos)
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        if len(args) != want:
+            raise ParseError(
+                f"SIMILARITY takes {want} argument(s), got {len(args)}",
+                self.text, 0,
+            )
+        return args
+
+    def _highlight(self) -> HighlightSimilarStatement:
+        self._expect_keyword("HIGHLIGHT")
+        self._expect_keyword("SIMILAR")
+        self._expect_keyword("IUNITS")
+        self._expect_keyword("IN")
+        view = self._expect_ident()
+        self._expect_keyword("WHERE")
+        value, iunit = self._similarity_args(2)
+        op = self._expect_op(">", ">=")
+        threshold = self._expect_number()
+        if op == ">":
+            # normalize to >= with an open-interval epsilon-free semantics:
+            # callers compare with >= on the stored threshold and we keep
+            # strictness by storing the raw value; the view operation uses >=.
+            pass
+        return HighlightSimilarStatement(
+            view, str(value), int(iunit), float(threshold)
+        )
+
+    # -- REORDER ROWS -------------------------------------------------------
+
+    def _reorder(self) -> ReorderRowsStatement:
+        self._expect_keyword("REORDER")
+        self._expect_keyword("ROWS")
+        self._expect_keyword("IN")
+        view = self._expect_ident()
+        self._expect_keyword("ORDER")
+        self._expect_keyword("BY")
+        (value,) = self._similarity_args(1)
+        descending = True
+        if self._accept_keyword("ASC"):
+            descending = False
+        else:
+            self._accept_keyword("DESC")
+        return ReorderRowsStatement(view, str(value), descending)
+
+    # -- WHERE expressions -------------------------------------------------
+
+    def expr(self) -> Predicate:
+        node = self._term()
+        terms = [node]
+        while self._accept_keyword("OR"):
+            terms.append(self._term())
+        return terms[0] if len(terms) == 1 else Or(terms)
+
+    def _term(self) -> Predicate:
+        node = self._factor()
+        factors = [node]
+        while self._accept_keyword("AND"):
+            factors.append(self._factor())
+        return factors[0] if len(factors) == 1 else And(factors)
+
+    def _factor(self) -> Predicate:
+        if self._accept_keyword("NOT"):
+            return Not(self._factor())
+        if self._accept_punct("("):
+            node = self.expr()
+            self._expect_punct(")")
+            return node
+        if self._accept_keyword("TRUE"):
+            return TruePred()
+        return self._comparison()
+
+    def _value(self):
+        tok = self._next()
+        if tok.kind in ("number", "string", "ident"):
+            return tok.value
+        raise ParseError("expected a value", self.text, tok.pos)
+
+    def _comparison(self) -> Predicate:
+        attr = self._expect_ident()
+        if self._accept_keyword("BETWEEN"):
+            lo = self._expect_number()
+            self._expect_keyword("AND")
+            hi = self._expect_number()
+            return Between(attr, lo, hi)
+        if self._accept_keyword("IN"):
+            self._expect_punct("(")
+            values = [self._value()]
+            while self._accept_punct(","):
+                values.append(self._value())
+            self._expect_punct(")")
+            return In(attr, values)
+        if self._accept_keyword("IS"):
+            if self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                return Not(IsMissing(attr))
+            self._expect_keyword("NULL")
+            return IsMissing(attr)
+        op = self._expect_op("=", "<>", "!=", "<", "<=", ">", ">=")
+        value = self._value()
+        if op == "=":
+            return Eq(attr, value)
+        if op in ("<>", "!="):
+            return Ne(attr, value)
+        return Cmp(attr, op, float(value))
+
+
+def parse(text: str) -> Statement:
+    """Parse one statement (SELECT / CREATE CADVIEW / HIGHLIGHT / REORDER)."""
+    return _Parser(text).statement()
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a bare WHERE-clause expression into a :class:`Predicate`."""
+    parser = _Parser(text)
+    node = parser.expr()
+    if parser._peek() is not None:
+        raise ParseError("trailing input", text, parser._peek().pos)
+    return node

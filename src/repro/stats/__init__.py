@@ -1,0 +1,16 @@
+"""Statistics substrate: the paper's mixed-model / LRT analysis."""
+
+from repro.stats.analysis import DisplayEffect, display_effect
+from repro.stats.nonparametric import WilcoxonResult, wilcoxon_signed_rank
+from repro.stats.mixedlm import (
+    LRTResult,
+    MixedLMResult,
+    fit_mixed_lm,
+    likelihood_ratio_test,
+)
+
+__all__ = [
+    "MixedLMResult", "LRTResult", "fit_mixed_lm", "likelihood_ratio_test",
+    "DisplayEffect", "display_effect",
+    "WilcoxonResult", "wilcoxon_signed_rank",
+]

@@ -1,0 +1,173 @@
+"""Linear mixed model with a random intercept, fit by maximum likelihood.
+
+The paper's analysis (Sec. 6.2): "we have performed linear mixed model
+statistical analysis.  We use Display type as fixed effect and User ID
+as random effect. ... The logic of the likelihood ratio test is to
+compare the likelihood of two models ... the model without the factor
+(the null model) and then the model with the factor."
+
+Model: ``y = X beta + u[group] + eps``, ``u_g ~ N(0, sigma_u^2)``,
+``eps ~ N(0, sigma_e^2)``.  The marginal covariance is block diagonal
+(one block per group), so the log-likelihood evaluates in closed form
+per group via the Sherman–Morrison identity; the two variance
+parameters are optimized on the log scale with Nelder–Mead, and the
+fixed effects are profiled out by GLS at each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.errors import ConvergenceError, QueryError
+from repro.features.chi2 import chi2_sf
+
+__all__ = ["MixedLMResult", "LRTResult", "fit_mixed_lm",
+           "likelihood_ratio_test"]
+
+
+@dataclass(frozen=True)
+class MixedLMResult:
+    """A fitted random-intercept mixed model."""
+
+    beta: np.ndarray          # fixed-effect estimates
+    beta_se: np.ndarray       # GLS standard errors
+    sigma_u: float            # random-intercept s.d.
+    sigma_e: float            # residual s.d.
+    loglik: float             # maximized log-likelihood
+    n_obs: int
+    n_groups: int
+
+    def fixed_effect(self, index: int) -> Tuple[float, float]:
+        """(estimate, standard error) of one fixed effect."""
+        return float(self.beta[index]), float(self.beta_se[index])
+
+
+@dataclass(frozen=True)
+class LRTResult:
+    """Likelihood-ratio comparison of nested mixed models."""
+
+    chi2: float
+    df: int
+    p_value: float
+    full: MixedLMResult
+    null: MixedLMResult
+
+    def __str__(self) -> str:
+        return f"chi2({self.df}) = {self.chi2:.3f}, p = {self.p_value:.4g}"
+
+
+def _group_blocks(
+    y: np.ndarray, X: np.ndarray, groups: Sequence
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    index: Dict[object, List[int]] = {}
+    for i, g in enumerate(groups):
+        index.setdefault(g, []).append(i)
+    return [(y[idx], X[idx]) for idx in map(np.array, index.values())]
+
+
+def _profile_negloglik(
+    log_params: np.ndarray,
+    blocks: List[Tuple[np.ndarray, np.ndarray]],
+    p: int,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """-loglik at (log sigma_u, log sigma_e) with beta profiled by GLS.
+
+    Returns (negative log-likelihood, beta, cov(beta)).
+    Sherman–Morrison: with V = s2e I + s2u J (J all-ones),
+    ``V^-1 = (1/s2e)(I - (s2u / (s2e + n s2u)) J)`` and
+    ``log|V| = (n-1) log s2e + log(s2e + n s2u)``.
+    """
+    s2u = float(np.exp(2.0 * log_params[0]))
+    s2e = float(np.exp(2.0 * log_params[1]))
+    XtVX = np.zeros((p, p))
+    XtVy = np.zeros(p)
+    logdet = 0.0
+    ytVy = 0.0
+    n_total = 0
+    for yg, Xg in blocks:
+        n = len(yg)
+        n_total += n
+        shrink = s2u / (s2e + n * s2u)
+        sum_y = yg.sum()
+        sum_X = Xg.sum(axis=0)
+        XtVX += (Xg.T @ Xg - shrink * np.outer(sum_X, sum_X)) / s2e
+        XtVy += (Xg.T @ yg - shrink * sum_X * sum_y) / s2e
+        ytVy += (yg @ yg - shrink * sum_y * sum_y) / s2e
+        logdet += (n - 1) * np.log(s2e) + np.log(s2e + n * s2u)
+    try:
+        cov = np.linalg.inv(XtVX)
+    except np.linalg.LinAlgError:
+        return np.inf, np.zeros(p), np.eye(p)
+    beta = cov @ XtVy
+    quad = ytVy - beta @ XtVy
+    nll = 0.5 * (logdet + quad + n_total * np.log(2.0 * np.pi))
+    return float(nll), beta, cov
+
+
+def fit_mixed_lm(
+    y: Sequence[float],
+    X: np.ndarray,
+    groups: Sequence,
+) -> MixedLMResult:
+    """Fit ``y = X beta + u[group] + eps`` by maximum likelihood.
+
+    ``X`` must include the intercept column if one is wanted.
+    """
+    y = np.asarray(y, dtype=float)
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2 or X.shape[0] != len(y):
+        raise QueryError(
+            f"X shape {X.shape} incompatible with {len(y)} observations"
+        )
+    if len(groups) != len(y):
+        raise QueryError("groups length must match observations")
+    blocks = _group_blocks(y, X, groups)
+    p = X.shape[1]
+
+    resid_scale = max(float(np.std(y)), 1e-6)
+    start = np.log([resid_scale / 2.0, resid_scale / 2.0])
+
+    def objective(log_params: np.ndarray) -> float:
+        return _profile_negloglik(log_params, blocks, p)[0]
+
+    opt = minimize(
+        objective, start, method="Nelder-Mead",
+        options={"xatol": 1e-8, "fatol": 1e-10, "maxiter": 2000},
+    )
+    if not np.isfinite(opt.fun):
+        raise ConvergenceError("mixed model likelihood did not evaluate")
+    nll, beta, cov = _profile_negloglik(opt.x, blocks, p)
+    return MixedLMResult(
+        beta=beta,
+        beta_se=np.sqrt(np.clip(np.diag(cov), 0.0, None)),
+        sigma_u=float(np.exp(opt.x[0])),
+        sigma_e=float(np.exp(opt.x[1])),
+        loglik=-nll,
+        n_obs=len(y),
+        n_groups=len(blocks),
+    )
+
+
+def likelihood_ratio_test(
+    y: Sequence[float],
+    X_full: np.ndarray,
+    X_null: np.ndarray,
+    groups: Sequence,
+) -> LRTResult:
+    """LRT of nested mixed models (both fit by ML, as the paper does).
+
+    Degrees of freedom = difference in fixed-effect counts.
+    """
+    X_full = np.asarray(X_full, dtype=float)
+    X_null = np.asarray(X_null, dtype=float)
+    if X_null.shape[1] >= X_full.shape[1]:
+        raise QueryError("X_null must have fewer columns than X_full")
+    full = fit_mixed_lm(y, X_full, groups)
+    null = fit_mixed_lm(y, X_null, groups)
+    chi2 = max(0.0, 2.0 * (full.loglik - null.loglik))
+    df = X_full.shape[1] - X_null.shape[1]
+    return LRTResult(chi2, df, chi2_sf(chi2, df), full, null)

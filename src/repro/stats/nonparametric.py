@@ -1,0 +1,113 @@
+"""Nonparametric paired comparison: the Wilcoxon signed-rank test.
+
+The paper analyzes its crossover measurements with a parametric mixed
+model; with eight subjects a distribution-free check is good practice,
+so the study tooling also reports Wilcoxon signed-rank on the paired
+(Solr, TPFacet) per-user values.
+
+The null distribution of the W+ statistic is computed *exactly* by
+dynamic programming for small n (every subset of ranks is equally
+likely under H0), falling back to the normal approximation with
+tie/continuity corrections for large n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.special import ndtr
+
+from repro.errors import QueryError
+
+__all__ = ["WilcoxonResult", "wilcoxon_signed_rank"]
+
+
+@dataclass(frozen=True)
+class WilcoxonResult:
+    """Outcome of a signed-rank test."""
+
+    statistic: float      # W+ (sum of ranks of positive differences)
+    n: int                # pairs with non-zero difference
+    p_value: float        # two-sided
+    method: str           # "exact" | "normal"
+
+
+def _exact_two_sided(w_plus: float, ranks: np.ndarray) -> float:
+    """Exact two-sided p via the DP over achievable rank-sum counts.
+
+    ``counts[s]`` = number of sign assignments with W+ == s; ranks may
+    be tied (midranks), so sums are scaled x2 to stay integral.
+    """
+    scaled = np.round(ranks * 2).astype(int)
+    total = int(scaled.sum())
+    counts = np.zeros(total + 1, dtype=float)
+    counts[0] = 1.0
+    for r in scaled:
+        shifted = np.zeros_like(counts)
+        shifted[r:] = counts[:len(counts) - r]
+        counts = counts + shifted
+    n_assignments = counts.sum()
+    w_scaled = int(round(w_plus * 2))
+    mean = total / 2.0
+    # two-sided: double the smaller tail (with the point mass included)
+    lo = counts[: min(w_scaled, total) + 1].sum()
+    hi = counts[w_scaled:].sum() if w_scaled <= total else 0.0
+    tail = min(lo, hi)
+    if w_scaled == mean:
+        return 1.0
+    return float(min(1.0, 2.0 * tail / n_assignments))
+
+
+def wilcoxon_signed_rank(
+    x: Sequence[float],
+    y: Sequence[float],
+    exact_max_n: int = 25,
+) -> WilcoxonResult:
+    """Two-sided Wilcoxon signed-rank test of paired samples.
+
+    Zero differences are dropped (Wilcoxon's original treatment); tied
+    absolute differences get midranks.  Exact p for ``n <= exact_max_n``,
+    otherwise the normal approximation with tie correction.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise QueryError("x and y must be 1-D and the same length")
+    d = x - y
+    d = d[d != 0]
+    n = d.size
+    if n == 0:
+        return WilcoxonResult(0.0, 0, 1.0, "exact")
+
+    abs_d = np.abs(d)
+    order = np.argsort(abs_d, kind="stable")
+    ranks = np.empty(n, dtype=float)
+    sorted_abs = abs_d[order]
+    i = 0
+    rank_values = np.empty(n, dtype=float)
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_abs[j + 1] == sorted_abs[i]:
+            j += 1
+        rank_values[i:j + 1] = (i + j) / 2.0 + 1.0  # midrank
+        i = j + 1
+    ranks[order] = rank_values
+
+    w_plus = float(ranks[d > 0].sum())
+    if n <= exact_max_n:
+        return WilcoxonResult(
+            w_plus, n, _exact_two_sided(w_plus, ranks), "exact"
+        )
+
+    mean = n * (n + 1) / 4.0
+    # tie correction on the variance
+    _, tie_counts = np.unique(abs_d, return_counts=True)
+    tie_term = float((tie_counts ** 3 - tie_counts).sum()) / 48.0
+    var = n * (n + 1) * (2 * n + 1) / 24.0 - tie_term
+    if var <= 0:
+        return WilcoxonResult(w_plus, n, 1.0, "normal")
+    z = (w_plus - mean - 0.5 * np.sign(w_plus - mean)) / np.sqrt(var)
+    p = 2.0 * (1.0 - float(ndtr(abs(z))))
+    return WilcoxonResult(w_plus, n, min(1.0, p), "normal")

@@ -1,0 +1,531 @@
+"""Simulated study subjects (policy agents), one per interface.
+
+Each agent solves the three task types using *only* what its interface
+exposes:
+
+* :class:`SolrAgent` sees facet digests (value counts per attribute)
+  and must hit-and-trial: toggle a selection, read the digest, undo.
+  Exploration budgets scale with the user's diligence, so quality
+  varies — exactly the behaviour the paper reports for the baseline.
+* :class:`TPFacetAgent` additionally sees the CAD View: IUnit labels
+  and value distributions per Compare Attribute, similarity highlights,
+  and row reordering.  Its strategies read one CAD View, shortlist
+  candidates from the conditional distributions, and verify the few
+  finalists — the paper's "more methodical" exploration.
+
+Both log every interface operation; the cost model prices the logs into
+task minutes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.cadview import CADView, CADViewConfig
+from repro.facets.digest import Digest
+from repro.facets.engine import FacetedEngine, FacetSession
+from repro.facets.tpfacet import TPFacetSession
+from repro.study.costmodel import UserProfile
+from repro.study.tasks import (
+    AlternativeTask,
+    ClassifierTask,
+    Selections,
+    SimilarPairTask,
+)
+
+__all__ = ["AgentOutcome", "SolrAgent", "TPFacetAgent"]
+
+Operations = List[Tuple[str, ...]]
+
+
+class AgentOutcome:
+    """What an agent hands back: the answer plus its operation log."""
+
+    def __init__(self, answer, operations: Operations):
+        self.answer = answer
+        self.operations = operations
+
+
+def _digest_f1(
+    digest: Digest, class_attr: str, target: str, target_total: int
+) -> float:
+    """F1 readable off a digest: class counts inside the selection."""
+    tp = digest.values(class_attr).get(target, 0)
+    if tp == 0 or digest.total == 0 or target_total == 0:
+        return 0.0
+    precision = tp / digest.total
+    recall = tp / target_total
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def _selection_of(values: Sequence[Tuple[str, str]]) -> Selections:
+    sels: Selections = {}
+    for attr, value in values:
+        sels.setdefault(attr, set()).add(value)
+    return sels
+
+
+class _Agent:
+    """Shared plumbing."""
+
+    def __init__(
+        self,
+        engine: FacetedEngine,
+        user: UserProfile,
+        rng: np.random.Generator,
+    ):
+        self.engine = engine
+        self.user = user
+        self.rng = rng
+
+    def _shuffled(self, items: list) -> list:
+        items = list(items)
+        self.rng.shuffle(items)
+        return items
+
+
+class SolrAgent(_Agent):
+    """Baseline strategies: digest-driven hit-and-trial."""
+
+    # -- task 1: simple classifier ------------------------------------
+
+    def do_classifier(self, task: ClassifierTask) -> AgentOutcome:
+        """Task 1 via hit-and-trial over digest class counts."""
+        session = FacetSession(self.engine)
+        base = session.digest()
+        target_total = base.values(task.attribute).get(task.target_value, 0)
+
+        # candidate single values: frequent values of every other facet
+        candidates: List[Tuple[str, str]] = []
+        for attr in self.engine.queriable:
+            if attr == task.attribute:
+                continue
+            counts = base.values(attr)
+            top = sorted(counts, key=lambda v: -counts[v])[:2]
+            candidates.extend((attr, v) for v in top)
+        candidates = self._shuffled(candidates)
+        budget = max(6, int(len(candidates) * 0.35 * self.user.diligence))
+
+        # hit-and-trial users eyeball precision/recall off raw counts;
+        # less diligent users misjudge more
+        perception_sigma = 0.04 + 0.10 * (1.0 - self.user.diligence)
+
+        def trial(values: Sequence[Tuple[str, str]]) -> float:
+            for attr, v in values:
+                session.toggle(attr, v)
+            d = self.engine.digest(session.selections)
+            session.operations.append(("digest_glance",))
+            session.operations.append(("think",))
+            score = _digest_f1(d, task.attribute, task.target_value,
+                               target_total)
+            score += float(self.rng.normal(0.0, perception_sigma))
+            for attr, v in values:
+                session.toggle(attr, v)
+            return score
+
+        singles = [(trial([c]), c) for c in candidates[:budget]]
+        singles.sort(key=lambda s: -s[0])
+
+        # pair exploration among the best singles
+        m = 3 + int(2 * self.user.diligence)
+        shortlist = [c for _, c in singles[:m]]
+        pair_budget = 3 + int(5 * self.user.diligence)
+        best_score, best_values = singles[0] if singles else (0.0, None)
+        best_values = [best_values] if best_values else []
+        for pair in list(combinations(shortlist, 2))[:pair_budget]:
+            score = trial(pair)
+            if score > best_score:
+                best_score, best_values = score, list(pair)
+        return AgentOutcome(_selection_of(best_values), session.operations)
+
+    # -- task 2: most similar facet value pair ----------------------------
+
+    def do_similar_pair(self, task: SimilarPairTask) -> AgentOutcome:
+        """Task 2 via manual pairwise digest comparison."""
+        session = FacetSession(self.engine)
+        digests: Dict[str, Digest] = {}
+        for v in task.values:
+            session.toggle(task.attribute, v)
+            digests[v] = session.digest()
+            session.toggle(task.attribute, v)
+
+        # manual pairwise cosine comparison: slow and slightly noisy
+        perception_sigma = 0.001 + 0.005 * (1.0 - self.user.diligence)
+        best_pair, best_score = None, -np.inf
+        for a, b in combinations(task.values, 2):
+            session.operations.append(("compare_digests",))
+            sims = [
+                digests[a].attribute_cosine(digests[b], attr)
+                for attr in digests[a].attributes()
+                if attr != task.attribute
+            ]
+            perceived = float(np.mean(sims)) + float(
+                self.rng.normal(0.0, perception_sigma)
+            )
+            if perceived > best_score:
+                best_score, best_pair = perceived, (a, b)
+        return AgentOutcome(best_pair, session.operations)
+
+    # -- task 3: alternative search condition ------------------------------
+
+    def do_alternative(self, task: AlternativeTask) -> AgentOutcome:
+        """Task 3 via coverage-ranked hit-and-trial with satisficing."""
+        session = FacetSession(self.engine)
+        for attr, value in task.given:
+            session.toggle(attr, value)
+        target = session.digest()
+        for attr, value in task.given:
+            session.toggle(attr, value)
+
+        banned = set(task.given_attributes)
+        candidates = self._coverage_candidates(target, banned, limit=10)
+
+        # hand-comparing two 20-attribute digests is error-prone: the
+        # perceived error carries noise, and users satisfice on it
+        perception_sigma = 0.05 + 0.15 * (1.0 - self.user.diligence)
+        satisfice_at = 0.10
+
+        def trial(values: Sequence[Tuple[str, str]]) -> Tuple[float, float]:
+            for attr, v in values:
+                session.toggle(attr, v)
+            d = session.digest()
+            session.operations.append(("compare_digests",))
+            err = target.distance(d)
+            perceived = max(
+                0.0, err + float(self.rng.normal(0.0, perception_sigma))
+            )
+            for attr, v in values:
+                session.toggle(attr, v)
+            return err, perceived
+
+        single_budget = 2 + int(3 * self.user.diligence)
+        best_perceived, best_values = np.inf, None
+        for c in candidates[:single_budget]:
+            _, perceived = trial([c])
+            if perceived < best_perceived:
+                best_perceived, best_values = perceived, [c]
+            if best_perceived < satisfice_at:
+                break
+
+        if best_perceived >= satisfice_at:
+            shortlist = [c for c in candidates[:4]]
+            pair_budget = 2 + int(4 * self.user.diligence)
+            pairs = [
+                p for p in combinations(shortlist, 2) if p[0][0] != p[1][0]
+            ]
+            for pair in pairs[:pair_budget]:
+                _, perceived = trial(pair)
+                if perceived < best_perceived:
+                    best_perceived, best_values = perceived, list(pair)
+                if best_perceived < satisfice_at:
+                    break
+        return AgentOutcome(_selection_of(best_values), session.operations)
+
+    def _coverage_candidates(
+        self, target: Digest, banned: Set[str], limit: int
+    ) -> List[Tuple[str, str]]:
+        """Values covering a large share of the target result set.
+
+        The naive heuristic a digest-only user has: values with big
+        counts in the target digest "look like" the target.  It ranks
+        ubiquitous values (present everywhere) first — the hit-and-trial
+        dead ends the paper describes.  Scanning is imperfect, so the
+        perceived coverage carries a little noise.
+        """
+        scored = []
+        for attr in self.engine.queriable:
+            if attr in banned:
+                continue
+            for value, count in target.values(attr).items():
+                share = count / max(target.total, 1)
+                if share >= 0.5:
+                    perceived = share + float(self.rng.normal(0.0, 0.05))
+                    scored.append((perceived, (attr, value)))
+        scored.sort(key=lambda s: (-s[0], s[1]))
+        return [c for _, c in scored[:limit]]
+
+
+class TPFacetAgent(_Agent):
+    """CAD-View-driven strategies."""
+
+    def __init__(
+        self,
+        engine: FacetedEngine,
+        user: UserProfile,
+        rng: np.random.Generator,
+        config: CADViewConfig = CADViewConfig(),
+    ):
+        super().__init__(engine, user, rng)
+        self.config = config
+
+    def _session(self) -> TPFacetSession:
+        return TPFacetSession(self.engine, self.config)
+
+    # -- task 1: simple classifier --------------------------------------
+
+    def do_classifier(self, task: ClassifierTask) -> AgentOutcome:
+        """Task 1: read the CAD View, shortlist, verify finalists."""
+        session = self._session()
+        session.set_pivot(task.attribute)
+        cad = session.cadview()
+
+        target_total = sum(
+            u.size for u in cad.candidates.get(task.target_value, ())
+        )
+        candidates = self._discriminative_values(
+            cad, task.target_value, banned={task.attribute}, top=5
+        )
+
+        # verify the finalists exactly via quick digest glances
+        finalists: List[List[Tuple[str, str]]] = [[c] for c in candidates[:3]]
+        finalists += [
+            list(p)
+            for p in combinations(candidates[:4], 2)
+        ][:4]
+        best_score, best_values = -1.0, [candidates[0]]
+        base_total = target_total or 1
+        for values in finalists:
+            for attr, v in values:
+                session.toggle(attr, v)
+            d = self.engine.digest(session.selections)
+            session.operations.append(("digest_glance",))
+            score = _digest_f1(
+                d, task.attribute, task.target_value, base_total
+            )
+            for attr, v in values:
+                session.toggle(attr, v)
+            if score > best_score:
+                best_score, best_values = score, values
+        return AgentOutcome(_selection_of(best_values), session.operations)
+
+    def _discriminative_values(
+        self,
+        cad: CADView,
+        target_value: str,
+        banned: Set[str],
+        top: int,
+    ) -> List[Tuple[str, str]]:
+        """Values whose selection best matches the target row's tuples.
+
+        Works off the IUnit value-frequency distributions the CAD View
+        displays — the conditional dependencies of the paper's pitch.
+        For each candidate value ``X = v`` the agent can read off an F1
+        estimate of "select X = v" against "pivot = target": true
+        positives are v's frequency inside the target row, false
+        positives its frequency in the other rows, false negatives the
+        rest of the target row.
+        """
+        scored = []
+        for attr in cad.compare_attributes:
+            if attr in banned:
+                continue
+            in_target = self._row_distribution(cad, target_value, attr)
+            out_rows = [
+                self._row_distribution(cad, v, attr)
+                for v in cad.pivot_values
+                if v != target_value
+            ]
+            outside = (
+                np.sum(out_rows, axis=0)
+                if out_rows else np.zeros_like(in_target)
+            )
+            t_total = in_target.sum() or 1.0
+            labels = cad.view.labels(attr)
+            for code, label in enumerate(labels):
+                tp = float(in_target[code])
+                if tp <= 0:
+                    continue
+                fp = float(outside[code])
+                fn = t_total - tp
+                est_f1 = 2.0 * tp / (2.0 * tp + fp + fn)
+                scored.append((est_f1, (attr, label)))
+        scored.sort(key=lambda s: (-s[0], s[1]))
+        return [c for _, c in scored[:top]]
+
+    @staticmethod
+    def _row_distribution(
+        cad: CADView, pivot_value: str, attr: str
+    ) -> np.ndarray:
+        units = cad.candidates.get(pivot_value, ())
+        if not units:
+            return np.zeros(cad.view.ncodes(attr))
+        return np.sum([np.asarray(u.distributions[attr]) for u in units],
+                      axis=0)
+
+    # -- task 2: most similar facet value pair ------------------------------
+
+    @staticmethod
+    def _refined_similarity(cad: CADView, a: str, b: str) -> float:
+        """Mean best-match Algorithm-1 similarity between two rows.
+
+        This is what the user perceives when the interface highlights
+        similar IUnits between rows: how strongly, on average, each
+        IUnit of one row lights up a counterpart in the other.
+        """
+        from repro.iunits.similarity import iunit_similarity
+
+        ta, tb = cad.row(a), cad.row(b)
+        if not ta or not tb:
+            return 0.0
+        sims = [max(iunit_similarity(x, y) for y in tb) for x in ta]
+        sims += [max(iunit_similarity(y, x) for x in ta) for y in tb]
+        return float(np.mean(sims))
+
+    def do_similar_pair(self, task: SimilarPairTask) -> AgentOutcome:
+        """Task 2: click pivot values, read Algorithm-2 reorderings."""
+        session = self._session()
+        for v in task.values:
+            session.toggle(task.attribute, v)
+        session.set_pivot(task.attribute)
+        cad = session.cadview()
+
+        # click each value: the reorder puts its most similar value next
+        candidates: Dict[frozenset, Tuple[float, float]] = {}
+        for v in task.values:
+            reordered = session.click_pivot_value(v)
+            nearest = next(
+                (w for w in reordered.pivot_values if w != v), None
+            )
+            if nearest is None:
+                continue
+            pair = frozenset((v, nearest))
+            if pair in candidates:
+                continue
+            distance = reordered.value_distance(v, nearest)
+            session.operations.append(("cadview_glance",))
+            refined = self._refined_similarity(reordered, v, nearest)
+            candidates[pair] = (distance, -refined)
+
+        ranked = sorted(candidates, key=lambda p: candidates[p])
+        best_pair = tuple(sorted(ranked[0]))
+        if len(ranked) > 1 and self.user.diligence >= 0.85:
+            # a careful user cross-checks the top two candidates against
+            # the task's own digest metric (two digest comparisons)
+            runner_up = tuple(sorted(ranked[1]))
+            scores = {}
+            for pair in (best_pair, runner_up):
+                digests = []
+                for v in pair:
+                    session.toggle(task.attribute, v)
+                    # isolate v by removing the other three selections
+                    others = [w for w in task.values if w != v]
+                    for w in others:
+                        if w in session.selections.get(task.attribute, set()):
+                            session.toggle(task.attribute, w)
+                    digests.append(session.digest())
+                    for w in others:
+                        session.toggle(task.attribute, w)
+                    session.toggle(task.attribute, v)
+                session.operations.append(("compare_digests",))
+                sims = [
+                    digests[0].attribute_cosine(digests[1], attr)
+                    for attr in digests[0].attributes()
+                    if attr != task.attribute
+                ]
+                scores[pair] = float(np.mean(sims))
+            best_pair = max(scores, key=lambda p: scores[p])
+        return AgentOutcome(best_pair, session.operations)
+
+    # -- task 3: alternative search condition ---------------------------------
+
+    def do_alternative(self, task: AlternativeTask) -> AgentOutcome:
+        """Task 3: mine the target row's IUnits, verify few trials."""
+        session = self._session()
+        # see the target result set once
+        for attr, value in task.given:
+            session.toggle(attr, value)
+        target = session.digest()
+        for attr, value in task.given:
+            session.toggle(attr, value)
+
+        # pivot on the first given attribute, pinning the second as a
+        # Compare Attribute: the target row's IUnits that match the
+        # second condition describe the target set's other values
+        (attr_a, value_a) = task.given[0]
+        rest = task.given[1:]
+        session.set_pivot(attr_a, pinned=tuple(a for a, _ in rest))
+        cad = session.cadview()
+        banned = set(task.given_attributes)
+        candidates = self._conjunction_candidates(
+            cad, value_a, rest, banned, top=4
+        )
+
+        trials: List[List[Tuple[str, str]]] = [[c] for c in candidates[:2]]
+        trials += [
+            list(p)
+            for p in combinations(candidates[:3], 2)
+            if p[0][0] != p[1][0]
+        ][:2]
+        best_err, best_values = np.inf, [candidates[0]]
+        for values in trials:
+            for attr, v in values:
+                session.toggle(attr, v)
+            d = session.digest()
+            session.operations.append(("compare_digests",))
+            err = target.distance(d)
+            for attr, v in values:
+                session.toggle(attr, v)
+            if err < best_err:
+                best_err, best_values = err, values
+            if best_err < 0.01:
+                break
+        return AgentOutcome(_selection_of(best_values), session.operations)
+
+    def _conjunction_candidates(
+        self,
+        cad: CADView,
+        pivot_value: str,
+        rest: Sequence[Tuple[str, str]],
+        banned: Set[str],
+        top: int,
+    ) -> List[Tuple[str, str]]:
+        """Values characterizing ``pivot = pivot_value AND rest``.
+
+        Each IUnit of the target row is weighted by how much of it
+        matches the remaining given conditions (read off the IUnit's
+        displayed distributions); a candidate value's estimated true
+        positives are its weighted frequency in the target row, its
+        false positives its frequency everywhere else.
+        """
+        units = list(cad.candidates.get(pivot_value, ()))
+        if not units:
+            return []
+        weights = []
+        for u in units:
+            w = 1.0
+            for attr, value in rest:
+                dist = np.asarray(u.distributions[attr], dtype=float)
+                total = dist.sum()
+                code = cad.view.code_of(attr, value)
+                share = dist[code] / total if (total > 0 and code >= 0) else 0.0
+                w *= share
+            weights.append(w)
+        target_est = sum(w * u.size for w, u in zip(weights, units)) or 1.0
+
+        scored = []
+        for attr in cad.compare_attributes:
+            if attr in banned:
+                continue
+            tp_vec = np.zeros(cad.view.ncodes(attr))
+            all_vec = np.zeros(cad.view.ncodes(attr))
+            for value in cad.pivot_values:
+                for u in cad.candidates.get(value, ()):
+                    dist = np.asarray(u.distributions[attr], dtype=float)
+                    all_vec += dist
+                    if value == pivot_value:
+                        w = weights[units.index(u)] if u in units else 0.0
+                        tp_vec += w * dist
+            labels = cad.view.labels(attr)
+            for code, label in enumerate(labels):
+                tp = float(tp_vec[code])
+                if tp <= 0:
+                    continue
+                fp = float(all_vec[code]) - tp
+                fn = target_est - tp
+                est_f1 = 2.0 * tp / (2.0 * tp + fp + max(fn, 0.0))
+                scored.append((est_f1, (attr, label)))
+        scored.sort(key=lambda s: (-s[0], s[1]))
+        return [c for _, c in scored[:top]]

@@ -1,0 +1,95 @@
+"""Task-quality metrics of the user study (paper Sec. 6.2).
+
+* Task 1 (Simple Classifier): standard F1 of the selection against the
+  target class.
+* Task 2 (Most Similar Facet Value Pair): the ground-truth rank (1..6)
+  of the chosen pair among all pairs, under the task's defined metric
+  (digest cosine similarity).
+* Task 3 (Alternative Search Condition): retrieval error = 1 - cosine
+  similarity between the target result's digest and the alternative
+  result's digest.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.facets.digest import Digest
+from repro.facets.engine import FacetedEngine
+
+__all__ = [
+    "f1_score",
+    "pair_similarity_ranking",
+    "pair_rank",
+    "retrieval_error",
+]
+
+
+def f1_score(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """F1 of boolean masks (predicted selection vs target class)."""
+    predicted = np.asarray(predicted, dtype=bool)
+    actual = np.asarray(actual, dtype=bool)
+    if predicted.shape != actual.shape:
+        raise QueryError("mask shapes differ")
+    tp = float(np.count_nonzero(predicted & actual))
+    fp = float(np.count_nonzero(predicted & ~actual))
+    fn = float(np.count_nonzero(~predicted & actual))
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def pair_similarity_ranking(
+    engine: FacetedEngine,
+    attribute: str,
+    values: Sequence[str],
+) -> List[Tuple[Tuple[str, str], float]]:
+    """All value pairs ranked by digest cosine similarity (best first).
+
+    This is the task's ground-truth metric: select each value alone,
+    take the digest of its result set, and compare digests pairwise.
+    """
+    if len(values) < 2:
+        raise QueryError("need at least 2 values to rank pairs")
+    digests: Dict[str, Digest] = {
+        v: engine.digest({attribute: {v}}) for v in values
+    }
+    scored = []
+    for a, b in combinations(values, 2):
+        # exclude the pivot attribute's own counts: both digests trivially
+        # differ there (each is concentrated on its own value)
+        sims = [
+            digests[a].attribute_cosine(digests[b], attr)
+            for attr in digests[a].attributes()
+            if attr != attribute
+        ]
+        scored.append(((a, b), float(np.mean(sims))))
+    scored.sort(key=lambda x: (-x[1], x[0]))
+    return scored
+
+
+def pair_rank(
+    ranking: Sequence[Tuple[Tuple[str, str], float]],
+    chosen: Tuple[str, str],
+) -> int:
+    """1-based rank of ``chosen`` in a pair ranking (order-insensitive)."""
+    target = frozenset(chosen)
+    for i, (pair, _) in enumerate(ranking, start=1):
+        if frozenset(pair) == target:
+            return i
+    raise QueryError(f"pair {chosen!r} not in ranking")
+
+
+def retrieval_error(target: Digest, alternative: Digest) -> float:
+    """Task 3's error: digest distance between target and alternative.
+
+    0 when the alternative reproduces the target result set exactly;
+    grows toward 1 (and can exceed it only never — bounded by 1).
+    """
+    return target.distance(alternative)

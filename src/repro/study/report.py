@@ -1,0 +1,78 @@
+"""Markdown reporting of study results.
+
+Turns a :class:`~repro.study.runner.StudyResults` into the full
+evaluation write-up: one section per task type with the per-user table
+(the bars of Figures 2–7), the mixed-model analysis line, and the
+speedup — the exact material Sec. 6.2 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.study.runner import StudyResults
+
+__all__ = ["study_report"]
+
+_SECTIONS = (
+    ("classifier", "Simple Classifier (Figures 2–3)", "F1 score", "{:.3f}"),
+    ("similar_pair", "Most Similar Facet Value Pair (Figures 4–5)",
+     "chosen pair rank (1=best)", "{:.0f}"),
+    ("alternative", "Alternative Search Condition (Figures 6–7)",
+     "retrieval error", "{:.3f}"),
+)
+
+
+def _user_sort_key(user_id: str):
+    digits = "".join(ch for ch in user_id if ch.isdigit())
+    return (int(digits) if digits else 0, user_id)
+
+
+def _table(
+    quality: Dict[str, Dict[str, float]],
+    minutes: Dict[str, Dict[str, float]],
+    fmt: str,
+) -> List[str]:
+    lines = [
+        "| user | Solr quality | TPFacet quality | Solr min | TPFacet min |",
+        "|---|---|---|---|---|",
+    ]
+    for user in sorted(quality, key=_user_sort_key):
+        q, t = quality[user], minutes[user]
+        lines.append(
+            f"| {user} | {fmt.format(q['Solr'])} "
+            f"| {fmt.format(q['TPFacet'])} "
+            f"| {t['Solr']:.1f} | {t['TPFacet']:.1f} |"
+        )
+    return lines
+
+
+def study_report(results: StudyResults, title: str = "User study") -> str:
+    """The full markdown report for one study run."""
+    lines: List[str] = [f"# {title}", ""]
+    n_users = len({m.user_id for m in results.measurements})
+    lines.append(
+        f"{n_users} simulated users, crossover design; "
+        f"{len(results.measurements)} measurements."
+    )
+    for task_type, heading, quality_name, fmt in _SECTIONS:
+        cells = results.of(task_type)
+        if not cells:
+            continue
+        lines += ["", f"## {heading}", ""]
+        lines += _table(
+            results.table(task_type, "quality"),
+            results.table(task_type, "minutes"),
+            fmt,
+        )
+        q = results.analyze(task_type, "quality")
+        t = results.analyze(task_type, "minutes")
+        lines += [
+            "",
+            f"* {quality_name}: {q}",
+            f"* completion time: {t}",
+            f"* speedup: {results.speedup(task_type):.2f}x "
+            f"(Solr mean {t.baseline_mean:.1f} min, "
+            f"TPFacet mean {t.treatment_mean:.1f} min)",
+        ]
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""The study runner: crossover design, measurements, paper-style analysis.
+
+Reproduces the design of Sec. 6.2: eight users in two groups; for each
+matched task pair (A, B), group 1 does A on TPFacet and B on Solr, and
+group 2 the reverse.  Every (user, task) cell yields a quality score
+(task-specific) and a completion time (cost model over the agent's
+operation log).  :func:`run_study` returns the full measurement table;
+:meth:`StudyResults.analyze` runs the mixed-model LRT per task type,
+i.e. the numbers quoted around Figures 2–7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cadview import CADViewConfig
+from repro.dataset.table import Table
+from repro.errors import QueryError
+from repro.facets.engine import FacetedEngine
+from repro.stats.analysis import DisplayEffect, display_effect
+from repro.study.agents import SolrAgent, TPFacetAgent
+from repro.study.costmodel import CostModel, UserProfile
+from repro.study.tasks import TaskSuite, mushroom_task_suite
+
+__all__ = ["Measurement", "StudyResults", "run_study"]
+
+TASK_TYPES = ("classifier", "similar_pair", "alternative")
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One (user, task, display) cell of the study."""
+
+    user_id: str
+    group: int
+    task_type: str
+    task_id: str
+    display: str              # "Solr" | "TPFacet"
+    quality: float            # task-specific score
+    minutes: float            # completion time
+
+
+@dataclass
+class StudyResults:
+    """All measurements plus convenience accessors."""
+
+    measurements: List[Measurement]
+
+    def of(
+        self,
+        task_type: Optional[str] = None,
+        display: Optional[str] = None,
+    ) -> List[Measurement]:
+        """Measurements filtered by task type and/or display."""
+        return [
+            m for m in self.measurements
+            if (task_type is None or m.task_type == task_type)
+            and (display is None or m.display == display)
+        ]
+
+    def analyze(self, task_type: str, measure: str) -> DisplayEffect:
+        """The paper's mixed-model LRT for one task type & measure.
+
+        ``measure`` is ``"quality"`` or ``"minutes"``.
+        """
+        if measure not in ("quality", "minutes"):
+            raise QueryError(f"measure must be quality|minutes, not {measure}")
+        cells = self.of(task_type)
+        if not cells:
+            raise QueryError(f"no measurements for task type {task_type!r}")
+        return display_effect(
+            users=[m.user_id for m in cells],
+            displays=[m.display for m in cells],
+            values=[getattr(m, measure) for m in cells],
+        )
+
+    def speedup(self, task_type: str) -> float:
+        """Mean Solr minutes / mean TPFacet minutes."""
+        solr = [m.minutes for m in self.of(task_type, "Solr")]
+        tp = [m.minutes for m in self.of(task_type, "TPFacet")]
+        if not solr or not tp:
+            raise QueryError(f"incomplete data for {task_type!r}")
+        return float(np.mean(solr) / np.mean(tp))
+
+    def table(self, task_type: str, measure: str) -> Dict[str, Dict[str, float]]:
+        """user -> {display: value}; the per-user bars of Figs 2–7."""
+        out: Dict[str, Dict[str, float]] = {}
+        for m in self.of(task_type):
+            out.setdefault(m.user_id, {})[m.display] = getattr(m, measure)
+        return out
+
+
+def _run_cell(
+    engine: FacetedEngine,
+    user: UserProfile,
+    display: str,
+    task_type: str,
+    task,
+    cost_model: CostModel,
+    config: CADViewConfig,
+    seed: int,
+) -> Measurement:
+    rng = np.random.default_rng(seed)
+    if display == "Solr":
+        agent = SolrAgent(engine, user, rng)
+    else:
+        agent = TPFacetAgent(engine, user, rng, config)
+    outcome = getattr(agent, f"do_{task_type}")(task)
+    if task_type == "similar_pair":
+        quality = task.score(engine, outcome.answer)
+    else:
+        quality = task.score(engine, outcome.answer)
+    minutes = cost_model.price(outcome.operations, user, rng)
+    return Measurement(
+        user.user_id, user.group, task_type, task.task_id, display,
+        quality, minutes,
+    )
+
+
+def run_study(
+    table: Table,
+    suite: Optional[TaskSuite] = None,
+    users: Optional[Sequence[UserProfile]] = None,
+    cost_model: Optional[CostModel] = None,
+    config: Optional[CADViewConfig] = None,
+    seed: int = 2016,
+) -> StudyResults:
+    """Run the full crossover study on ``table`` (mushroom by default).
+
+    Group 1 does task A of each pair on TPFacet and task B on Solr;
+    group 2 the reverse — so each user contributes one Solr and one
+    TPFacet measurement per task type, and each task is done by four
+    users per interface.
+    """
+    suite = suite or mushroom_task_suite()
+    users = tuple(users or UserProfile.roster(seed=seed))
+    cost_model = cost_model or CostModel()
+    config = config or CADViewConfig(compare_limit=5, iunits_k=3)
+    engine = FacetedEngine(table)
+
+    pairs = {
+        "classifier": suite.classifier,
+        "similar_pair": suite.similar_pair,
+        "alternative": suite.alternative,
+    }
+    measurements: List[Measurement] = []
+    for t_index, task_type in enumerate(TASK_TYPES):
+        task_a, task_b = pairs[task_type]
+        for u_index, user in enumerate(users):
+            if user.group == 1:
+                assignment = (("TPFacet", task_a), ("Solr", task_b))
+            else:
+                assignment = (("Solr", task_a), ("TPFacet", task_b))
+            for d_index, (display, task) in enumerate(assignment):
+                cell_seed = seed + 1000 * t_index + 10 * u_index + d_index
+                measurements.append(
+                    _run_cell(
+                        engine, user, display, task_type, task,
+                        cost_model, config, cell_seed,
+                    )
+                )
+    return StudyResults(measurements)

@@ -1,0 +1,190 @@
+"""The three exploratory task types of the user study (Sec. 6.2).
+
+Each task type comes as a *matched pair* (A, B): group-1 users do A on
+TPFacet and B on Solr, group-2 users the reverse — the paper's
+crossover design.
+
+* :class:`ClassifierTask` (Sec. 6.2.1) — select at most two attribute
+  values maximizing F1 for a binary target class.
+* :class:`SimilarPairTask` (Sec. 6.2.2) — among four given values of an
+  attribute, find the two whose result sets have the most similar
+  summary digests.
+* :class:`AlternativeTask` (Sec. 6.2.3) — given a selection condition,
+  find a different selection (over other attributes, at most two
+  values) reproducing the same result set as closely as possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.facets.engine import FacetedEngine
+from repro.study.metrics import (
+    f1_score,
+    pair_rank,
+    pair_similarity_ranking,
+    retrieval_error,
+)
+
+__all__ = [
+    "ClassifierTask",
+    "SimilarPairTask",
+    "AlternativeTask",
+    "TaskSuite",
+    "mushroom_task_suite",
+]
+
+Selections = Dict[str, Set[str]]
+
+
+@dataclass(frozen=True)
+class ClassifierTask:
+    """Build a <=2-value classifier for ``attribute = target_value``."""
+
+    task_id: str
+    attribute: str
+    target_value: str
+    max_values: int = 2
+
+    def target_mask(self, engine: FacetedEngine) -> np.ndarray:
+        """Boolean mask of the target class over the full table."""
+        pred = engine.predicate_for(self.attribute, self.target_value)
+        return pred.mask(engine.table)
+
+    def score(self, engine: FacetedEngine, answer: Selections) -> float:
+        """F1 of the answer's selection against the target class."""
+        self.validate(answer)
+        pred = engine.selection_predicate(answer)
+        return f1_score(pred.mask(engine.table), self.target_mask(engine))
+
+    def validate(self, answer: Selections) -> None:
+        """Enforce the task's value budget and attribute rules."""
+        n_values = sum(len(v) for v in answer.values())
+        if n_values == 0 or n_values > self.max_values:
+            raise QueryError(
+                f"classifier answer must use 1..{self.max_values} values, "
+                f"got {n_values}"
+            )
+        if self.attribute in answer:
+            raise QueryError(
+                "classifier may not select on the class attribute itself"
+            )
+
+
+@dataclass(frozen=True)
+class SimilarPairTask:
+    """Find the most similar pair among ``values`` of ``attribute``."""
+
+    task_id: str
+    attribute: str
+    values: Tuple[str, ...]
+
+    def ground_truth(
+        self, engine: FacetedEngine
+    ) -> List[Tuple[Tuple[str, str], float]]:
+        """All pairs ranked under the task's digest-cosine metric."""
+        return pair_similarity_ranking(engine, self.attribute, self.values)
+
+    def score(
+        self, engine: FacetedEngine, answer: Tuple[str, str]
+    ) -> float:
+        """1-based rank of the chosen pair (1 = correct, up to 6)."""
+        if len(set(answer)) != 2 or not set(answer) <= set(self.values):
+            raise QueryError(
+                f"answer must be two distinct values from {self.values}"
+            )
+        return float(pair_rank(self.ground_truth(engine), answer))
+
+
+@dataclass(frozen=True)
+class AlternativeTask:
+    """Reproduce the result of ``given`` using other attributes."""
+
+    task_id: str
+    given: Tuple[Tuple[str, str], ...]   # ((attribute, value), ...)
+    max_values: int = 2
+
+    @property
+    def given_attributes(self) -> Tuple[str, ...]:
+        """The attributes of the given condition (banned in answers)."""
+        return tuple(a for a, _ in self.given)
+
+    def given_selections(self) -> Selections:
+        """The given condition as a faceted selection state."""
+        sels: Selections = {}
+        for attr, value in self.given:
+            sels.setdefault(attr, set()).add(value)
+        return sels
+
+    def score(self, engine: FacetedEngine, answer: Selections) -> float:
+        """Retrieval error (lower is better) of the alternative."""
+        self.validate(answer)
+        target = engine.digest(self.given_selections())
+        alt = engine.digest(answer)
+        return retrieval_error(target, alt)
+
+    def validate(self, answer: Selections) -> None:
+        """Enforce the value budget and the given-attribute ban."""
+        n_values = sum(len(v) for v in answer.values())
+        if n_values == 0 or n_values > self.max_values:
+            raise QueryError(
+                f"alternative must use 1..{self.max_values} values, "
+                f"got {n_values}"
+            )
+        banned = set(self.given_attributes) & set(answer)
+        if banned:
+            raise QueryError(
+                f"alternative may not reuse the given attributes {banned}"
+            )
+
+
+@dataclass(frozen=True)
+class TaskSuite:
+    """The matched task pairs, one pair per task type."""
+
+    classifier: Tuple[ClassifierTask, ClassifierTask]
+    similar_pair: Tuple[SimilarPairTask, SimilarPairTask]
+    alternative: Tuple[AlternativeTask, AlternativeTask]
+
+
+def mushroom_task_suite() -> TaskSuite:
+    """The paper's tasks, instantiated on the mushroom dataset.
+
+    The sample tasks quoted in the paper are used verbatim where given:
+    classifier target ``bruises = true`` (6.2.1); gill-color values
+    ``{buff, white, brown, green}`` (6.2.2); alternative for
+    ``stalk-shape = enlarged AND spore-print-color = chocolate``
+    (6.2.3).  Each pairs with a matched second task on different
+    attributes.
+    """
+    return TaskSuite(
+        classifier=(
+            ClassifierTask("T1a", "bruises", "true"),
+            ClassifierTask("T1b", "gill-size", "broad"),
+        ),
+        similar_pair=(
+            SimilarPairTask(
+                "T2a", "gill-color", ("buff", "white", "brown", "green")
+            ),
+            SimilarPairTask(
+                "T2b", "cap-color", ("red", "yellow", "gray", "white")
+            ),
+        ),
+        alternative=(
+            AlternativeTask(
+                "T3a",
+                (
+                    ("stalk-shape", "enlarged"),
+                    ("spore-print-color", "chocolate"),
+                ),
+            ),
+            AlternativeTask(
+                "T3b",
+                (("odor", "foul"), ("gill-size", "broad")),
+            ),
+        ),
+    )

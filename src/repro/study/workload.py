@@ -1,0 +1,125 @@
+"""Random exploratory-query workload generation.
+
+The paper's performance evaluation averages over "50 simulations, where
+for each simulation we generate a different query result by randomly
+selecting a subset of tuples and/or attributes" (Sec. 6.3).  This
+module generates such workloads in two flavors:
+
+* :func:`random_subsets` — uniformly random row subsets of target
+  sizes (the paper's setup);
+* :func:`random_conjunctive_queries` — realistic conjunctive facet
+  selections with approximately a target selectivity, produced by
+  greedily ANDing random facet values until the result is small enough.
+  These model actual exploration states rather than iid samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.discretize.discretizer import Discretizer
+from repro.errors import QueryError
+from repro.query.predicates import And, Predicate, TruePred
+
+__all__ = ["GeneratedQuery", "random_subsets", "random_conjunctive_queries"]
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One workload item: the predicate and its materialized result."""
+
+    predicate: Predicate
+    result: Table
+    total_rows: int
+
+    @property
+    def selectivity(self) -> float:
+        """|result| / |table|."""
+        return len(self.result) / max(self.total_rows, 1)
+
+
+def random_subsets(
+    table: Table,
+    sizes: Sequence[int],
+    repeats: int = 1,
+    seed: int = 0,
+) -> Iterator[Tuple[int, Table]]:
+    """Yield ``(target size, subset)`` pairs, ``repeats`` per size."""
+    if not sizes:
+        raise QueryError("sizes must be non-empty")
+    rng = np.random.default_rng(seed)
+    for size in sizes:
+        for _ in range(repeats):
+            yield size, table.sample(min(size, len(table)), rng)
+
+
+def random_conjunctive_queries(
+    table: Table,
+    n_queries: int,
+    target_selectivity: float = 0.1,
+    max_conjuncts: int = 4,
+    nbins: int = 6,
+    seed: int = 0,
+    attributes: Optional[Sequence[str]] = None,
+) -> List[GeneratedQuery]:
+    """Generate conjunctive selections of roughly the target selectivity.
+
+    Each query starts empty and greedily ANDs a random facet value of a
+    random attribute while the result is still larger than
+    ``target_selectivity * len(table)`` (up to ``max_conjuncts``),
+    skipping conjuncts that would empty the result.
+    """
+    if not 0.0 < target_selectivity <= 1.0:
+        raise QueryError(
+            f"target_selectivity must be in (0, 1], got {target_selectivity}"
+        )
+    if n_queries < 1:
+        raise QueryError("n_queries must be >= 1")
+    names = tuple(attributes) if attributes else table.schema.queriable_names
+    table.schema.require(names)
+    view = Discretizer(nbins=nbins).fit(table, names)
+    rng = np.random.default_rng(seed)
+    target_rows = max(1, int(target_selectivity * len(table)))
+
+    queries: List[GeneratedQuery] = []
+    for _ in range(n_queries):
+        conjuncts: List[Predicate] = []
+        mask = np.ones(len(table), dtype=bool)
+        used: set = set()
+        attempts = 0
+        while (
+            int(mask.sum()) > target_rows
+            and len(conjuncts) < max_conjuncts
+            and attempts < 10 * max_conjuncts
+        ):
+            attempts += 1
+            attr = names[int(rng.integers(len(names)))]
+            if attr in used or view.ncodes(attr) == 0:
+                continue
+            # bias toward values frequent in the current result, like a
+            # user clicking visible facet counts
+            codes = view.codes(attr)[mask]
+            valid = codes[codes >= 0]
+            if valid.size == 0:
+                continue
+            counts = np.bincount(valid, minlength=view.ncodes(attr))
+            probs = counts / counts.sum()
+            code = int(rng.choice(view.ncodes(attr), p=probs))
+            pred = view.predicate_for(attr, code)
+            new_mask = mask & pred.mask(table)
+            if not new_mask.any():
+                continue
+            conjuncts.append(pred)
+            used.add(attr)
+            mask = new_mask
+        predicate: Predicate = (
+            And(conjuncts) if conjuncts else TruePred()
+        )
+        queries.append(
+            GeneratedQuery(predicate, table.filter(mask), len(table))
+        )
+    return queries

@@ -1,0 +1,144 @@
+"""Unit tests for the Chow-Liu tree."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import AttrKind, Attribute, Schema, Table
+from repro.discretize import Discretizer
+from repro.errors import QueryError
+from repro.features import ChowLiuTree
+
+
+@pytest.fixture()
+def chain_view():
+    """A -> B -> C chain: A,B strongly coupled, B,C strongly coupled,
+    A,C only weakly (through B)."""
+    rng = np.random.default_rng(0)
+    n = 1500
+    a = rng.integers(0, 2, n)
+    flip_b = rng.random(n) < 0.05
+    b = np.where(flip_b, 1 - a, a)
+    flip_c = rng.random(n) < 0.05
+    c = np.where(flip_c, 1 - b, b)
+    noise = rng.integers(0, 3, n)
+    schema = Schema([
+        Attribute(x, AttrKind.CATEGORICAL) for x in ("A", "B", "C", "N")
+    ])
+    table = Table.from_columns(schema, {
+        "A": [str(v) for v in a],
+        "B": [str(v) for v in b],
+        "C": [str(v) for v in c],
+        "N": [str(v) for v in noise],
+    })
+    return Discretizer().fit(table)
+
+
+class TestStructure:
+    def test_recovers_chain(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, attributes=("A", "B", "C"),
+                               root="A")
+        edges = {frozenset((u, v)) for u, v, _ in tree.edges}
+        assert edges == {frozenset(("A", "B")), frozenset(("B", "C"))}
+
+    def test_noise_attaches_weakly(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, root="A")
+        # N's edge must be the weakest in the tree
+        n_strength = max(
+            w for u, v, w in tree.edges if "N" in (u, v)
+        )
+        others = [w for u, v, w in tree.edges if "N" not in (u, v)]
+        assert all(n_strength < w for w in others)
+
+    def test_neighbors(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, attributes=("A", "B", "C"),
+                               root="A")
+        assert tree.neighbors("B") == ("A", "C")
+        assert tree.neighbors("A") == ("B",)
+
+    def test_edge_strength(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, attributes=("A", "B", "C"),
+                               root="A")
+        assert tree.edge_strength("A", "B") > 0.5
+        assert tree.edge_strength("A", "C") == 0.0  # not a tree edge
+
+    def test_order_root_first(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, root="B")
+        assert tree.order[0] == "B"
+        assert set(tree.order) == {"A", "B", "C", "N"}
+
+    def test_mushroom_class_odor_edge(self, mushroom):
+        """The generator's strongest dependency must become a tree edge."""
+        view = Discretizer().fit(mushroom)
+        tree = ChowLiuTree.fit(view, root="class")
+        assert "odor" in tree.neighbors("class")
+
+    def test_validation(self, chain_view):
+        with pytest.raises(QueryError):
+            ChowLiuTree.fit(chain_view, attributes=("A",))
+        with pytest.raises(QueryError):
+            ChowLiuTree.fit(chain_view, root="Z")
+
+
+class TestInference:
+    def test_root_marginal_sums_to_one(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, root="A")
+        marginal = tree.conditional("A")
+        assert marginal.sum() == pytest.approx(1.0)
+
+    def test_conditional_rows_sum_to_one(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, root="A")
+        for code in range(2):
+            p = tree.conditional("B", parent_code=code)
+            assert p.sum() == pytest.approx(1.0)
+
+    def test_conditional_reflects_coupling(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, attributes=("A", "B"), root="A")
+        code_a0 = chain_view.code_of("A", "0")
+        code_b0 = chain_view.code_of("B", "0")
+        p = tree.conditional("B", parent_code=code_a0)
+        assert p[code_b0] > 0.85
+
+    def test_conditional_requires_parent_code(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, root="A")
+        child = tree.order[1]
+        with pytest.raises(QueryError):
+            tree.conditional(child)
+        with pytest.raises(QueryError):
+            tree.conditional(child, parent_code=99)
+
+    def test_loglik_better_than_shuffled_model(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, attributes=("A", "B", "C"),
+                               root="A")
+        ll = tree.loglik(chain_view)
+        # an independence-ish tree rooted elsewhere but trained on
+        # shuffled B should fit worse; approximate by comparing against
+        # the chain likelihood under an N-rooted tree over (A, N)
+        weak = ChowLiuTree.fit(chain_view, attributes=("A", "N", "C"),
+                               root="N")
+        # per-attribute comparison is apples-to-oranges; instead check
+        # the chain ll beats the factorized upper bound of random data
+        n = len(chain_view)
+        independent_ll = 3 * n * np.log2(0.5)  # three fair coins
+        assert ll > independent_ll
+
+    def test_samples_match_marginals(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, attributes=("A", "B"), root="A")
+        samples = tree.sample_codes(4000, np.random.default_rng(1))
+        frac_a0 = float((samples["A"] == 0).mean())
+        marginal = tree.conditional("A")
+        assert frac_a0 == pytest.approx(marginal[0], abs=0.04)
+
+    def test_samples_preserve_coupling(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, attributes=("A", "B"), root="A")
+        s = tree.sample_codes(4000, np.random.default_rng(2))
+        agree = float((s["A"] == s["B"]).mean())
+        code_a0 = chain_view.code_of("A", "0")
+        code_b0 = chain_view.code_of("B", "0")
+        if code_a0 != code_b0:
+            agree = 1 - agree  # codes may be permuted between attrs
+        assert agree > 0.85
+
+    def test_unknown_attribute(self, chain_view):
+        tree = ChowLiuTree.fit(chain_view, root="A")
+        with pytest.raises(QueryError):
+            tree.neighbors("Z")

@@ -1,0 +1,116 @@
+"""Unit tests for binning strategies and bin labels."""
+
+import numpy as np
+import pytest
+
+from repro.discretize import (
+    Bin, bin_indices, equal_depth_bins, equal_width_bins, format_number,
+)
+from repro.errors import QueryError
+
+
+class TestFormatNumber:
+    @pytest.mark.parametrize("x,expected", [
+        (25_000, "25K"),
+        (10_000, "10K"),
+        (12_500, "12.5K"),
+        (2011, "2011"),
+        (17.5, "17.5"),
+        (1_000_000, "1M"),
+        (2_500_000, "2.5M"),
+        (0, "0"),
+        (3.0, "3"),
+    ])
+    def test_formats(self, x, expected):
+        assert format_number(x) == expected
+
+
+class TestBin:
+    def test_label_range(self):
+        assert Bin(15_000, 20_000).label == "15K-20K"
+
+    def test_label_degenerate(self):
+        assert Bin(2011, 2011, closed_hi=True).label == "2011"
+
+    def test_contains_half_open(self):
+        b = Bin(10, 20)
+        assert b.contains(10) and b.contains(19.9)
+        assert not b.contains(20)
+
+    def test_contains_closed(self):
+        b = Bin(10, 20, closed_hi=True)
+        assert b.contains(20)
+
+    def test_predicate_roundtrip(self, toy_table):
+        b = Bin(100, 300)
+        mask = b.predicate("price").mask(toy_table)
+        prices = toy_table["price"].numbers
+        for got, p in zip(mask, prices):
+            if np.isnan(p):
+                assert not got
+            else:
+                assert got == b.contains(p)
+
+
+class TestEqualWidth:
+    def test_round_edges(self):
+        vals = np.linspace(1500, 64_000, 500)
+        bins = equal_width_bins(vals, 6)
+        widths = {round(b.hi - b.lo) for b in bins}
+        assert len(widths) == 1  # uniform width
+        assert all(b.lo % 1000 == 0 for b in bins)
+
+    def test_covers_all_values(self):
+        vals = np.array([3.0, 9.0, 15.2, 7.7, 0.1])
+        bins = equal_width_bins(vals, 3)
+        idx = bin_indices(vals, bins)
+        assert (idx >= 0).all()
+
+    def test_constant_column_single_bin(self):
+        bins = equal_width_bins([5.0, 5.0], 4)
+        assert len(bins) == 1
+        assert bins[0].label == "5"
+
+    def test_nbins_zero_raises(self):
+        with pytest.raises(QueryError):
+            equal_width_bins([1.0], 0)
+
+    def test_all_missing_raises(self):
+        with pytest.raises(QueryError):
+            equal_width_bins([np.nan, np.nan], 3)
+
+
+class TestEqualDepth:
+    def test_balanced_counts(self):
+        rng = np.random.default_rng(0)
+        vals = rng.normal(0, 1, 1000)
+        bins = equal_depth_bins(vals, 4)
+        idx = bin_indices(vals, bins)
+        counts = np.bincount(idx[idx >= 0], minlength=len(bins))
+        assert counts.min() > 180  # near 250 each
+
+    def test_heavy_ties_merge(self):
+        vals = np.array([1.0] * 90 + [2.0] * 10)
+        bins = equal_depth_bins(vals, 5)
+        assert len(bins) <= 2
+
+    def test_covers_extremes(self):
+        vals = np.arange(100.0)
+        bins = equal_depth_bins(vals, 4)
+        idx = bin_indices(vals, bins)
+        assert idx[0] == 0 and idx[-1] == len(bins) - 1
+
+
+class TestBinIndices:
+    def test_missing_is_minus_one(self):
+        bins = [Bin(0, 10), Bin(10, 20, closed_hi=True)]
+        idx = bin_indices([5.0, np.nan, 25.0, -3.0], bins)
+        assert list(idx) == [0, -1, -1, -1]
+
+    def test_max_in_last_bin(self):
+        bins = [Bin(0, 10), Bin(10, 20, closed_hi=True)]
+        assert bin_indices([20.0], bins)[0] == 1
+
+    def test_boundary_goes_right(self):
+        bins = [Bin(0, 10), Bin(10, 20, closed_hi=True)]
+        assert bin_indices([10.0], bins)[0] == 1

@@ -1,0 +1,117 @@
+"""Unit tests for the decision-tree result categorization baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import CategoryTree
+from repro.discretize import Discretizer
+from repro.errors import QueryError
+from repro.query import Eq, QueryEngine
+
+
+@pytest.fixture(scope="module")
+def suv_view(cars):
+    result = QueryEngine.select(cars, Eq("BodyType", "SUV"))
+    return Discretizer(nbins=4).fit(result)
+
+
+class TestFit:
+    def test_basic_structure(self, suv_view):
+        tree = CategoryTree.fit(
+            suv_view, attributes=("Make", "Drivetrain", "Engine"),
+            max_depth=2, min_leaf=30,
+        )
+        assert not tree.root.is_leaf
+        assert tree.depth() <= 2
+        assert tree.root.size == len(suv_view)
+
+    def test_leaves_partition_subsets(self, suv_view):
+        tree = CategoryTree.fit(
+            suv_view, attributes=("Make", "Drivetrain"), max_depth=2,
+            min_leaf=30,
+        )
+        leaves = tree.leaves()
+        assert leaves
+        # leaves are disjoint sub-populations: total never exceeds root
+        assert sum(l.size for l in leaves) <= tree.root.size
+
+    def test_min_leaf_respected(self, suv_view):
+        tree = CategoryTree.fit(
+            suv_view, attributes=("Make", "Model"), max_depth=3,
+            min_leaf=50,
+        )
+        for leaf in tree.leaves():
+            if leaf.path:  # the root may be small in degenerate cases
+                assert leaf.size >= 50
+
+    def test_max_fanout_excludes_wide_attributes(self, suv_view):
+        tree = CategoryTree.fit(
+            suv_view, attributes=("Model", "Drivetrain"), max_depth=1,
+            min_leaf=10, max_fanout=5,
+        )
+        # Model has dozens of values: only Drivetrain may split
+        assert tree.root.attribute in (None, "Drivetrain")
+
+    def test_attribute_not_reused_on_path(self, suv_view):
+        tree = CategoryTree.fit(
+            suv_view, attributes=("Drivetrain", "Engine"), max_depth=3,
+            min_leaf=10,
+        )
+
+        def check(node, used):
+            if node.is_leaf:
+                return
+            assert node.attribute not in used
+            for child in node.children.values():
+                check(child, used | {node.attribute})
+
+        check(tree.root, set())
+
+    def test_validation(self, suv_view):
+        with pytest.raises(QueryError):
+            CategoryTree.fit(suv_view, max_depth=0)
+        with pytest.raises(QueryError):
+            CategoryTree.fit(suv_view, attributes=("bogus",))
+
+    def test_single_row_view_is_leaf(self, suv_view):
+        one = suv_view.restrict(
+            np.arange(len(suv_view)) == 0
+        )
+        tree = CategoryTree.fit(one, attributes=("Make",), min_leaf=5)
+        assert tree.root.is_leaf
+
+
+class TestViews:
+    def test_describe(self, suv_view):
+        tree = CategoryTree.fit(
+            suv_view, attributes=("Drivetrain", "Engine"), max_depth=2,
+            min_leaf=30,
+        )
+        text = tree.describe()
+        assert "(all)" in text
+        assert "[" in text  # sizes shown
+
+    def test_labels(self, suv_view):
+        tree = CategoryTree.fit(
+            suv_view, attributes=("Drivetrain",), max_depth=1, min_leaf=20,
+        )
+        for label, child in tree.root.children.items():
+            assert child.label() == f"Drivetrain={label}"
+
+    def test_navigation_cost_positive(self, suv_view):
+        tree = CategoryTree.fit(
+            suv_view, attributes=("Drivetrain", "Engine"), max_depth=2,
+            min_leaf=30,
+        )
+        assert tree.navigation_cost() > 0
+
+    def test_deeper_tree_costs_more(self, suv_view):
+        shallow = CategoryTree.fit(
+            suv_view, attributes=("Drivetrain", "Engine", "Make"),
+            max_depth=1, min_leaf=20,
+        )
+        deep = CategoryTree.fit(
+            suv_view, attributes=("Drivetrain", "Engine", "Make"),
+            max_depth=3, min_leaf=20,
+        )
+        assert deep.navigation_cost() >= shallow.navigation_cost()

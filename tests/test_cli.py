@@ -1,0 +1,91 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_gen_data_args(self):
+        args = build_parser().parse_args(
+            ["gen-data", "usedcars", "--rows", "100", "--out", "x.csv"]
+        )
+        assert args.dataset == "usedcars"
+        assert args.rows == 100
+
+
+class TestCommands:
+    def test_gen_data_roundtrip(self, tmp_path, capsys):
+        out = str(tmp_path / "cars.csv")
+        rc = main(["gen-data", "usedcars", "--rows", "200", "--out", out])
+        assert rc == 0
+        assert "wrote 200 rows" in capsys.readouterr().out
+
+        # the CSV can feed the other commands
+        rc = main([
+            "cadview", "--dataset", "usedcars", "--csv", out,
+            "--sql", "SELECT Make FROM data LIMIT 2",
+        ])
+        assert rc == 0
+
+    def test_cadview_statement(self, capsys):
+        rc = main([
+            "cadview", "--dataset", "usedcars", "--rows", "2000",
+            "--sql",
+            "CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM data "
+            "WHERE BodyType = SUV AND Make IN (Jeep, Ford) IUNITS 2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "IUnit 1" in out and "Jeep" in out
+
+    def test_cadview_select(self, capsys):
+        rc = main([
+            "cadview", "--dataset", "mushroom", "--rows", "500",
+            "--sql", "SELECT class FROM data LIMIT 3",
+        ])
+        assert rc == 0
+        assert "3 row(s)" in capsys.readouterr().out
+
+    def test_parse_error_returns_nonzero(self, capsys):
+        rc = main([
+            "cadview", "--dataset", "usedcars", "--rows", "500",
+            "--sql", "FROBNICATE everything",
+        ])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_deps_command(self, capsys):
+        rc = main(["deps", "--dataset", "usedcars", "--rows", "1500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Model -> Make" in out
+
+    def test_profile_command(self, capsys):
+        rc = main(["profile", "--dataset", "usedcars", "--rows", "3000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "naive" in out and "optimized" in out
+
+
+class TestShowVariants:
+    def test_describe_through_cli(self, capsys):
+        rc = main([
+            "cadview", "--dataset", "usedcars", "--rows", "500",
+            "--sql", "DESCRIBE data",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Engine  categorical  hidden" in out
+
+    def test_show_cadviews_through_cli(self, capsys):
+        rc = main([
+            "cadview", "--dataset", "usedcars", "--rows", "500",
+            "--sql", "SHOW CADVIEWS",
+        ])
+        assert rc == 0
+        assert "empty result" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""Unit tests for FD/correlation discovery (CORDS-style)."""
+
+import pytest
+
+from repro.dataset import AttrKind, Attribute, Schema, Table
+from repro.discretize import Discretizer
+from repro.errors import QueryError
+from repro.features import (
+    correlation_pairs, discover_dependencies, fd_strength,
+)
+
+
+@pytest.fixture()
+def fd_table():
+    schema = Schema([
+        Attribute("code", AttrKind.CATEGORICAL),
+        Attribute("country", AttrKind.CATEGORICAL),
+        Attribute("noise", AttrKind.CATEGORICAL),
+    ])
+    rows = []
+    mapping = {"FR": "France", "DE": "Germany", "IT": "Italy"}
+    for i in range(120):
+        code = ["FR", "DE", "IT"][i % 3]
+        rows.append({
+            "code": code,
+            "country": mapping[code],
+            "noise": str(i % 7),
+        })
+    return Table.from_rows(schema, rows)
+
+
+class TestFdStrength:
+    def test_exact_fd(self, fd_table):
+        view = Discretizer().fit(fd_table)
+        strength, support = fd_strength(view, "code", "country")
+        assert strength == 1.0
+        assert support == 120
+
+    def test_reverse_also_exact_here(self, fd_table):
+        view = Discretizer().fit(fd_table)
+        strength, _ = fd_strength(view, "country", "code")
+        assert strength == 1.0
+
+    def test_independent_attributes_weak(self, fd_table):
+        view = Discretizer().fit(fd_table)
+        strength, _ = fd_strength(view, "noise", "code")
+        assert strength < 0.7
+
+    def test_soft_fd(self):
+        schema = Schema([
+            Attribute("x", AttrKind.CATEGORICAL),
+            Attribute("y", AttrKind.CATEGORICAL),
+        ])
+        rows = [{"x": "a", "y": "1"}] * 95 + [{"x": "a", "y": "2"}] * 5
+        view = Discretizer().fit(Table.from_rows(schema, rows))
+        strength, _ = fd_strength(view, "x", "y")
+        assert strength == pytest.approx(0.95)
+
+
+class TestDiscoverDependencies:
+    def test_finds_exact_fds(self, fd_table):
+        deps = discover_dependencies(fd_table, threshold=0.999, sample=None)
+        pairs = {(d.determinant, d.dependent) for d in deps}
+        assert ("code", "country") in pairs
+        assert ("country", "code") in pairs
+        assert all(d.exact for d in deps
+                   if (d.determinant, d.dependent) in pairs)
+
+    def test_noise_not_reported(self, fd_table):
+        deps = discover_dependencies(fd_table, threshold=0.999, sample=None)
+        assert not any(d.determinant == "noise" for d in deps)
+
+    def test_usedcars_model_determines_make(self, cars):
+        deps = discover_dependencies(cars, threshold=0.999, sample=2000)
+        pairs = {(d.determinant, d.dependent) for d in deps}
+        assert ("Model", "Make") in pairs
+        assert ("Model", "BodyType") in pairs
+
+    def test_threshold_validation(self, fd_table):
+        with pytest.raises(QueryError):
+            discover_dependencies(fd_table, threshold=0.0)
+
+    def test_sorted_by_strength(self, cars):
+        deps = discover_dependencies(cars, threshold=0.9, sample=1500)
+        strengths = [d.strength for d in deps]
+        assert strengths == sorted(strengths, reverse=True)
+
+    def test_str(self, fd_table):
+        deps = discover_dependencies(fd_table, threshold=0.999, sample=None)
+        assert "->" in str(deps[0])
+
+
+class TestCorrelationPairs:
+    def test_fd_pair_has_v_one(self, fd_table):
+        pairs = correlation_pairs(fd_table, sample=None)
+        top = pairs[0]
+        assert {top[0], top[1]} == {"code", "country"}
+        assert top[2] == pytest.approx(1.0)
+
+    def test_all_pairs_covered(self, fd_table):
+        pairs = correlation_pairs(fd_table, sample=None)
+        assert len(pairs) == 3  # C(3,2)
+
+    def test_values_in_unit_interval(self, cars):
+        for _, _, v in correlation_pairs(cars, sample=1500):
+            assert 0.0 <= v <= 1.0 + 1e-9
+
+    def test_attribute_subset(self, cars):
+        pairs = correlation_pairs(
+            cars, sample=1000, attributes=["Make", "Model", "Price"]
+        )
+        assert len(pairs) == 3

@@ -1,0 +1,76 @@
+"""Meta-test: every public item in the library carries a docstring.
+
+Enforces the documentation deliverable mechanically — any new public
+module, class, function, or method without a doc comment fails here.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+EXEMPT_METHOD_NAMES = {
+    # dunder/protocol methods whose meaning is the protocol itself
+    "__init__", "__len__", "__iter__", "__contains__", "__getitem__",
+    "__repr__", "__str__", "__eq__", "__hash__", "__call__",
+    "__post_init__", "__and__", "__or__", "__invert__",
+}
+
+
+def _all_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_all_modules())
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_public_items_documented(module):
+    missing = []
+    for name, obj in _public_members(module):
+        if not inspect.getdoc(obj):
+            missing.append(name)
+            continue
+        if inspect.isclass(obj):
+            for m_name, member in vars(obj).items():
+                if m_name.startswith("_") and m_name not in ():
+                    continue
+                if m_name in EXEMPT_METHOD_NAMES:
+                    continue
+                func = None
+                if inspect.isfunction(member):
+                    func = member
+                elif isinstance(member, (classmethod, staticmethod)):
+                    func = member.__func__
+                elif isinstance(member, property):
+                    func = member.fget
+                if func is not None and not inspect.getdoc(func):
+                    missing.append(f"{name}.{m_name}")
+    assert not missing, (
+        f"{module.__name__}: undocumented public items: {missing}"
+    )

@@ -1,0 +1,161 @@
+"""Edge cases exercised end-to-end: tiny tables, degenerate domains,
+missing data, and deep pipelines on unusual inputs."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CADViewBuilder, CADViewConfig, DBExplorer, Table,
+)
+from repro.dataset import AttrKind, Attribute, Schema
+from repro.discretize import Discretizer
+from repro.errors import CADViewError, EmptyResultError
+from repro.facets import FacetedEngine, TPFacetSession
+
+
+def tiny_table(n=12, seed=0):
+    schema = Schema([
+        Attribute("group", AttrKind.CATEGORICAL),
+        Attribute("color", AttrKind.CATEGORICAL),
+        Attribute("value", AttrKind.NUMERIC),
+    ])
+    rng = np.random.default_rng(seed)
+    rows = [
+        {
+            "group": "a" if i % 2 == 0 else "b",
+            "color": ["red", "blue", "green"][i % 3],
+            "value": float(rng.integers(0, 100)),
+        }
+        for i in range(n)
+    ]
+    return Table.from_rows(schema, rows)
+
+
+class TestTinyTables:
+    def test_cadview_on_12_rows(self):
+        cad = CADViewBuilder(CADViewConfig(iunits_k=2, seed=0)).build(
+            tiny_table(), pivot="group"
+        )
+        assert set(cad.pivot_values) == {"a", "b"}
+        for v in cad.pivot_values:
+            assert 1 <= len(cad.rows[v]) <= 2
+
+    def test_cadview_single_row_per_value(self):
+        schema = Schema([
+            Attribute("g", AttrKind.CATEGORICAL),
+            Attribute("x", AttrKind.CATEGORICAL),
+        ])
+        t = Table.from_rows(schema, [
+            {"g": "a", "x": "1"}, {"g": "b", "x": "2"},
+        ])
+        cad = CADViewBuilder(CADViewConfig(iunits_k=3, seed=0)).build(
+            t, pivot="g"
+        )
+        for v in cad.pivot_values:
+            assert len(cad.rows[v]) == 1
+            assert cad.rows[v][0].size == 1
+
+    def test_two_attribute_table(self):
+        schema = Schema([
+            Attribute("g", AttrKind.CATEGORICAL),
+            Attribute("x", AttrKind.NUMERIC),
+        ])
+        t = Table.from_rows(schema, [
+            {"g": ["a", "b"][i % 2], "x": float(i)} for i in range(30)
+        ])
+        cad = CADViewBuilder(CADViewConfig(seed=0)).build(t, pivot="g")
+        assert cad.compare_attributes == ("x",)
+
+
+class TestDegenerateDomains:
+    def test_constant_numeric_attribute(self):
+        schema = Schema([
+            Attribute("g", AttrKind.CATEGORICAL),
+            Attribute("x", AttrKind.NUMERIC),
+            Attribute("y", AttrKind.NUMERIC),
+        ])
+        t = Table.from_rows(schema, [
+            {"g": ["a", "b"][i % 2], "x": 5.0, "y": float(i % 7)}
+            for i in range(40)
+        ])
+        cad = CADViewBuilder(CADViewConfig(seed=0)).build(t, pivot="g")
+        # x is constant: its label domain is a single bin everywhere
+        assert cad.view.ncodes("x") == 1
+
+    def test_missing_heavy_column(self):
+        schema = Schema([
+            Attribute("g", AttrKind.CATEGORICAL),
+            Attribute("x", AttrKind.CATEGORICAL),
+            Attribute("mostly_missing", AttrKind.NUMERIC),
+        ])
+        rows = [
+            {
+                "g": ["a", "b"][i % 2],
+                "x": ["u", "v", "w"][i % 3],
+                "mostly_missing": 1.0 if i == 0 else None,
+            }
+            for i in range(40)
+        ]
+        t = Table.from_rows(schema, rows)
+        cad = CADViewBuilder(CADViewConfig(seed=0)).build(t, pivot="g")
+        assert cad.pivot_values == ("a", "b")
+
+    def test_all_missing_numeric_column_discretizes(self):
+        schema = Schema([
+            Attribute("g", AttrKind.CATEGORICAL),
+            Attribute("x", AttrKind.NUMERIC),
+        ])
+        t = Table.from_rows(schema, [
+            {"g": "a", "x": None}, {"g": "b", "x": None},
+        ])
+        view = Discretizer().fit(t)
+        assert view.ncodes("x") == 0
+        assert (view.codes("x") == -1).all()
+
+
+class TestFacetsEdges:
+    def test_empty_result_digest(self, mushroom):
+        engine = FacetedEngine(mushroom)
+        d = engine.digest({"odor": {"foul"}, "class": {"edible"}})
+        assert d.total == 0
+        assert d.values("class") == {}
+
+    def test_tpfacet_pivot_value_all_one_cluster(self, mushroom):
+        engine = FacetedEngine(mushroom)
+        s = TPFacetSession(engine, CADViewConfig(seed=1, iunits_k=3))
+        s.toggle("odor", "creosote")  # a rare value: small partition
+        s.set_pivot("class")
+        cad = s.cadview()
+        assert len(cad.pivot_values) >= 1
+
+    def test_explorer_cadview_over_empty_result(self, mushroom):
+        dbx = DBExplorer()
+        dbx.register("m", mushroom)
+        with pytest.raises(EmptyResultError):
+            dbx.execute(
+                "CREATE CADVIEW x AS SET pivot = class SELECT * FROM m "
+                "WHERE odor = foul AND class = edible"
+            )
+
+
+class TestUnicodeAndQuoting:
+    def test_quoted_values_with_spaces_and_accents(self):
+        schema = Schema([
+            Attribute("g", AttrKind.CATEGORICAL),
+            Attribute("name", AttrKind.CATEGORICAL),
+        ])
+        t = Table.from_rows(schema, [
+            {"g": "a", "name": "Citroën C4"},
+            {"g": "b", "name": "Škoda Octavia"},
+        ] * 10)
+        dbx = DBExplorer()
+        dbx.register("t", t)
+        r = dbx.execute("SELECT * FROM t WHERE name = 'Citroën C4'")
+        assert len(r) == 10
+
+    def test_csv_roundtrip_unicode(self, tmp_path):
+        schema = Schema([Attribute("name", AttrKind.CATEGORICAL)])
+        t = Table.from_rows(schema, [{"name": "żółć, \"quoted\""}])
+        path = str(tmp_path / "u.csv")
+        t.to_csv(path)
+        assert Table.from_csv(path, schema) == t

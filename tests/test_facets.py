@@ -1,0 +1,224 @@
+"""Tests for digests, the faceted engine, sessions, and TPFacet."""
+
+import numpy as np
+import pytest
+
+from repro.core import CADViewConfig
+from repro.errors import CADViewError, QueryError
+from repro.facets import (
+    Digest, FacetedEngine, FacetSession, Phase, TPFacetSession,
+)
+from repro.query import Eq
+
+
+@pytest.fixture(scope="module")
+def engine(mushroom):
+    return FacetedEngine(mushroom)
+
+
+@pytest.fixture(scope="module")
+def car_engine(cars):
+    return FacetedEngine(cars)
+
+
+class TestDigest:
+    def test_values_and_total(self, engine):
+        d = engine.digest({})
+        assert d.total == 3000
+        assert sum(d.values("class").values()) == 3000
+
+    def test_unknown_attribute(self, engine):
+        with pytest.raises(QueryError):
+            engine.digest({}).values("bogus")
+
+    def test_self_similarity_is_one(self, engine):
+        d = engine.digest({"odor": {"foul"}})
+        assert d.cosine_similarity(d) == pytest.approx(1.0)
+        assert d.distance(d) == pytest.approx(0.0)
+
+    def test_disjoint_selections_lower_similarity(self, engine):
+        foul = engine.digest({"odor": {"foul"}})
+        almond = engine.digest({"odor": {"almond"}})
+        assert foul.cosine_similarity(almond) < 0.95
+
+    def test_attribute_cosine_of_empty_attributes(self):
+        a = Digest({"x": {}}, 0)
+        b = Digest({"x": {}}, 0)
+        assert a.attribute_cosine(b, "x") == 1.0
+
+    def test_attribute_cosine_one_empty(self):
+        a = Digest({"x": {"v": 3}}, 3)
+        b = Digest({"x": {}}, 0)
+        assert a.attribute_cosine(b, "x") == 0.0
+
+    def test_no_shared_attributes_raises(self):
+        a = Digest({"x": {"v": 1}}, 1)
+        b = Digest({"y": {"v": 1}}, 1)
+        with pytest.raises(QueryError):
+            a.cosine_similarity(b)
+
+
+class TestFacetedEngine:
+    def test_facet_values(self, engine):
+        assert "foul" in engine.facet_values("odor")
+
+    def test_facet_values_unknown_attr(self, engine):
+        with pytest.raises(QueryError):
+            engine.facet_values("bogus")
+
+    def test_predicate_for_categorical(self, engine, mushroom):
+        p = engine.predicate_for("odor", "foul")
+        assert p == Eq("odor", "foul")
+
+    def test_predicate_for_unknown_value(self, engine):
+        with pytest.raises(QueryError):
+            engine.predicate_for("odor", "minty")
+
+    def test_numeric_ranges(self, car_engine):
+        values = car_engine.facet_values("Price")
+        assert all("-" in v for v in values)
+        p = car_engine.predicate_for("Price", values[0])
+        assert p.mask(car_engine.table).any()
+
+    def test_selection_semantics_or_within_and_across(self, engine, mushroom):
+        sels = {
+            "odor": {"foul", "pungent"},
+            "class": {"poisonous"},
+        }
+        result = engine.result(sels)
+        for row in result.head(50).iter_rows():
+            assert row["odor"] in ("foul", "pungent")
+            assert row["class"] == "poisonous"
+
+    def test_empty_selection_returns_all(self, engine, mushroom):
+        assert len(engine.result({})) == len(mushroom)
+
+    def test_digest_counts_match_result(self, engine):
+        sels = {"odor": {"foul"}}
+        d = engine.digest(sels)
+        result = engine.result(sels)
+        assert d.total == len(result)
+        assert d.values("class") == result.value_counts("class")
+
+    def test_hidden_attribute_not_facetable(self, cars):
+        e = FacetedEngine(cars)  # Engine is hidden in the car schema
+        assert "Engine" not in e.queriable
+        with pytest.raises(QueryError):
+            e.predicate_for("Engine", "V6")
+
+    def test_explicit_queriable_list(self, mushroom):
+        e = FacetedEngine(mushroom, queriable=["odor", "class"])
+        assert e.queriable == ("odor", "class")
+
+
+class TestFacetSession:
+    def test_toggle_select_deselect(self, engine):
+        s = FacetSession(engine)
+        s.toggle("odor", "foul")
+        assert s.selections == {"odor": {"foul"}}
+        s.toggle("odor", "foul")
+        assert s.selections == {}
+
+    def test_toggle_validates(self, engine):
+        s = FacetSession(engine)
+        with pytest.raises(QueryError):
+            s.toggle("odor", "minty")
+
+    def test_clear(self, engine):
+        s = FacetSession(engine)
+        s.toggle("odor", "foul")
+        s.toggle("class", "poisonous")
+        s.clear("odor")
+        assert "odor" not in s.selections
+        s.clear()
+        assert s.selections == {}
+
+    def test_operations_logged(self, engine):
+        s = FacetSession(engine)
+        s.toggle("odor", "foul")
+        s.digest()
+        s.count()
+        s.result()
+        kinds = [op[0] for op in s.operations]
+        assert kinds == ["toggle", "digest", "count", "result"]
+        assert s.operation_count == 4
+
+
+class TestTPFacetSession:
+    def make(self, engine):
+        return TPFacetSession(engine, CADViewConfig(seed=6))
+
+    def test_phase_toggle(self, engine):
+        s = self.make(engine)
+        assert s.phase is Phase.RESULTS
+        assert s.toggle_phase() is Phase.CAD_VIEW
+        assert s.toggle_phase() is Phase.RESULTS
+
+    def test_pivot_must_be_queriable(self, cars):
+        s = TPFacetSession(FacetedEngine(cars))
+        with pytest.raises(QueryError):
+            s.set_pivot("Engine")  # hidden attribute
+
+    def test_cadview_requires_pivot(self, engine):
+        s = self.make(engine)
+        with pytest.raises(CADViewError):
+            s.cadview()
+
+    def test_cadview_built_and_cached(self, engine):
+        s = self.make(engine)
+        s.set_pivot("gill-color")
+        a = s.cadview()
+        b = s.cadview()
+        assert a is b  # cached
+        assert s.phase is Phase.CAD_VIEW
+
+    def test_selection_invalidates_cadview(self, engine):
+        s = self.make(engine)
+        s.set_pivot("gill-color")
+        a = s.cadview()
+        s.toggle("bruises", "false")
+        b = s.cadview()
+        assert a is not b
+
+    def test_single_value_selections_excluded_from_compare(self, engine):
+        s = self.make(engine)
+        s.toggle("bruises", "false")
+        s.set_pivot("gill-color")
+        cad = s.cadview()
+        assert "bruises" not in cad.compare_attributes
+
+    def test_empty_result_raises(self, engine):
+        s = self.make(engine)
+        s.toggle("odor", "foul")
+        s.toggle("class", "edible")  # contradiction: no foul edibles
+        s.set_pivot("gill-color")
+        with pytest.raises(CADViewError):
+            s.cadview()
+
+    def test_click_iunit_requires_view(self, engine):
+        s = self.make(engine)
+        with pytest.raises(CADViewError):
+            s.click_iunit("brown", 1)
+
+    def test_click_iunit_returns_similar(self, engine):
+        s = self.make(engine)
+        s.set_pivot("gill-color")
+        cad = s.cadview()
+        hits = s.click_iunit(cad.pivot_values[0], 1, threshold=0.0)
+        assert len(hits) >= 1
+
+    def test_click_pivot_value_reorders(self, engine):
+        s = self.make(engine)
+        s.set_pivot("gill-color")
+        cad = s.cadview()
+        target = cad.pivot_values[2]
+        reordered = s.click_pivot_value(target)
+        assert reordered.pivot_values[0] == target
+
+    def test_operation_log_kinds(self, engine):
+        s = self.make(engine)
+        s.set_pivot("gill-color")
+        s.cadview()
+        s.click_iunit(s.cadview().pivot_values[0], 1, threshold=0.0)
+        kinds = {op[0] for op in s.operations}
+        assert {"pivot", "cadview", "click_iunit"} <= kinds

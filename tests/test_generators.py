@@ -1,0 +1,160 @@
+"""Tests for the dataset generators: scale, schema, and — crucially —
+the conditional dependency structure the CAD View is supposed to find."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.generators import (
+    CAR_CATALOG,
+    MUSHROOM_ATTRIBUTES,
+    generate_mushroom,
+    generate_usedcars,
+    mushroom_schema,
+    usedcars_schema,
+)
+from repro.query import Eq, QueryEngine
+
+
+class TestUsedCarsSchema:
+    def test_eleven_attributes(self):
+        assert len(usedcars_schema()) == 11
+
+    def test_engine_hidden_by_default(self):
+        assert "Engine" in usedcars_schema().hidden_names
+
+    def test_custom_queriable(self):
+        s = usedcars_schema(queriable=["Make", "Price"])
+        assert s.queriable_names == ("Make", "Price")
+
+
+class TestUsedCarsGeneration:
+    def test_deterministic(self):
+        a = generate_usedcars(500, seed=3)
+        b = generate_usedcars(500, seed=3)
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = generate_usedcars(500, seed=3)
+        b = generate_usedcars(500, seed=4)
+        assert a != b
+
+    def test_size(self, cars):
+        assert len(cars) == 6000
+
+    def test_model_determines_make(self, cars):
+        """Model -> Make is a functional dependency of the catalog."""
+        by_model = {}
+        for row in cars.head(2000).iter_rows():
+            by_model.setdefault(row["Model"], set()).add(row["Make"])
+        assert all(len(makes) == 1 for makes in by_model.values())
+
+    def test_model_determines_bodytype(self, cars):
+        by_model = {}
+        for row in cars.head(2000).iter_rows():
+            by_model.setdefault(row["Model"], set()).add(row["BodyType"])
+        assert all(len(bodies) == 1 for bodies in by_model.values())
+
+    def test_engine_respects_catalog_options(self, cars):
+        wranglers = QueryEngine.select(cars, Eq("Model", "Wrangler Unlimited"))
+        assert set(wranglers.distinct("Engine")) <= {"V6", "V8"}
+        assert set(wranglers.distinct("Drivetrain")) == {"4WD"}
+
+    def test_price_depreciates_with_age(self, cars):
+        years = cars["Year"].numbers
+        prices = cars["Price"].numbers
+        recent = prices[years >= 2012].mean()
+        old = prices[years <= 2006].mean()
+        assert recent > old * 1.5
+
+    def test_mileage_grows_with_age(self, cars):
+        years = cars["Year"].numbers
+        miles = cars["Mileage"].numbers
+        assert miles[years <= 2006].mean() > miles[years >= 2012].mean()
+
+    def test_v8_thirstier_than_v4(self, cars):
+        v8 = QueryEngine.select(cars, Eq("Engine", "V8"))
+        v4 = QueryEngine.select(cars, Eq("Engine", "V4"))
+        assert v4["FuelEconomy"].numbers.mean() > v8["FuelEconomy"].numbers.mean() + 2
+
+    def test_table1_makes_have_recent_suvs(self, cars):
+        """The paper's running example must stay reproducible."""
+        for make in ("Chevrolet", "Ford", "Honda", "Toyota", "Jeep"):
+            suvs = QueryEngine.select(
+                cars, Eq("Make", make) & Eq("BodyType", "SUV")
+            )
+            assert len(suvs) > 20, make
+            assert suvs["Year"].numbers.max() >= 2012, make
+
+    def test_no_missing_values(self, cars):
+        for name in cars.schema.names:
+            assert cars[name].missing_count() == 0, name
+
+    def test_catalog_positive_prices_and_weights(self):
+        for m in CAR_CATALOG:
+            assert m.base_price > 0
+            assert m.popularity > 0
+            assert all(w > 0 for _, w in m.engines)
+            assert all(w > 0 for _, w in m.drivetrains)
+
+
+class TestMushroom:
+    def test_schema_has_23_attributes(self):
+        assert len(mushroom_schema()) == 23
+        assert mushroom_schema().names == MUSHROOM_ATTRIBUTES
+
+    def test_all_categorical(self):
+        assert all(a.is_categorical for a in mushroom_schema())
+
+    def test_default_size_is_uci(self):
+        # only check the default parameter, not a full 8124-row generation
+        import inspect
+        from repro.dataset.generators import mushroom
+
+        sig = inspect.signature(mushroom.generate_mushroom)
+        assert sig.parameters["n"].default == 8124
+
+    def test_deterministic(self):
+        assert generate_mushroom(300, seed=5) == generate_mushroom(300, seed=5)
+
+    def test_class_roughly_balanced(self, mushroom):
+        counts = mushroom.value_counts("class")
+        frac = counts["edible"] / len(mushroom)
+        assert 0.45 < frac < 0.60
+
+    def test_odor_predicts_class(self, mushroom):
+        """Foul odor should be almost surely poisonous (UCI-like)."""
+        foul = QueryEngine.select(mushroom, Eq("odor", "foul"))
+        assert foul.value_counts("class").get("poisonous", 0) == len(foul)
+
+    def test_almond_is_edible(self, mushroom):
+        almond = QueryEngine.select(mushroom, Eq("odor", "almond"))
+        assert almond.value_counts("class").get("edible", 0) == len(almond)
+
+    def test_chocolate_spores_cooccur_with_foul(self, mushroom):
+        """Task 3's alternative condition must exist in the data."""
+        choc = QueryEngine.select(
+            mushroom, Eq("spore-print-color", "chocolate")
+        )
+        foul_share = choc.value_counts("odor").get("foul", 0) / len(choc)
+        assert foul_share > 0.75
+
+    def test_brown_white_gills_similar(self, mushroom):
+        """Task 2's ground truth: brown and white gill colors have
+        near-identical class-conditional generation."""
+        brown = QueryEngine.select(mushroom, Eq("gill-color", "brown"))
+        white = QueryEngine.select(mushroom, Eq("gill-color", "white"))
+        b = brown.value_counts("class").get("edible", 0) / len(brown)
+        w = white.value_counts("class").get("edible", 0) / len(white)
+        assert abs(b - w) < 0.12
+
+    def test_green_gills_poisonous(self, mushroom):
+        green = QueryEngine.select(mushroom, Eq("gill-color", "green"))
+        assert len(green) > 0
+        assert green.value_counts("class").get("poisonous", 0) == len(green)
+
+    def test_veil_type_constant(self, mushroom):
+        assert mushroom.distinct("veil-type") == ("partial",)
+
+    def test_no_missing(self, mushroom):
+        for name in mushroom.schema.names:
+            assert mushroom[name].missing_count() == 0

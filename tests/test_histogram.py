@@ -1,0 +1,114 @@
+"""Unit tests for the V-optimal histogram DP (Jagadish-Suel)."""
+
+import numpy as np
+import pytest
+
+from repro.discretize import bin_indices, v_optimal_bins, v_optimal_partition
+from repro.errors import QueryError
+
+
+def sse(w):
+    w = np.asarray(w, dtype=float)
+    return float(((w - w.mean()) ** 2).sum())
+
+
+def total_error(weights, ranges):
+    return sum(sse(weights[i:j]) for i, j in ranges)
+
+
+def brute_force_best(weights, b):
+    """Exhaustive optimal partition error for small inputs."""
+    n = len(weights)
+    best = [float("inf")]
+
+    def rec(start, remaining, acc):
+        if acc >= best[0]:
+            return
+        if remaining == 1:
+            best[0] = min(best[0], acc + sse(weights[start:]))
+            return
+        for cut in range(start + 1, n - remaining + 2):
+            rec(cut, remaining - 1, acc + sse(weights[start:cut]))
+
+    rec(0, b, 0.0)
+    return best[0]
+
+
+class TestPartition:
+    def test_covers_and_is_contiguous(self):
+        w = [1, 1, 9, 9, 1, 1]
+        ranges = v_optimal_partition(w, 3)
+        assert ranges[0][0] == 0 and ranges[-1][1] == len(w)
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c
+
+    def test_obvious_split(self):
+        w = [1, 1, 1, 100, 100, 100]
+        ranges = v_optimal_partition(w, 2)
+        assert ranges == [(0, 3), (3, 6)]
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        for trial in range(10):
+            w = rng.integers(0, 50, size=8).astype(float)
+            for b in (2, 3, 4):
+                ranges = v_optimal_partition(w, b)
+                assert total_error(w, ranges) == pytest.approx(
+                    brute_force_best(w, b), abs=1e-9
+                )
+
+    def test_more_buckets_than_items(self):
+        ranges = v_optimal_partition([5.0, 6.0], 10)
+        assert len(ranges) == 2
+
+    def test_single_bucket(self):
+        ranges = v_optimal_partition([1, 2, 3], 1)
+        assert ranges == [(0, 3)]
+
+    def test_empty_raises(self):
+        with pytest.raises(QueryError):
+            v_optimal_partition([], 2)
+
+    def test_zero_buckets_raises(self):
+        with pytest.raises(QueryError):
+            v_optimal_partition([1.0], 0)
+
+
+class TestVOptimalBins:
+    def test_separates_modes(self):
+        rng = np.random.default_rng(1)
+        vals = np.concatenate([
+            rng.normal(0, 0.5, 400), rng.normal(10, 0.5, 400),
+        ])
+        bins = v_optimal_bins(vals, 4)
+        # the empty region between the modes must be isolated: the bin
+        # containing the midpoint (5.0) holds almost no tuples
+        idx = bin_indices(vals, bins)
+        counts = np.bincount(idx[idx >= 0], minlength=len(bins))
+        mid_bin = next(i for i, b in enumerate(bins) if b.contains(5.0))
+        # (the gap bin also absorbs the low-count mode tails)
+        assert counts[mid_bin] < 0.12 * len(vals)
+        # and neither mode is split away into the gap bin
+        assert counts.max() > 0.3 * len(vals)
+
+    def test_all_values_covered(self):
+        rng = np.random.default_rng(2)
+        vals = rng.exponential(5.0, 1000)
+        bins = v_optimal_bins(vals, 6)
+        idx = bin_indices(vals, bins)
+        assert (idx >= 0).all()
+
+    def test_pre_aggregation_kicks_in(self):
+        vals = np.linspace(0, 1, 5000)  # 5000 distinct values
+        bins = v_optimal_bins(vals, 5, max_distinct=64)
+        assert 1 <= len(bins) <= 5
+        idx = bin_indices(vals, bins)
+        assert (idx >= 0).all()
+
+    def test_all_missing_raises(self):
+        with pytest.raises(QueryError):
+            v_optimal_bins([np.nan], 3)
+
+    def test_fewer_distinct_than_bins(self):
+        bins = v_optimal_bins([1.0, 2.0, 1.0], 5)
+        assert len(bins) <= 2

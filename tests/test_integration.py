@@ -1,0 +1,130 @@
+"""Cross-module integration tests: the paper's flows end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CADViewBuilder, CADViewConfig, DBExplorer, generate_usedcars,
+)
+from repro.core.optimizer import recommended_config
+from repro.facets import FacetedEngine, TPFacetSession
+from repro.query import QueryEngine, parse_predicate
+
+
+class TestMaryScenario:
+    """Example 1 of the paper, end to end through the SQL dialect."""
+
+    @pytest.fixture(scope="class")
+    def dbx(self, cars):
+        d = DBExplorer(CADViewConfig(seed=1))
+        d.register("D", cars)
+        return d
+
+    def test_initial_lookup_query(self, dbx):
+        r = dbx.execute(
+            "SELECT * FROM D WHERE Mileage BETWEEN 10K AND 30K AND "
+            "Transmission = Automatic AND BodyType = SUV"
+        )
+        assert len(r) > 100  # "a large result set with thousands of tuples"
+
+    def test_cadview_then_highlight_then_reorder(self, dbx):
+        cad = dbx.execute(
+            "CREATE CADVIEW M AS SET pivot = Make SELECT Price FROM D "
+            "WHERE Mileage BETWEEN 10K AND 30K AND Transmission = Automatic "
+            "AND BodyType = SUV AND Make IN (Jeep, Toyota, Honda, Ford, "
+            "Chevrolet) LIMIT COLUMNS 5 IUNITS 3"
+        )
+        # conditional context: the Year ranges reflect the low mileage
+        years = cad.view.labels("Year")
+        assert all(int(label.split("-")[0]) >= 2008 for label in years)
+
+        hits = dbx.execute(
+            "HIGHLIGHT SIMILAR IUNITS IN M WHERE SIMILARITY(Chevrolet, 1) > 2.0"
+        )
+        for ref, sim in hits:
+            assert sim > 2.0
+
+        reordered = dbx.execute(
+            "REORDER ROWS IN M ORDER BY SIMILARITY(Chevrolet) DESC"
+        )
+        assert reordered.pivot_values[0] == "Chevrolet"
+
+    def test_hidden_attribute_selectable_via_surrogate(self, dbx, cars):
+        """Limitation 2: pick V4 engines without the Engine facet by
+        using an IUnit's queriable labels as the selection."""
+        # the user pins Engine (a hidden attribute) as a Compare
+        # Attribute — allowed by the query model even though the facet
+        # panel cannot select it
+        cad = dbx.execute(
+            "CREATE CADVIEW H AS SET pivot = Make SELECT Engine, Model, "
+            "Price FROM D WHERE BodyType = SUV AND Make = Jeep IUNITS 3"
+        )
+        assert "Engine" in cad.compare_attributes
+        # find an IUnit whose Engine display is V4
+        v4_units = [
+            u for u in cad.all_iunits() if u.display.get("Engine") == ("V4",)
+        ]
+        assert v4_units
+        unit = v4_units[0]
+        # select using the *queriable* compare attributes of that IUnit
+        view = cad.view
+        preds = []
+        for attr in cad.compare_attributes:
+            if attr == "Engine" or not unit.display.get(attr):
+                continue
+            if not cars.schema[attr].queriable:
+                continue
+            code = view.code_of(attr, unit.display[attr][0])
+            preds.append(view.predicate_for(attr, code))
+            if len(preds) == 2:
+                break
+        selection = preds[0]
+        for p in preds[1:]:
+            selection = selection & p
+        picked = QueryEngine.select(cars, selection)
+        v4_share = picked.value_counts("Engine").get("V4", 0) / len(picked)
+        assert v4_share > 0.5  # the surrogate mostly selects V4s
+
+
+class TestScaleAndOptimizations:
+    def test_interactive_latency_at_scale(self):
+        """Sec. 6.3's headline: optimized CAD View under ~1s at 40K.
+
+        We build 20K rows to keep the suite fast; our numpy substrate is
+        ~10x faster than the paper's stack, so the margin is wide.
+        """
+        cars = generate_usedcars(20_000, seed=5)
+        pred = parse_predicate("Transmission = Automatic")
+        result = QueryEngine.select(cars, pred)
+        cfg = recommended_config(
+            CADViewConfig(compare_limit=5, iunits_k=3, seed=0), len(result)
+        )
+        cad = CADViewBuilder(cfg).build(result, "Make",
+                                        exclude=("Transmission",))
+        assert cad.profile.total_s < 1.0
+
+    def test_profile_three_way_split(self, cars):
+        result = QueryEngine.select(cars, parse_predicate("BodyType = SUV"))
+        cad = CADViewBuilder(CADViewConfig(seed=0)).build(
+            result, "Make", exclude=("BodyType",)
+        )
+        p = cad.profile.as_dict()
+        assert set(p) >= {"compare_attrs_s", "iunits_s", "others_s", "total_s"}
+
+
+class TestTPFacetFlow:
+    def test_full_session(self, mushroom):
+        engine = FacetedEngine(mushroom)
+        s = TPFacetSession(engine, CADViewConfig(seed=2))
+        s.toggle("bruises", "false")
+        assert s.count() < len(mushroom)
+        s.set_pivot("odor")
+        cad = s.cadview()
+        assert cad.pivot_attribute == "odor"
+        # click-to-highlight then click-to-reorder
+        first_value = cad.pivot_values[0]
+        s.click_iunit(first_value, 1, threshold=0.0)
+        reordered = s.click_pivot_value(first_value)
+        assert reordered.pivot_values[0] == first_value
+        # selections survive the CAD phase
+        assert s.selections == {"bruises": {"false"}}

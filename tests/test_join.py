@@ -1,0 +1,108 @@
+"""Unit tests for hash equi-joins."""
+
+import pytest
+
+from repro.dataset import AttrKind, Attribute, Schema, Table
+from repro.errors import QueryError, TypeMismatchError
+from repro.query import hash_join
+
+
+@pytest.fixture()
+def orders():
+    schema = Schema([
+        Attribute("order_id", AttrKind.ORDINAL),
+        Attribute("customer", AttrKind.CATEGORICAL),
+        Attribute("amount", AttrKind.NUMERIC),
+    ])
+    return Table.from_rows(schema, [
+        {"order_id": 1, "customer": "ann", "amount": 10.0},
+        {"order_id": 2, "customer": "bob", "amount": 20.0},
+        {"order_id": 3, "customer": "ann", "amount": 30.0},
+        {"order_id": 4, "customer": None, "amount": 40.0},
+        {"order_id": 5, "customer": "zoe", "amount": 50.0},
+    ])
+
+
+@pytest.fixture()
+def customers():
+    schema = Schema([
+        Attribute("customer", AttrKind.CATEGORICAL),
+        Attribute("city", AttrKind.CATEGORICAL),
+        Attribute("amount", AttrKind.NUMERIC),  # name collision on purpose
+    ])
+    return Table.from_rows(schema, [
+        {"customer": "ann", "city": "Paris", "amount": 1.0},
+        {"customer": "bob", "city": "Lyon", "amount": 2.0},
+        {"customer": "cat", "city": "Nice", "amount": 3.0},
+    ])
+
+
+class TestInnerJoin:
+    def test_matching_rows(self, orders, customers):
+        j = hash_join(orders, customers, on=("customer", "customer"))
+        assert len(j) == 3  # ann x2 + bob; zoe and NULL drop
+        cities = {r["order_id"]: r["city"] for r in j.iter_rows()}
+        assert cities == {1.0: "Paris", 2.0: "Lyon", 3.0: "Paris"}
+
+    def test_shared_key_column_not_duplicated(self, orders, customers):
+        j = hash_join(orders, customers, on=("customer", "customer"))
+        assert j.schema.names.count("customer") == 1
+
+    def test_collision_suffixed(self, orders, customers):
+        j = hash_join(orders, customers, on=("customer", "customer"))
+        assert "amount" in j.schema.names
+        assert "amount_r" in j.schema.names
+        row = next(r for r in j.iter_rows() if r["order_id"] == 2.0)
+        assert row["amount"] == 20.0 and row["amount_r"] == 2.0
+
+    def test_one_to_many_fanout(self, orders, customers):
+        # join from customers to orders: ann matches 2 orders
+        j = hash_join(customers, orders, on=("customer", "customer"))
+        ann = [r for r in j.iter_rows() if r["customer"] == "ann"]
+        assert len(ann) == 2
+
+    def test_null_keys_never_match(self, orders, customers):
+        j = hash_join(orders, customers, on=("customer", "customer"))
+        assert all(r["customer"] is not None for r in j.iter_rows())
+
+
+class TestLeftJoin:
+    def test_unmatched_left_kept_with_missing(self, orders, customers):
+        j = hash_join(orders, customers, on=("customer", "customer"),
+                      how="left")
+        assert len(j) == 5
+        zoe = next(r for r in j.iter_rows() if r["customer"] == "zoe")
+        assert zoe["city"] is None
+
+    def test_null_key_row_kept(self, orders, customers):
+        j = hash_join(orders, customers, on=("customer", "customer"),
+                      how="left")
+        nulls = [r for r in j.iter_rows() if r["customer"] is None]
+        assert len(nulls) == 1 and nulls[0]["city"] is None
+
+
+class TestValidation:
+    def test_unknown_how(self, orders, customers):
+        with pytest.raises(QueryError):
+            hash_join(orders, customers, on=("customer", "customer"),
+                      how="outer")
+
+    def test_kind_mismatch(self, orders, customers):
+        with pytest.raises(TypeMismatchError):
+            hash_join(orders, customers, on=("amount", "customer"))
+
+    def test_unknown_key(self, orders, customers):
+        with pytest.raises(KeyError):
+            hash_join(orders, customers, on=("bogus", "customer"))
+
+    def test_different_key_names(self, orders):
+        other = Table.from_rows(
+            Schema([
+                Attribute("name", AttrKind.CATEGORICAL),
+                Attribute("vip", AttrKind.CATEGORICAL),
+            ]),
+            [{"name": "ann", "vip": "yes"}],
+        )
+        j = hash_join(orders, other, on=("customer", "name"))
+        assert len(j) == 2
+        assert "name" in j.schema.names  # different names both kept

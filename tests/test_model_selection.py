@@ -1,0 +1,73 @@
+"""Unit tests for cluster-count selection."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import select_num_clusters
+from repro.errors import QueryError
+
+
+def blobs(k, n=120, seed=0, spread=0.25):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-10, 10, (k, 2))
+    return np.vstack([
+        rng.normal(c, spread, (n, 2)) for c in centers
+    ])
+
+
+class TestSilhouette:
+    def test_recovers_three_blobs(self):
+        X = blobs(3, seed=1)
+        choice = select_num_clusters(X, candidates=range(2, 7),
+                                     method="silhouette", seed=1)
+        assert choice.best_k == 3
+
+    def test_recovers_five_blobs(self):
+        X = blobs(5, seed=2)
+        choice = select_num_clusters(X, candidates=range(2, 9),
+                                     method="silhouette", seed=2)
+        assert choice.best_k == 5
+
+    def test_scores_trace_complete(self):
+        X = blobs(3, seed=3)
+        choice = select_num_clusters(X, candidates=(2, 3, 4), seed=0)
+        assert [k for k, _ in choice.scores] == [2, 3, 4]
+
+
+class TestElbow:
+    def test_elbow_near_true_k(self):
+        X = blobs(4, seed=4)
+        choice = select_num_clusters(X, candidates=range(2, 10),
+                                     method="elbow", seed=4)
+        assert choice.best_k in (3, 4, 5)
+
+    def test_method_recorded(self):
+        X = blobs(2, seed=5)
+        choice = select_num_clusters(X, candidates=(2, 3), method="elbow")
+        assert choice.method == "elbow"
+
+
+class TestValidation:
+    def test_unknown_method(self):
+        with pytest.raises(QueryError):
+            select_num_clusters(blobs(2), method="aic")
+
+    def test_candidates_below_two(self):
+        with pytest.raises(QueryError):
+            select_num_clusters(blobs(2), candidates=(1,))
+
+    def test_bad_shape(self):
+        with pytest.raises(QueryError):
+            select_num_clusters(np.zeros(5))
+
+    def test_sampling_caps_rows(self):
+        X = blobs(3, n=2000, seed=6)
+        choice = select_num_clusters(
+            X, candidates=(2, 3, 4), sample=300, seed=6
+        )
+        assert choice.best_k == 3
+
+    def test_candidates_beyond_rows_skipped(self):
+        X = blobs(2, n=3, seed=7)  # 6 rows total
+        choice = select_num_clusters(X, candidates=(2, 50), sample=None)
+        assert choice.best_k == 2

@@ -1,0 +1,102 @@
+"""Unit tests for the Wilcoxon signed-rank test."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.stats import wilcoxon_signed_rank
+
+
+class TestExact:
+    def test_known_textbook_case(self):
+        """Classic example: n=8, W+ computed by hand.
+
+        Differences 4,-2,6,8,-1,3,5,7 -> |d| ranks 1..8, W+ = sum of
+        ranks of positive d.  Verify against scipy-reported two-sided
+        exact p for this configuration (0.1484375 for W=4.. compute
+        directly instead: test internal consistency + symmetry).
+        """
+        x = np.array([14.0, 8.0, 16.0, 18.0, 9.0, 13.0, 15.0, 17.0])
+        y = np.array([10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0])
+        res = wilcoxon_signed_rank(x, y)
+        assert res.method == "exact"
+        assert res.n == 8
+        # swapping arguments mirrors the statistic and keeps p
+        mirrored = wilcoxon_signed_rank(y, x)
+        assert res.p_value == pytest.approx(mirrored.p_value)
+        assert res.statistic + mirrored.statistic == 8 * 9 / 2
+
+    def test_all_positive_differences_extreme(self):
+        x = np.arange(1.0, 11.0) + 5.0
+        y = np.arange(1.0, 11.0)
+        res = wilcoxon_signed_rank(x, y)
+        assert res.statistic == 55.0  # all ranks positive
+        # most extreme outcome: p = 2 / 2^10
+        assert res.p_value == pytest.approx(2 / 2**10)
+
+    def test_scipy_agreement_exact(self):
+        from scipy.stats import wilcoxon as scipy_wilcoxon
+
+        rng = np.random.default_rng(3)
+        for trial in range(8):
+            x = rng.normal(0, 1, 12)
+            y = x + rng.normal(0.3, 1, 12)
+            if np.any(x == y):
+                continue
+            ours = wilcoxon_signed_rank(x, y)
+            ref = scipy_wilcoxon(x, y, mode="exact")
+            assert ours.p_value == pytest.approx(ref.pvalue, abs=1e-9), trial
+
+    def test_identical_samples(self):
+        x = np.ones(6)
+        res = wilcoxon_signed_rank(x, x)
+        assert res.n == 0 and res.p_value == 1.0
+
+    def test_zero_differences_dropped(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([1.0, 1.0, 4.0, 3.0])
+        res = wilcoxon_signed_rank(x, y)
+        assert res.n == 3
+
+    def test_balanced_case_p_one(self):
+        x = np.array([1.0, -1.0])
+        y = np.zeros(2)
+        res = wilcoxon_signed_rank(x, y)
+        assert res.p_value == 1.0
+
+
+class TestNormalApprox:
+    def test_large_n_shifts_detected(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(0, 1, 60)
+        y = x + 0.8 + rng.normal(0, 0.3, 60)
+        res = wilcoxon_signed_rank(x, y)
+        assert res.method == "normal"
+        assert res.p_value < 0.001
+
+    def test_large_n_null_not_significant(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(0, 1, 80)
+        y = x + rng.normal(0, 1, 80)
+        res = wilcoxon_signed_rank(x, y)
+        assert res.p_value > 0.01
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(QueryError):
+            wilcoxon_signed_rank([1.0, 2.0], [1.0])
+
+
+class TestOnStudyData:
+    def test_agrees_with_mixed_model_direction(self, mushroom):
+        """Nonparametric robustness check on the actual study output."""
+        from repro.study import run_study
+
+        results = run_study(mushroom, seed=2016)
+        table = results.table("classifier", "minutes")
+        solr = [table[u]["Solr"] for u in sorted(table)]
+        tp = [table[u]["TPFacet"] for u in sorted(table)]
+        res = wilcoxon_signed_rank(solr, tp)
+        assert res.p_value < 0.05  # the big time effect survives
+        assert np.median(np.array(solr) - np.array(tp)) > 0

@@ -1,0 +1,201 @@
+"""Unit tests for the SQL/CADVIEW parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query import (
+    Between, CreateCadViewStatement, Eq, HighlightSimilarStatement, In,
+    ReorderRowsStatement, SelectStatement, parse, parse_predicate,
+)
+from repro.query.parser import tokenize
+
+
+class TestTokenizer:
+    def test_k_suffix(self):
+        toks = tokenize("10K 2.5k 3M")
+        assert [t.value for t in toks] == [10_000.0, 2_500.0, 3_000_000.0]
+
+    def test_string_escapes(self):
+        (tok,) = tokenize("'O''Hare'")
+        assert tok.value == "O'Hare"
+
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("select From WHERE")
+        assert [t.value for t in toks] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        (tok,) = tokenize("BodyType")
+        assert tok.kind == "ident" and tok.value == "BodyType"
+
+    def test_junk_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+    def test_operators(self):
+        toks = tokenize("<> != <= >= = < >")
+        assert [t.value for t in toks] == ["<>", "!=", "<=", ">=", "=", "<", ">"]
+
+
+class TestPredicateParsing:
+    def test_bare_identifier_is_string(self):
+        p = parse_predicate("Transmission = Automatic")
+        assert p == Eq("Transmission", "Automatic")
+
+    def test_quoted_string(self):
+        p = parse_predicate("Model = 'Escape XLT'")
+        assert p == Eq("Model", "Escape XLT")
+
+    def test_between_with_k(self):
+        p = parse_predicate("Mileage BETWEEN 10K AND 30K")
+        assert p == Between("Mileage", 10_000, 30_000)
+
+    def test_in_list(self):
+        p = parse_predicate("Make IN (Jeep, Toyota)")
+        assert p == In("Make", ["Jeep", "Toyota"])
+
+    def test_precedence_and_binds_tighter(self):
+        p = parse_predicate("a = 1 OR b = 2 AND c = 3")
+        assert p.to_sql() == "a = 1 OR (b = 2 AND c = 3)"
+
+    def test_parentheses(self):
+        p = parse_predicate("(a = 1 OR b = 2) AND c = 3")
+        assert p.to_sql() == "(a = 1 OR b = 2) AND c = 3"
+
+    def test_not(self):
+        p = parse_predicate("NOT a = 1")
+        assert p.to_sql() == "NOT (a = 1)"
+
+    def test_is_null_and_not_null(self):
+        assert parse_predicate("a IS NULL").to_sql() == "a IS NULL"
+        assert parse_predicate("a IS NOT NULL").to_sql() == "NOT (a IS NULL)"
+
+    def test_comparisons(self):
+        assert parse_predicate("Price >= 5K").to_sql() == "Price >= 5000"
+        assert parse_predicate("a <> b").to_sql() == "a <> 'b'"
+
+    def test_trailing_junk_raises(self):
+        with pytest.raises(ParseError):
+            parse_predicate("a = 1 b")
+
+    def test_roundtrip_through_to_sql(self):
+        text = "Mileage BETWEEN 10000 AND 30000 AND (Make = 'Jeep' OR Make = 'Ford')"
+        p = parse_predicate(text)
+        assert parse_predicate(p.to_sql()) == p
+
+
+class TestSelectStatement:
+    def test_star(self):
+        stmt = parse("SELECT * FROM D")
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.columns == () and stmt.table == "D"
+
+    def test_columns_where_order_limit(self):
+        stmt = parse(
+            "SELECT a, b FROM D WHERE a = 1 ORDER BY b DESC, a LIMIT 10"
+        )
+        assert stmt.columns == ("a", "b")
+        assert stmt.where == Eq("a", 1)
+        assert stmt.order_by[0].attribute == "b"
+        assert not stmt.order_by[0].ascending
+        assert stmt.order_by[1].ascending
+        assert stmt.limit == 10
+
+    def test_semicolon_ok(self):
+        assert isinstance(parse("SELECT * FROM D;"), SelectStatement)
+
+    def test_trailing_input_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM D garbage")
+
+
+class TestCadViewStatement:
+    PAPER = """
+        CREATE CADVIEW CompareMakes AS
+        SET pivot = Make
+        SELECT Price
+        FROM UsedCars
+        WHERE Mileage BETWEEN 10K AND 30K AND
+        Transmission = Automatic AND BodyType = SUV AND
+        (Make = Jeep OR Make = Toyota OR Make = Honda OR
+        Make = Ford OR Make = Chevrolet)
+        LIMIT COLUMNS 5 IUNITS 3
+    """
+
+    def test_paper_example_verbatim(self):
+        stmt = parse(self.PAPER)
+        assert isinstance(stmt, CreateCadViewStatement)
+        assert stmt.name == "CompareMakes"
+        assert stmt.pivot == "Make"
+        assert stmt.select == ("Price",)
+        assert stmt.table == "UsedCars"
+        assert stmt.limit_columns == 5
+        assert stmt.iunits == 3
+
+    def test_minimal(self):
+        stmt = parse("CREATE CADVIEW v AS SET pivot = a SELECT * FROM t")
+        assert stmt.select == ()
+        assert stmt.limit_columns is None and stmt.iunits is None
+
+    def test_order_by(self):
+        stmt = parse(
+            "CREATE CADVIEW v AS SET pivot = a SELECT * FROM t "
+            "ORDER BY Price ASC"
+        )
+        assert stmt.order_by[0].attribute == "Price"
+
+    def test_missing_pivot_raises(self):
+        with pytest.raises(ParseError):
+            parse("CREATE CADVIEW v AS SELECT * FROM t")
+
+
+class TestSimilarityStatements:
+    def test_highlight(self):
+        stmt = parse(
+            "HIGHLIGHT SIMILAR IUNITS IN CompareMakes "
+            "WHERE SIMILARITY(Chevrolet, 3) > 3.5"
+        )
+        assert isinstance(stmt, HighlightSimilarStatement)
+        assert stmt.view == "CompareMakes"
+        assert stmt.pivot_value == "Chevrolet"
+        assert stmt.iunit_id == 3
+        assert stmt.threshold == 3.5
+
+    def test_highlight_quoted_value(self):
+        stmt = parse(
+            "HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY('Escape XLT', 1) >= 2"
+        )
+        assert stmt.pivot_value == "Escape XLT"
+
+    def test_reorder(self):
+        stmt = parse(
+            "REORDER ROWS IN CompareMakes ORDER BY SIMILARITY(Chevrolet) DESC"
+        )
+        assert isinstance(stmt, ReorderRowsStatement)
+        assert stmt.pivot_value == "Chevrolet"
+        assert stmt.descending
+
+    def test_reorder_asc(self):
+        stmt = parse("REORDER ROWS IN v ORDER BY SIMILARITY(x) ASC")
+        assert not stmt.descending
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ParseError):
+            parse("HIGHLIGHT SIMILAR IUNITS IN v WHERE SIMILARITY(a) > 1")
+
+
+class TestErrors:
+    def test_empty_statement(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(ParseError):
+            parse("DELETE FROM t")
+
+    def test_error_carries_position(self):
+        try:
+            parse_predicate("a = ")
+        except ParseError as e:
+            assert "end of statement" in str(e)
+        else:
+            pytest.fail("expected ParseError")

@@ -1,0 +1,101 @@
+"""Property-based tests of the parser: generated predicates round-trip
+through ``to_sql`` and evaluate identically."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import AttrKind, Attribute, Schema, Table
+from repro.query import parse_predicate
+from repro.query.predicates import (
+    And, Between, Cmp, Eq, In, IsMissing, Ne, Not, Or, Predicate,
+)
+
+SCHEMA = Schema([
+    Attribute("cat", AttrKind.CATEGORICAL),
+    Attribute("num", AttrKind.NUMERIC),
+])
+
+TABLE = Table.from_rows(SCHEMA, [
+    {"cat": c, "num": n}
+    for c in ("alpha", "beta", "gamma", None)
+    for n in (0.0, 1.5, 7.0, 42.0, None)
+])
+
+_cat_values = st.sampled_from(["alpha", "beta", "gamma", "it's"])
+_num_values = st.floats(min_value=-100, max_value=100, allow_nan=False,
+                        width=16)
+
+
+def _leaf() -> st.SearchStrategy[Predicate]:
+    return st.one_of(
+        st.builds(Eq, st.just("cat"), _cat_values),
+        st.builds(Ne, st.just("cat"), _cat_values),
+        st.builds(
+            In, st.just("cat"),
+            st.lists(_cat_values, min_size=1, max_size=3),
+        ),
+        st.builds(Eq, st.just("num"), _num_values),
+        st.builds(
+            lambda lo, d: Between("num", lo, lo + abs(d)),
+            _num_values, _num_values,
+        ),
+        st.builds(Cmp, st.just("num"), st.sampled_from(["<", "<=", ">", ">="]),
+                  _num_values),
+        st.builds(IsMissing, st.sampled_from(["cat", "num"])),
+    )
+
+
+def _predicates() -> st.SearchStrategy[Predicate]:
+    return st.recursive(
+        _leaf(),
+        lambda children: st.one_of(
+            st.builds(lambda a, b: And([a, b]), children, children),
+            st.builds(lambda a, b: Or([a, b]), children, children),
+            st.builds(Not, children),
+        ),
+        max_leaves=8,
+    )
+
+
+@given(_predicates())
+@settings(max_examples=150)
+def test_roundtrip_parse_of_to_sql(pred):
+    """parse_predicate(p.to_sql()) evaluates exactly like p."""
+    text = pred.to_sql()
+    reparsed = parse_predicate(text)
+    assert np.array_equal(reparsed.mask(TABLE), pred.mask(TABLE)), text
+
+
+@given(_predicates())
+@settings(max_examples=100)
+def test_to_sql_stable_under_reparse(pred):
+    """to_sql is a fixed point after one round of parsing."""
+    once = parse_predicate(pred.to_sql()).to_sql()
+    twice = parse_predicate(once).to_sql()
+    assert once == twice
+
+
+@given(_predicates())
+@settings(max_examples=100)
+def test_double_negation(pred):
+    lhs = Not(Not(pred)).mask(TABLE)
+    assert np.array_equal(lhs, pred.mask(TABLE))
+
+
+@given(_predicates(), _predicates())
+@settings(max_examples=100)
+def test_and_or_absorption(p, q):
+    """p AND (p OR q) == p on every table."""
+    lhs = And([p, Or([p, q])]).mask(TABLE)
+    assert np.array_equal(lhs, p.mask(TABLE))
+
+
+@given(_predicates())
+@settings(max_examples=100)
+def test_mask_is_pure(pred):
+    a = pred.mask(TABLE)
+    b = pred.mask(TABLE)
+    assert np.array_equal(a, b)
+    assert a.dtype == bool and a.shape == (len(TABLE),)

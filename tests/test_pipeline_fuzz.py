@@ -1,0 +1,87 @@
+"""Pipeline fuzz: random small tables through the full CAD View build.
+
+Whatever (reasonable) table hypothesis generates, the builder must
+either raise a library error it documents or produce a structurally
+valid CAD View: rows for exactly the present pivot values, candidate
+IUnits that partition each pivot partition, consecutive 1-based uids,
+and similarity operations that do not crash.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CADViewBuilder, CADViewConfig, Table
+from repro.dataset import AttrKind, Attribute, Schema
+from repro.errors import ReproError
+
+
+@st.composite
+def random_table(draw):
+    n_rows = draw(st.integers(6, 60))
+    n_cat = draw(st.integers(1, 3))
+    n_num = draw(st.integers(0, 2))
+    attrs = [Attribute("pivot", AttrKind.CATEGORICAL)]
+    attrs += [
+        Attribute(f"c{i}", AttrKind.CATEGORICAL) for i in range(n_cat)
+    ]
+    attrs += [Attribute(f"n{i}", AttrKind.NUMERIC) for i in range(n_num)]
+    schema = Schema(attrs)
+
+    pivot_card = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n_rows):
+        row = {"pivot": f"p{rng.integers(pivot_card)}"}
+        for i in range(n_cat):
+            # occasional missing values
+            if rng.random() < 0.05:
+                row[f"c{i}"] = None
+            else:
+                row[f"c{i}"] = f"v{rng.integers(1, 5)}"
+        for i in range(n_num):
+            row[f"n{i}"] = (
+                None if rng.random() < 0.05
+                else float(np.round(rng.normal(0, 10), 2))
+            )
+        rows.append(row)
+    return Table.from_rows(schema, rows)
+
+
+@given(random_table(), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_build_is_structurally_valid_or_raises_library_error(table, k):
+    builder = CADViewBuilder(CADViewConfig(iunits_k=k, seed=0))
+    try:
+        cad = builder.build(table, pivot="pivot")
+    except ReproError:
+        return  # a documented failure mode is acceptable
+
+    present = set(table.value_counts("pivot"))
+    assert set(cad.pivot_values) == present
+    assert 1 <= len(cad.compare_attributes) <= cad.config.compare_limit
+    assert "pivot" not in cad.compare_attributes
+
+    for value in cad.pivot_values:
+        row = cad.rows[value]
+        assert 1 <= len(row) <= k
+        assert [u.uid for u in row] == list(range(1, len(row) + 1))
+        # candidates partition the pivot value's tuples
+        total = sum(u.size for u in cad.candidates[value])
+        assert total == table.value_counts("pivot")[value]
+        for unit in row:
+            assert unit.pivot_value == value
+            for attr in cad.compare_attributes:
+                dist = np.asarray(unit.distributions[attr])
+                assert (dist >= 0).all()
+                assert dist.sum() <= unit.size + 1e-9
+
+    # the similarity operations never crash on a valid view
+    first = cad.pivot_values[0]
+    hits = cad.similar_iunits(first, 1, threshold=0.0)
+    assert all(s >= 0.0 for _, s in hits)
+    reordered = cad.reorder_by_similarity(first)
+    assert reordered.pivot_values[0] == first
+    assert set(reordered.pivot_values) == set(cad.pivot_values)

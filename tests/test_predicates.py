@@ -1,0 +1,137 @@
+"""Unit tests for the predicate algebra."""
+
+import numpy as np
+import pytest
+
+from repro.query import (
+    And, Between, Cmp, Eq, In, IsMissing, Ne, Not, Or, TruePred,
+)
+from repro.errors import QueryError, TypeMismatchError
+
+
+def rows(table, pred):
+    return [i for i, v in enumerate(pred.mask(table)) if v]
+
+
+class TestLeaves:
+    def test_true_pred(self, toy_table):
+        assert rows(toy_table, TruePred()) == list(range(8))
+
+    def test_eq_categorical(self, toy_table):
+        assert rows(toy_table, Eq("city", "Lyon")) == [3, 4]
+
+    def test_eq_unknown_value_matches_nothing(self, toy_table):
+        assert rows(toy_table, Eq("city", "Atlantis")) == []
+
+    def test_eq_numeric(self, toy_table):
+        assert rows(toy_table, Eq("stars", 5)) == [0, 5]
+
+    def test_eq_numeric_with_text_raises(self, toy_table):
+        with pytest.raises(TypeMismatchError):
+            Eq("price", "cheap").mask(toy_table)
+
+    def test_ne_excludes_missing(self, toy_table):
+        # row 7 has missing city; Ne must not match it
+        got = rows(toy_table, Ne("city", "Paris"))
+        assert got == [3, 4, 5, 6]
+
+    def test_in_categorical(self, toy_table):
+        assert rows(toy_table, In("city", ["Lyon", "Nice"])) == [3, 4, 5, 6]
+
+    def test_in_numeric(self, toy_table):
+        assert rows(toy_table, In("stars", [1, 2])) == [4, 7]
+
+    def test_in_empty_raises(self):
+        with pytest.raises(QueryError):
+            In("city", [])
+
+    def test_in_all_unknown_matches_nothing(self, toy_table):
+        assert rows(toy_table, In("city", ["X", "Y"])) == []
+
+    def test_between_inclusive(self, toy_table):
+        assert rows(toy_table, Between("stars", 4, 5)) == [0, 1, 3, 5]
+
+    def test_between_reversed_raises(self):
+        with pytest.raises(QueryError):
+            Between("stars", 5, 4)
+
+    def test_between_missing_excluded(self, toy_table):
+        got = rows(toy_table, Between("price", 0, 1000))
+        assert 6 not in got  # missing price
+
+    def test_cmp_operators(self, toy_table):
+        assert rows(toy_table, Cmp("stars", ">=", 5)) == [0, 5]
+        assert rows(toy_table, Cmp("stars", "<", 2)) == [7]
+        assert rows(toy_table, Cmp("price", ">", 300)) == [0, 5]
+        assert rows(toy_table, Cmp("price", "<=", 80)) == [4, 7]
+
+    def test_cmp_bad_operator(self):
+        with pytest.raises(QueryError):
+            Cmp("stars", "~", 1)
+
+    def test_is_missing(self, toy_table):
+        assert rows(toy_table, IsMissing("city")) == [7]
+        assert rows(toy_table, IsMissing("price")) == [6]
+
+
+class TestComposition:
+    def test_and(self, toy_table):
+        p = Eq("city", "Paris") & Cmp("stars", ">=", 4)
+        assert rows(toy_table, p) == [0, 1]
+
+    def test_or(self, toy_table):
+        p = Eq("city", "Nice") | Eq("stars", 1)
+        assert rows(toy_table, p) == [5, 6, 7]
+
+    def test_not(self, toy_table):
+        p = ~Eq("city", "Paris")
+        assert rows(toy_table, p) == [3, 4, 5, 6, 7]
+
+    def test_and_flattens(self):
+        p = And([And([Eq("a", 1), Eq("b", 2)]), Eq("c", 3)])
+        assert len(p.children) == 3
+
+    def test_or_flattens(self):
+        p = Or([Or([Eq("a", 1), Eq("b", 2)]), Eq("c", 3)])
+        assert len(p.children) == 3
+
+    def test_and_drops_true(self):
+        p = And([TruePred(), Eq("a", 1)])
+        assert len(p.children) == 1
+
+    def test_empty_and_is_true(self, toy_table):
+        assert And([]).mask(toy_table).all()
+
+    def test_empty_or_raises(self):
+        with pytest.raises(QueryError):
+            Or([])
+
+    def test_de_morgan(self, toy_table):
+        a, b = Eq("city", "Paris"), Cmp("stars", ">=", 4)
+        lhs = (~(a & b)).mask(toy_table)
+        rhs = ((~a) | (~b)).mask(toy_table)
+        assert np.array_equal(lhs, rhs)
+
+
+class TestSerialization:
+    def test_eq_quotes_strings(self):
+        assert Eq("city", "O'Hare").to_sql() == "city = 'O''Hare'"
+
+    def test_numbers_render_bare(self):
+        assert Eq("stars", 5.0).to_sql() == "stars = 5"
+        assert Between("price", 10.5, 20.0).to_sql() == (
+            "price BETWEEN 10.5 AND 20"
+        )
+
+    def test_and_or_parenthesization(self):
+        p = And([Eq("a", 1), Or([Eq("b", 2), Eq("c", 3)])])
+        assert p.to_sql() == "a = 1 AND (b = 2 OR c = 3)"
+
+    def test_attributes_dedup_in_order(self):
+        p = And([Eq("b", 1), Eq("a", 2), Eq("b", 3)])
+        assert p.attributes() == ("b", "a")
+
+    def test_equality_by_sql(self):
+        assert Eq("a", 1) == Eq("a", 1)
+        assert Eq("a", 1) != Eq("a", 2)
+        assert hash(Eq("a", 1)) == hash(Eq("a", 1))

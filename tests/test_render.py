@@ -1,0 +1,68 @@
+"""Tests for the ASCII CAD View rendering."""
+
+import pytest
+
+from repro import CADViewBuilder, CADViewConfig, render_cadview
+from repro.core.cadview import IUnitRef
+from repro.query import QueryEngine, parse_predicate
+
+
+@pytest.fixture(scope="module")
+def cad(cars):
+    pred = parse_predicate(
+        "BodyType = SUV AND Make IN (Jeep, Chevrolet, Ford)"
+    )
+    result = QueryEngine.select(cars, pred)
+    return CADViewBuilder(CADViewConfig(seed=2)).build(
+        result, pivot="Make", name="v",
+        exclude=("BodyType",),
+    )
+
+
+class TestRender:
+    def test_contains_headers_and_values(self, cad):
+        text = render_cadview(cad)
+        assert "Make" in text
+        assert "Compare Attrs." in text
+        assert "IUnit 1" in text
+        for v in cad.pivot_values:
+            assert v in text
+
+    def test_compare_attributes_listed(self, cad):
+        text = render_cadview(cad)
+        for attr in cad.compare_attributes:
+            assert attr in text
+
+    def test_cluster_sizes_shown(self, cad):
+        text = render_cadview(cad, show_sizes=True)
+        u = cad.rows[cad.pivot_values[0]][0]
+        assert f"(n={u.size})" in text
+
+    def test_sizes_hidden(self, cad):
+        text = render_cadview(cad, show_sizes=False)
+        assert "(n=" not in text
+
+    def test_highlight_marks(self, cad):
+        v = cad.pivot_values[0]
+        ref = IUnitRef(v, 1)
+        text = render_cadview(cad, highlight=[ref])
+        u = cad.iunit(v, 1)
+        assert f"*(n={u.size})*" in text
+
+    def test_rows_aligned(self, cad):
+        """Every line has the same width (proper grid)."""
+        text = render_cadview(cad, cell_width=24)
+        widths = {len(line) for line in text.splitlines()}
+        assert len(widths) == 1
+
+    def test_long_labels_wrap_not_truncate(self, cad):
+        text = render_cadview(cad, cell_width=14)
+        # Wrangler Unlimited is longer than 12 chars: it must still be
+        # findable across wrapped lines
+        squashed = "".join(text.split())
+        assert "Wrangler" in squashed
+
+    def test_narrow_cells_still_grid(self, cad):
+        text = render_cadview(cad, cell_width=12)
+        widths = {len(line) for line in text.splitlines()}
+        assert len(widths) == 1

@@ -1,0 +1,131 @@
+"""Unit tests for repro.dataset.schema."""
+
+import pytest
+
+from repro.dataset import AttrKind, Attribute, Schema
+from repro.errors import SchemaError, UnknownAttributeError
+
+
+def make_schema():
+    return Schema([
+        Attribute("Make", AttrKind.CATEGORICAL),
+        Attribute("Price", AttrKind.NUMERIC),
+        Attribute("Year", AttrKind.ORDINAL),
+        Attribute("Engine", AttrKind.CATEGORICAL, queriable=False),
+    ])
+
+
+class TestAttrKind:
+    def test_categorical_is_not_numeric(self):
+        assert not AttrKind.CATEGORICAL.is_numeric
+
+    def test_numeric_kinds(self):
+        assert AttrKind.NUMERIC.is_numeric
+        assert AttrKind.ORDINAL.is_numeric
+
+
+class TestAttribute:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", AttrKind.NUMERIC)
+
+    def test_kind_must_be_attrkind(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "numeric")
+
+    def test_flags(self):
+        a = Attribute("Make", AttrKind.CATEGORICAL)
+        assert a.is_categorical and not a.is_numeric
+        b = Attribute("Price", AttrKind.NUMERIC)
+        assert b.is_numeric and not b.is_categorical
+
+    def test_frozen(self):
+        a = Attribute("Make", AttrKind.CATEGORICAL)
+        with pytest.raises(AttributeError):
+            a.name = "Other"
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([
+                Attribute("x", AttrKind.NUMERIC),
+                Attribute("x", AttrKind.NUMERIC),
+            ])
+
+    def test_len_iter_contains(self):
+        s = make_schema()
+        assert len(s) == 4
+        assert [a.name for a in s] == ["Make", "Price", "Year", "Engine"]
+        assert "Make" in s and "Nope" not in s
+
+    def test_getitem_by_name_and_index(self):
+        s = make_schema()
+        assert s["Price"].kind is AttrKind.NUMERIC
+        assert s[0].name == "Make"
+
+    def test_getitem_unknown_raises_with_available(self):
+        s = make_schema()
+        with pytest.raises(UnknownAttributeError) as exc:
+            s["Nope"]
+        assert "Nope" in str(exc.value)
+        assert "Make" in str(exc.value)
+
+    def test_unknown_attribute_is_keyerror(self):
+        s = make_schema()
+        with pytest.raises(KeyError):
+            s["Nope"]
+
+    def test_names_views(self):
+        s = make_schema()
+        assert s.names == ("Make", "Price", "Year", "Engine")
+        assert s.categorical_names == ("Make", "Engine")
+        assert s.numeric_names == ("Price", "Year")
+
+    def test_queriable_and_hidden(self):
+        s = make_schema()
+        assert s.queriable_names == ("Make", "Price", "Year")
+        assert s.hidden_names == ("Engine",)
+
+    def test_index_of(self):
+        s = make_schema()
+        assert s.index_of("Year") == 2
+        with pytest.raises(UnknownAttributeError):
+            s.index_of("Nope")
+
+    def test_subset_preserves_order(self):
+        s = make_schema()
+        sub = s.subset(["Year", "Make"])
+        assert sub.names == ("Year", "Make")
+
+    def test_subset_unknown_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            make_schema().subset(["Nope"])
+
+    def test_require(self):
+        s = make_schema()
+        s.require(["Make", "Price"])  # no raise
+        with pytest.raises(UnknownAttributeError):
+            s.require(["Make", "Nope"])
+
+    def test_with_queriable_restricts(self):
+        s = make_schema().with_queriable(["Make"])
+        assert s.queriable_names == ("Make",)
+        assert set(s.hidden_names) == {"Price", "Year", "Engine"}
+
+    def test_with_queriable_none_opens_all(self):
+        s = make_schema().with_queriable(None)
+        assert s.queriable_names == s.names
+
+    def test_with_queriable_unknown_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            make_schema().with_queriable(["Nope"])
+
+    def test_equality_and_hash(self):
+        assert make_schema() == make_schema()
+        assert hash(make_schema()) == hash(make_schema())
+        other = Schema([Attribute("x", AttrKind.NUMERIC)])
+        assert make_schema() != other
+
+    def test_repr_mentions_kinds(self):
+        assert "Price:numeric" in repr(make_schema())

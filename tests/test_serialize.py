@@ -1,0 +1,96 @@
+"""Unit tests for CAD View JSON serialization."""
+
+import json
+
+import pytest
+
+from repro import CADViewBuilder, CADViewConfig
+from repro.core import serialize
+from repro.errors import CADViewError
+from repro.query import QueryEngine, parse_predicate
+
+
+@pytest.fixture(scope="module")
+def cad(cars):
+    result = QueryEngine.select(
+        cars,
+        parse_predicate("BodyType = SUV AND Make IN (Jeep, Ford, Honda)"),
+    )
+    return CADViewBuilder(CADViewConfig(seed=3)).build(
+        result, pivot="Make", name="v", exclude=("BodyType",)
+    )
+
+
+class TestDump:
+    def test_document_shape(self, cad):
+        doc = serialize.to_dict(cad)
+        assert doc["format"] == serialize.FORMAT_VERSION
+        assert doc["pivot_attribute"] == "Make"
+        assert set(doc["rows"]) == set(cad.pivot_values)
+        for units in doc["rows"].values():
+            for u in units:
+                assert set(u) == {"uid", "size", "display", "distributions"}
+
+    def test_json_round_trippable_text(self, cad):
+        text = serialize.dumps(cad)
+        assert json.loads(text)["name"] == "v"
+
+    def test_label_selectors_are_sql(self, cad):
+        doc = serialize.to_dict(cad)
+        for attr, selectors in doc["label_selectors"].items():
+            for label, sql in selectors.items():
+                assert "=" in sql or "BETWEEN" in sql
+
+
+class TestLoad:
+    def test_roundtrip_preserves_structure(self, cad):
+        back = serialize.loads(serialize.dumps(cad))
+        assert back.pivot_values == cad.pivot_values
+        assert back.compare_attributes == cad.compare_attributes
+        for value in cad.pivot_values:
+            orig = cad.rows[value]
+            got = back.rows[value]
+            assert [u.size for u in got] == [u.size for u in orig]
+            assert [u.uid for u in got] == [u.uid for u in orig]
+            for a, b in zip(orig, got):
+                assert a.display == {
+                    k: tuple(v) for k, v in b.display.items()
+                }
+
+    def test_similarity_operations_survive(self, cad):
+        back = serialize.loads(serialize.dumps(cad))
+        value = cad.pivot_values[0]
+        orig_hits = cad.similar_iunits(value, 1, threshold=0.0)
+        back_hits = back.similar_iunits(value, 1, threshold=0.0)
+        assert len(orig_hits) == len(back_hits)
+        for (ref, s1), ((v, uid), s2) in zip(orig_hits, back_hits):
+            assert (ref.pivot_value, ref.iunit_id) == (v, uid)
+            assert s1 == pytest.approx(s2)
+
+    def test_value_distance_survives(self, cad):
+        back = serialize.loads(serialize.dumps(cad))
+        a, b = cad.pivot_values[:2]
+        assert back.value_distance(a, b) == pytest.approx(
+            cad.value_distance(a, b)
+        )
+
+    def test_selector_for(self, cad):
+        back = serialize.loads(serialize.dumps(cad))
+        attr = cad.compare_attributes[0]
+        label = back.labels[attr][0]
+        assert attr in back.selector_for(attr, label)
+        with pytest.raises(CADViewError):
+            back.selector_for(attr, "no-such-label")
+
+    def test_bad_format_rejected(self, cad):
+        doc = serialize.to_dict(cad)
+        doc["format"] = 99
+        with pytest.raises(CADViewError):
+            serialize.from_dict(doc)
+
+    def test_lookup_validation(self, cad):
+        back = serialize.loads(serialize.dumps(cad))
+        with pytest.raises(CADViewError):
+            back.row("Lada")
+        with pytest.raises(CADViewError):
+            back.iunit(cad.pivot_values[0], 99)

@@ -1,0 +1,124 @@
+"""Tests for the mixed model, LRT, and the display-effect analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.stats import (
+    display_effect, fit_mixed_lm, likelihood_ratio_test,
+)
+
+
+def simulate(effect, sigma_u=1.0, sigma_e=0.5, n_users=8, seed=0):
+    rng = np.random.default_rng(seed)
+    users = np.repeat(np.arange(n_users), 2)
+    x = np.tile([0.0, 1.0], n_users)
+    u = rng.normal(0, sigma_u, n_users)
+    y = 10.0 + effect * x + u[users] + rng.normal(0, sigma_e, len(x))
+    X = np.column_stack([np.ones_like(x), x])
+    return y, X, users, x
+
+
+class TestFitMixedLM:
+    def test_recovers_fixed_effect(self):
+        y, X, users, _ = simulate(effect=-5.0, seed=1)
+        res = fit_mixed_lm(y, X, users)
+        est, se = res.fixed_effect(1)
+        assert est == pytest.approx(-5.0, abs=3 * se)
+        assert se > 0
+
+    def test_recovers_variance_partition(self):
+        y, X, users, _ = simulate(
+            effect=0.0, sigma_u=2.0, sigma_e=0.3, n_users=60, seed=2
+        )
+        res = fit_mixed_lm(y, X, users)
+        assert res.sigma_u > res.sigma_e  # user variance dominates
+
+    def test_zero_random_effect(self):
+        y, X, users, _ = simulate(effect=1.0, sigma_u=0.0, seed=3)
+        res = fit_mixed_lm(y, X, users)
+        assert res.sigma_u < res.sigma_e
+
+    def test_counts(self):
+        y, X, users, _ = simulate(effect=0.0)
+        res = fit_mixed_lm(y, X, users)
+        assert res.n_obs == 16 and res.n_groups == 8
+
+    def test_matches_ols_loglik_when_no_grouping(self):
+        """With every observation its own group, the model reduces to
+        OLS with two variance components; loglik must match the OLS ML
+        log-likelihood within tolerance."""
+        rng = np.random.default_rng(4)
+        n = 40
+        x = rng.random(n)
+        y = 2.0 + 3.0 * x + rng.normal(0, 0.4, n)
+        X = np.column_stack([np.ones(n), x])
+        res = fit_mixed_lm(y, X, groups=np.arange(n))
+        beta_ols, *_ = np.linalg.lstsq(X, y, rcond=None)
+        resid = y - X @ beta_ols
+        s2 = float(resid @ resid) / n
+        ll_ols = -0.5 * n * (np.log(2 * np.pi * s2) + 1)
+        assert res.loglik == pytest.approx(ll_ols, abs=0.05)
+        assert res.beta == pytest.approx(beta_ols, abs=1e-3)
+
+    def test_shape_validation(self):
+        with pytest.raises(QueryError):
+            fit_mixed_lm([1.0, 2.0], np.ones((3, 1)), [0, 1])
+        with pytest.raises(QueryError):
+            fit_mixed_lm([1.0, 2.0], np.ones((2, 1)), [0])
+
+
+class TestLRT:
+    def test_strong_effect_significant(self):
+        y, X, users, x = simulate(effect=-5.0, seed=5)
+        lrt = likelihood_ratio_test(y, X, X[:, :1], users)
+        assert lrt.df == 1
+        assert lrt.chi2 > 10
+        assert lrt.p_value < 0.01
+
+    def test_null_effect_not_significant(self):
+        y, X, users, _ = simulate(effect=0.0, seed=6)
+        lrt = likelihood_ratio_test(y, X, X[:, :1], users)
+        assert lrt.p_value > 0.05
+
+    def test_chi2_nonnegative(self):
+        y, X, users, _ = simulate(effect=0.0, seed=7)
+        lrt = likelihood_ratio_test(y, X, X[:, :1], users)
+        assert lrt.chi2 >= 0.0
+
+    def test_nesting_enforced(self):
+        y, X, users, _ = simulate(effect=1.0)
+        with pytest.raises(QueryError):
+            likelihood_ratio_test(y, X, X, users)
+
+    def test_str(self):
+        y, X, users, _ = simulate(effect=-3.0)
+        s = str(likelihood_ratio_test(y, X, X[:, :1], users))
+        assert "chi2(1)" in s and "p =" in s
+
+
+class TestDisplayEffect:
+    def test_paper_style_output(self):
+        rng = np.random.default_rng(8)
+        users = [f"U{i}" for i in range(8) for _ in range(2)]
+        displays = ["Solr", "TPFacet"] * 8
+        y = [
+            12 + (-6 if d == "TPFacet" else 0) + rng.normal(0, 1)
+            for d in displays
+        ]
+        eff = display_effect(users, displays, y)
+        assert eff.effect == pytest.approx(-6.0, abs=1.5)
+        assert eff.p_value < 0.01
+        assert eff.baseline_mean > eff.treatment_mean
+        assert "chi2(1)" in str(eff)
+
+    def test_validations(self):
+        with pytest.raises(QueryError):
+            display_effect(["a"], ["Solr"], [1.0, 2.0])
+        with pytest.raises(QueryError):
+            display_effect(["a", "b"], ["Solr", "Solr"], [1.0, 2.0])
+        with pytest.raises(QueryError):
+            display_effect(
+                ["a", "b"], ["Solr", "TPFacet"], [1.0, 2.0],
+                treatment="Other",
+            )

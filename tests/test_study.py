@@ -1,0 +1,287 @@
+"""Tests for study metrics, cost model, tasks, agents, and the runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import CADViewConfig
+from repro.errors import QueryError
+from repro.facets import FacetedEngine
+from repro.study import (
+    AlternativeTask,
+    ClassifierTask,
+    CostModel,
+    SimilarPairTask,
+    SolrAgent,
+    TPFacetAgent,
+    UserProfile,
+    f1_score,
+    mushroom_task_suite,
+    pair_rank,
+    pair_similarity_ranking,
+    retrieval_error,
+    run_study,
+)
+
+
+@pytest.fixture(scope="module")
+def engine(mushroom):
+    return FacetedEngine(mushroom)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return mushroom_task_suite()
+
+
+class TestF1:
+    def test_perfect(self):
+        m = np.array([True, False, True])
+        assert f1_score(m, m) == 1.0
+
+    def test_no_overlap(self):
+        assert f1_score(
+            np.array([True, False]), np.array([False, True])
+        ) == 0.0
+
+    def test_known_value(self):
+        pred = np.array([True, True, False, False])
+        act = np.array([True, False, True, False])
+        # precision 0.5, recall 0.5 -> F1 0.5
+        assert f1_score(pred, act) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(QueryError):
+            f1_score(np.array([True]), np.array([True, False]))
+
+
+class TestPairMetrics:
+    def test_ranking_sorted(self, engine):
+        ranking = pair_similarity_ranking(
+            engine, "gill-color", ("buff", "white", "brown", "green")
+        )
+        assert len(ranking) == 6
+        sims = [s for _, s in ranking]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_brown_white_most_similar(self, engine):
+        """The paper's T2a ground truth."""
+        ranking = pair_similarity_ranking(
+            engine, "gill-color", ("buff", "white", "brown", "green")
+        )
+        assert frozenset(ranking[0][0]) == frozenset(("white", "brown"))
+
+    def test_pair_rank_order_insensitive(self, engine):
+        ranking = pair_similarity_ranking(
+            engine, "gill-color", ("buff", "white", "brown")
+        )
+        pair = ranking[1][0]
+        assert pair_rank(ranking, (pair[1], pair[0])) == 2
+
+    def test_pair_rank_missing(self, engine):
+        ranking = pair_similarity_ranking(
+            engine, "gill-color", ("buff", "white")
+        )
+        with pytest.raises(QueryError):
+            pair_rank(ranking, ("buff", "green"))
+
+    def test_needs_two_values(self, engine):
+        with pytest.raises(QueryError):
+            pair_similarity_ranking(engine, "gill-color", ("buff",))
+
+
+class TestRetrievalError:
+    def test_identical_zero(self, engine):
+        d = engine.digest({"odor": {"foul"}})
+        assert retrieval_error(d, d) == pytest.approx(0.0)
+
+    def test_different_positive(self, engine):
+        a = engine.digest({"odor": {"foul"}})
+        b = engine.digest({"odor": {"almond"}})
+        assert retrieval_error(a, b) > 0.05
+
+
+class TestTasks:
+    def test_classifier_score_range(self, engine, suite):
+        t = suite.classifier[0]
+        s = t.score(engine, {"odor": {"none"}})
+        assert 0.0 <= s <= 1.0
+
+    def test_classifier_rejects_class_attribute(self, engine, suite):
+        t = suite.classifier[0]
+        with pytest.raises(QueryError):
+            t.score(engine, {"bruises": {"true"}})
+
+    def test_classifier_value_budget(self, engine, suite):
+        t = suite.classifier[0]
+        with pytest.raises(QueryError):
+            t.score(engine, {"odor": {"none", "foul"}, "class": {"edible"}})
+        with pytest.raises(QueryError):
+            t.score(engine, {})
+
+    def test_similar_pair_score_is_rank(self, engine, suite):
+        t = suite.similar_pair[0]
+        assert t.score(engine, ("white", "brown")) == 1.0
+
+    def test_similar_pair_validates_values(self, engine, suite):
+        t = suite.similar_pair[0]
+        with pytest.raises(QueryError):
+            t.score(engine, ("white", "white"))
+        with pytest.raises(QueryError):
+            t.score(engine, ("white", "purple"))
+
+    def test_alternative_good_answer_low_error(self, engine, suite):
+        t = suite.alternative[0]  # stalk-shape enlarged + chocolate spores
+        err = t.score(engine, {"odor": {"foul"}})
+        assert err < 0.05
+
+    def test_alternative_bans_given_attributes(self, engine, suite):
+        t = suite.alternative[0]
+        with pytest.raises(QueryError):
+            t.score(engine, {"stalk-shape": {"enlarged"}})
+
+    def test_alternative_value_budget(self, engine, suite):
+        t = suite.alternative[0]
+        with pytest.raises(QueryError):
+            t.score(engine, {
+                "odor": {"foul", "pungent"}, "class": {"poisonous"},
+            })
+
+
+class TestCostModel:
+    def test_prices_known_ops(self):
+        cm = CostModel(noise_sigma=0.0)
+        user = UserProfile("U1", 1, speed=1.0, diligence=1.0)
+        rng = np.random.default_rng(0)
+        minutes = cm.price([("toggle", "a", "b"), ("digest",)], user, rng)
+        assert minutes == pytest.approx((3.0 + 35.0) / 60.0)
+
+    def test_speed_scales(self):
+        cm = CostModel(noise_sigma=0.0)
+        slow = UserProfile("U1", 1, speed=2.0, diligence=1.0)
+        fast = UserProfile("U2", 1, speed=0.5, diligence=1.0)
+        rng = np.random.default_rng(0)
+        ops = [("digest",)] * 3
+        assert cm.price(ops, slow, rng) == pytest.approx(
+            4 * cm.price(ops, fast, np.random.default_rng(0))
+        )
+
+    def test_unknown_op_raises(self):
+        cm = CostModel()
+        user = UserProfile("U1", 1, 1.0, 1.0)
+        with pytest.raises(QueryError):
+            cm.price([("teleport",)], user, np.random.default_rng(0))
+
+    def test_roster(self):
+        roster = UserProfile.roster(8, seed=1)
+        assert len(roster) == 8
+        assert [u.group for u in roster] == [1] * 4 + [2] * 4
+        assert len({u.user_id for u in roster}) == 8
+        with pytest.raises(QueryError):
+            UserProfile.roster(7)
+
+
+class TestAgents:
+    @pytest.fixture()
+    def user(self):
+        return UserProfile("U1", 1, speed=1.0, diligence=0.9)
+
+    def test_solr_classifier_valid_answer(self, engine, suite, user):
+        agent = SolrAgent(engine, user, np.random.default_rng(0))
+        out = agent.do_classifier(suite.classifier[0])
+        suite.classifier[0].validate(out.answer)
+        assert out.operations
+
+    def test_tpfacet_classifier_beats_chance(self, engine, suite, user):
+        agent = TPFacetAgent(engine, user, np.random.default_rng(0),
+                             CADViewConfig(seed=1))
+        out = agent.do_classifier(suite.classifier[0])
+        score = suite.classifier[0].score(engine, out.answer)
+        assert score > 0.5
+
+    def test_tpfacet_fewer_operations(self, engine, suite, user):
+        rng = np.random.default_rng(0)
+        solr = SolrAgent(engine, user, rng).do_classifier(suite.classifier[0])
+        tp = TPFacetAgent(
+            engine, user, np.random.default_rng(0), CADViewConfig(seed=1)
+        ).do_classifier(suite.classifier[0])
+        assert len(tp.operations) < len(solr.operations)
+
+    def test_tpfacet_similar_pair_easy_task_correct(self, engine, suite, user):
+        agent = TPFacetAgent(engine, user, np.random.default_rng(0),
+                             CADViewConfig(seed=1))
+        out = agent.do_similar_pair(suite.similar_pair[0])
+        assert suite.similar_pair[0].score(engine, out.answer) <= 2.0
+
+    def test_solr_alternative_valid(self, engine, suite, user):
+        agent = SolrAgent(engine, user, np.random.default_rng(1))
+        out = agent.do_alternative(suite.alternative[0])
+        suite.alternative[0].validate(out.answer)
+
+    def test_tpfacet_alternative_low_error(self, engine, suite, user):
+        agent = TPFacetAgent(engine, user, np.random.default_rng(1),
+                             CADViewConfig(seed=1))
+        out = agent.do_alternative(suite.alternative[0])
+        err = suite.alternative[0].score(engine, out.answer)
+        assert err < 0.05
+
+
+class TestRunStudy:
+    @pytest.fixture(scope="class")
+    def results(self, mushroom):
+        return run_study(mushroom, seed=2016)
+
+    def test_cell_count(self, results):
+        # 3 task types x 8 users x 2 displays
+        assert len(results.measurements) == 48
+
+    def test_crossover_balance(self, results):
+        for tt in ("classifier", "similar_pair", "alternative"):
+            cells = results.of(tt)
+            assert len([m for m in cells if m.display == "Solr"]) == 8
+            assert len([m for m in cells if m.display == "TPFacet"]) == 8
+            # each user sees both displays
+            by_user = {}
+            for m in cells:
+                by_user.setdefault(m.user_id, set()).add(m.display)
+            assert all(v == {"Solr", "TPFacet"} for v in by_user.values())
+
+    def test_each_task_done_by_four_users_per_display(self, results):
+        cells = results.of("classifier")
+        for task_id in ("T1a", "T1b"):
+            for display in ("Solr", "TPFacet"):
+                n = len([
+                    m for m in cells
+                    if m.task_id == task_id and m.display == display
+                ])
+                assert n == 4
+
+    def test_tpfacet_faster_on_all_tasks(self, results):
+        """The paper's headline: 4-5x faster on tasks 1-2, 1.5-2x on 3."""
+        assert results.speedup("classifier") > 2.0
+        assert results.speedup("similar_pair") > 2.0
+        assert results.speedup("alternative") > 1.2
+
+    def test_classifier_quality_direction(self, results):
+        eff = results.analyze("classifier", "quality")
+        assert eff.effect > 0  # TPFacet raises F1 (paper: +0.078)
+
+    def test_alternative_error_direction(self, results):
+        eff = results.analyze("alternative", "quality")
+        assert eff.effect < 0  # TPFacet lowers retrieval error
+
+    def test_time_effects_significant(self, results):
+        for tt in ("classifier", "similar_pair"):
+            eff = results.analyze(tt, "minutes")
+            assert eff.effect < 0
+            assert eff.p_value < 0.01
+
+    def test_table_shape(self, results):
+        table = results.table("classifier", "minutes")
+        assert len(table) == 8
+        assert all(set(v) == {"Solr", "TPFacet"} for v in table.values())
+
+    def test_analyze_validations(self, results):
+        with pytest.raises(QueryError):
+            results.analyze("classifier", "bogus")
+        with pytest.raises(QueryError):
+            results.analyze("bogus_task", "quality")

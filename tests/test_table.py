@@ -1,0 +1,158 @@
+"""Unit tests for repro.dataset.table."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.dataset import AttrKind, Attribute, Schema, Table
+from repro.errors import SchemaError, UnknownAttributeError
+
+
+class TestConstruction:
+    def test_from_rows_missing_keys_become_none(self, toy_schema):
+        t = Table.from_rows(toy_schema, [{"city": "Paris"}])
+        assert t.row(0)["price"] is None
+
+    def test_from_columns(self, toy_schema):
+        t = Table.from_columns(toy_schema, {
+            "city": ["Paris"], "stars": [5], "price": [100.0],
+            "amenity": ["spa"],
+        })
+        assert len(t) == 1
+
+    def test_from_columns_missing_column_raises(self, toy_schema):
+        with pytest.raises(SchemaError, match="missing columns"):
+            Table.from_columns(toy_schema, {"city": ["Paris"]})
+
+    def test_from_columns_unknown_column_raises(self, toy_schema):
+        with pytest.raises(UnknownAttributeError):
+            Table.from_columns(toy_schema, {
+                "city": [], "stars": [], "price": [], "amenity": [],
+                "bogus": [],
+            })
+
+    def test_ragged_columns_raise(self, toy_schema):
+        with pytest.raises(SchemaError, match="ragged"):
+            Table.from_columns(toy_schema, {
+                "city": ["a"], "stars": [1, 2], "price": [1.0],
+                "amenity": ["x"],
+            })
+
+    def test_empty_table(self, toy_schema):
+        t = Table.from_rows(toy_schema, [])
+        assert len(t) == 0
+
+
+class TestAccess:
+    def test_getitem_column(self, toy_table):
+        assert toy_table["city"][0] == "Paris"
+
+    def test_getitem_unknown(self, toy_table):
+        with pytest.raises(UnknownAttributeError):
+            toy_table["bogus"]
+
+    def test_row_out_of_range(self, toy_table):
+        with pytest.raises(IndexError):
+            toy_table.row(99)
+
+    def test_iter_rows(self, toy_table):
+        rows = list(toy_table.iter_rows())
+        assert len(rows) == 8
+        assert rows[0]["city"] == "Paris"
+
+    def test_equality(self, toy_schema, toy_table):
+        same = Table.from_rows(toy_schema, toy_table.iter_rows())
+        assert same == toy_table
+        assert toy_table != toy_table.head(3)
+
+
+class TestRelationalOps:
+    def test_filter(self, toy_table):
+        mask = np.array([r["city"] == "Paris" for r in toy_table.iter_rows()])
+        paris = toy_table.filter(mask)
+        assert len(paris) == 3
+        assert set(paris.distinct("city")) == {"Paris"}
+
+    def test_filter_wrong_length_raises(self, toy_table):
+        with pytest.raises(SchemaError):
+            toy_table.filter(np.array([True]))
+
+    def test_take_repeats_and_order(self, toy_table):
+        t = toy_table.take([1, 1, 0])
+        assert len(t) == 3
+        assert t.row(0)["stars"] == 4.0
+        assert t.row(2)["stars"] == 5.0
+
+    def test_project(self, toy_table):
+        p = toy_table.project(["price", "city"])
+        assert p.schema.names == ("price", "city")
+        assert len(p) == len(toy_table)
+
+    def test_sample_smaller(self, toy_table):
+        s = toy_table.sample(3, np.random.default_rng(0))
+        assert len(s) == 3
+
+    def test_sample_larger_returns_self(self, toy_table):
+        assert toy_table.sample(100) is toy_table
+
+    def test_head(self, toy_table):
+        assert len(toy_table.head(2)) == 2
+        assert len(toy_table.head(100)) == len(toy_table)
+
+    def test_concat(self, toy_table):
+        both = toy_table.concat(toy_table)
+        assert len(both) == 2 * len(toy_table)
+        assert both.value_counts("city")["Paris"] == 6
+
+    def test_concat_merges_disjoint_categories(self, toy_schema):
+        a = Table.from_rows(toy_schema, [
+            {"city": "Oslo", "stars": 3, "price": 1.0, "amenity": "x"}
+        ])
+        b = Table.from_rows(toy_schema, [
+            {"city": "Rome", "stars": 3, "price": 1.0, "amenity": "y"}
+        ])
+        both = a.concat(b)
+        assert list(both["city"]) == ["Oslo", "Rome"]
+
+    def test_concat_schema_mismatch(self, toy_table):
+        other_schema = Schema([Attribute("x", AttrKind.NUMERIC)])
+        other = Table.from_rows(other_schema, [{"x": 1}])
+        with pytest.raises(SchemaError):
+            toy_table.concat(other)
+
+
+class TestSummaries:
+    def test_value_counts(self, toy_table):
+        assert toy_table.value_counts("city") == {
+            "Paris": 3, "Lyon": 2, "Nice": 2,
+        }
+
+    def test_distinct_numeric(self, toy_table):
+        assert toy_table.distinct("stars") == (1.0, 2.0, 3.0, 4.0, 5.0)
+
+
+class TestCSV:
+    def test_roundtrip(self, toy_schema, toy_table):
+        text = toy_table.to_csv_string()
+        back = Table.from_csv(io.StringIO(text), toy_schema)
+        assert back == toy_table
+
+    def test_missing_values_roundtrip(self, toy_schema, toy_table):
+        text = toy_table.to_csv_string()
+        back = Table.from_csv(io.StringIO(text), toy_schema)
+        assert back.row(7)["city"] is None
+        assert back.row(6)["price"] is None
+
+    def test_header_mismatch_raises(self, toy_schema):
+        with pytest.raises(SchemaError):
+            Table.from_csv(io.StringIO("a,b\n1,2\n"), toy_schema)
+
+    def test_empty_csv_raises(self, toy_schema):
+        with pytest.raises(SchemaError, match="no header"):
+            Table.from_csv(io.StringIO(""), toy_schema)
+
+    def test_file_roundtrip(self, tmp_path, toy_schema, toy_table):
+        path = str(tmp_path / "t.csv")
+        toy_table.to_csv(path)
+        assert Table.from_csv(path, toy_schema) == toy_table
