@@ -40,7 +40,9 @@ from repro.dataset.generators import (
     usedcars_schema,
 )
 from repro.errors import (
+    BudgetExceededError,
     CADViewError,
+    ConvergenceError,
     EmptyResultError,
     ParseError,
     QueryError,
@@ -49,6 +51,7 @@ from repro.errors import (
     TypeMismatchError,
     UnknownAttributeError,
 )
+from repro.robustness import Budget, BuildReport, Fault, FaultInjector
 from repro.iunits import IUnit, iunit_similarity, ranked_list_distance
 from repro.query import (
     And, Between, Cmp, Eq, In, IsMissing, Ne, Not, Or, Predicate,
@@ -75,5 +78,7 @@ __all__ = [
     # errors
     "ReproError", "SchemaError", "UnknownAttributeError",
     "TypeMismatchError", "QueryError", "ParseError", "CADViewError",
-    "EmptyResultError",
+    "EmptyResultError", "ConvergenceError", "BudgetExceededError",
+    # robustness
+    "Budget", "BuildReport", "Fault", "FaultInjector",
 ]

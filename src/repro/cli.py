@@ -31,6 +31,7 @@ from repro.dataset.generators import (
     usedcars_schema,
 )
 from repro.errors import ReproError
+from repro.robustness import Budget, FaultInjector
 
 __all__ = ["main", "build_parser"]
 
@@ -61,6 +62,46 @@ def _add_data_args(parser, default_dataset="usedcars") -> None:
     parser.add_argument("--seed", type=int, default=7, help="RNG seed")
     parser.add_argument("--csv", default=None,
                         help="load this CSV instead of generating")
+
+
+def _add_budget_args(parser) -> None:
+    parser.add_argument(
+        "--budget-ms", type=float, default=None,
+        help="wall-clock budget per CADVIEW build (degrades, then "
+             "truncates, before failing)",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=None,
+        help="sample the input down to this many rows before building",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection plan, e.g. 'cluster:Jeep=convergence*2' "
+             "(default: the REPRO_FAULTS environment variable)",
+    )
+
+
+def _explorer(args) -> DBExplorer:
+    """A DBExplorer configured from the common CLI flags."""
+    try:
+        budget = None
+        if args.budget_ms is not None or args.max_rows is not None:
+            budget = Budget(
+                deadline_s=(
+                    args.budget_ms / 1e3
+                    if args.budget_ms is not None else None
+                ),
+                max_rows=args.max_rows,
+            )
+        faults = (
+            FaultInjector.parse(args.faults)
+            if args.faults is not None else None
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    return DBExplorer(
+        CADViewConfig(seed=args.seed), budget=budget, faults=faults
+    )
 
 
 def _show(result, cell_width: int) -> None:
@@ -103,7 +144,7 @@ def cmd_gen_data(args) -> int:
 
 def cmd_cadview(args) -> int:
     """``cadview``: execute one statement against the loaded table."""
-    dbx = DBExplorer(CADViewConfig(seed=args.seed))
+    dbx = _explorer(args)
     dbx.register("data", _load_table(args))
     _show(dbx.execute(args.sql), args.cell_width)
     return 0
@@ -111,7 +152,7 @@ def cmd_cadview(args) -> int:
 
 def cmd_repl(args) -> int:
     """``repl``: interactive statement shell."""
-    dbx = DBExplorer(CADViewConfig(seed=args.seed))
+    dbx = _explorer(args)
     table = _load_table(args)
     dbx.register("data", table)
     print(f"loaded {len(table)} rows as table 'data'; "
@@ -204,12 +245,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("cadview", help="run one statement")
     _add_data_args(p)
+    _add_budget_args(p)
     p.add_argument("--sql", required=True, help="statement to execute")
     p.add_argument("--cell-width", type=int, default=26)
     p.set_defaults(func=cmd_cadview)
 
     p = sub.add_parser("repl", help="interactive statement shell")
     _add_data_args(p)
+    _add_budget_args(p)
     p.add_argument("--cell-width", type=int, default=26)
     p.set_defaults(func=cmd_repl)
 

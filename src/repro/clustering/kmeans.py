@@ -9,8 +9,9 @@ points, and a relative-improvement stopping rule.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -104,11 +105,19 @@ class KMeans:
 
     # -- fitting ------------------------------------------------------------
 
-    def fit(self, X: np.ndarray, rng: Optional[np.random.Generator] = None) -> KMeansResult:
+    def fit(
+        self,
+        X: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        checkpoint: Optional[Callable[[], None]] = None,
+    ) -> KMeansResult:
         """Cluster the rows of ``X``.
 
         If there are fewer rows than clusters, every row becomes its own
-        cluster (k is reduced).
+        cluster (k is clamped, with a warning — tiny pivot partitions
+        are routine, not an error).  ``checkpoint`` is called once per
+        Lloyd iteration; a budgeted caller passes a deadline check that
+        raises :class:`~repro.errors.BudgetExceededError`.
         """
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
@@ -117,6 +126,13 @@ class KMeans:
         if n == 0:
             raise QueryError("cannot cluster zero rows")
         rng = rng or np.random.default_rng(self.seed)
+        if self.n_clusters > n:
+            warnings.warn(
+                f"n_clusters={self.n_clusters} > n_samples={n}; "
+                f"clamping to {n} singleton clusters",
+                UserWarning,
+                stacklevel=2,
+            )
         k = min(self.n_clusters, n)
 
         centers = self._init_centers(X, rng)
@@ -124,6 +140,8 @@ class KMeans:
         prev_inertia = np.inf
         n_iter = 0
         for n_iter in range(1, self.max_iter + 1):
+            if checkpoint is not None:
+                checkpoint()
             dists = _pairwise_sq_dists(X, centers)
             labels = dists.argmin(axis=1).astype(np.int32)
             inertia = float(dists[np.arange(n), labels].sum())

@@ -10,8 +10,9 @@ everything, including another missing entry).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -68,8 +69,17 @@ class KModes:
         self.max_iter = max_iter
         self.seed = seed
 
-    def fit(self, X: np.ndarray, rng: Optional[np.random.Generator] = None) -> KModesResult:
-        """Cluster the rows of an (n, d) integer code matrix."""
+    def fit(
+        self,
+        X: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        checkpoint: Optional[Callable[[], None]] = None,
+    ) -> KModesResult:
+        """Cluster the rows of an (n, d) integer code matrix.
+
+        ``checkpoint`` is called once per iteration (see
+        :meth:`KMeans.fit`); ``n_clusters > n`` clamps with a warning.
+        """
         X = np.asarray(X, dtype=np.int32)
         if X.ndim != 2:
             raise QueryError(f"X must be 2-D, got shape {X.shape}")
@@ -77,6 +87,13 @@ class KModes:
         if n == 0:
             raise QueryError("cannot cluster zero rows")
         rng = rng or np.random.default_rng(self.seed)
+        if self.n_clusters > n:
+            warnings.warn(
+                f"n_clusters={self.n_clusters} > n_samples={n}; "
+                f"clamping to {n} singleton clusters",
+                UserWarning,
+                stacklevel=2,
+            )
         k = min(self.n_clusters, n)
 
         # seed with distinct random rows (k-modes++ analogue: farthest rows)
@@ -93,6 +110,8 @@ class KModes:
         labels = np.zeros(n, dtype=np.int32)
         n_iter = 0
         for n_iter in range(1, self.max_iter + 1):
+            if checkpoint is not None:
+                checkpoint()
             d = _mismatches(X, modes)
             new_labels = d.argmin(axis=1).astype(np.int32)
             new_modes = modes.copy()

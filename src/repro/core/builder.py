@@ -12,11 +12,31 @@ Build order, mirroring the paper's sub-problems:
 
 Every phase is timed into a :class:`BuildProfile` with the same three
 buckets the paper's Figure 8 reports.
+
+Resilience (the interactive-latency contract): a build may carry a
+:class:`~repro.robustness.Budget` and a
+:class:`~repro.robustness.FaultInjector`.  Under budget pressure or
+phase failure the builder walks a *degradation ladder* instead of
+aborting —
+
+* feature selection: full chi-square -> sampled chi-square -> entropy
+  ranking of the pinned/fallback attributes;
+* clustering: k-means -> seeded retry on transient
+  :class:`~repro.errors.ConvergenceError` -> one whole-partition IUnit;
+* top-k: exact div-astar -> greedy;
+* per-pivot-value isolation: any other failure is recorded as an
+  incident and only that pivot value is dropped;
+* truncation: once the deadline passes, remaining pivot values are
+  dropped and the partial view is returned.
+
+:class:`~repro.errors.BudgetExceededError` escapes only when not even a
+partial view can be produced.  Every step down the ladder is recorded in
+the returned view's :class:`~repro.robustness.BuildReport`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +44,13 @@ from repro.core.cadview import CADView, CADViewConfig
 from repro.core.profile import BuildProfile
 from repro.dataset.table import Table
 from repro.discretize.discretizer import DiscretizedView, Discretizer
-from repro.errors import CADViewError, EmptyResultError
+from repro.errors import (
+    BudgetExceededError,
+    CADViewError,
+    ConvergenceError,
+    EmptyResultError,
+    QueryError,
+)
 from repro.clustering.encoding import one_hot_encode
 from repro.clustering.kmeans import KMeans
 from repro.features.selection import (
@@ -32,11 +58,20 @@ from repro.features.selection import (
     select_compare_attributes,
 )
 from repro.iunits.diversify import diversified_topk
+from repro.iunits.iunit import IUnit
 from repro.iunits.labeling import LabelingConfig, build_iunits
 from repro.iunits.ranking import PreferenceFunction
 from repro.iunits.similarity import default_tau
+from repro.robustness.budget import Budget, BudgetClock
+from repro.robustness.faults import NO_FAULTS, FaultInjector
+from repro.robustness.report import BuildReport
 
 __all__ = ["CADViewBuilder"]
+
+# Ladder sample caps applied under budget pressure (rows).  Chosen so a
+# pressured phase costs single-digit milliseconds on paper-scale data.
+_PRESSURE_FS_SAMPLE = 1_000
+_PRESSURE_CLUSTER_SAMPLE = 512
 
 
 class CADViewBuilder:
@@ -44,6 +79,9 @@ class CADViewBuilder:
 
     >>> builder = CADViewBuilder(CADViewConfig(compare_limit=5, iunits_k=3))
     >>> cad = builder.build(result, pivot="Make", pinned=("Price",))
+
+    A builder-level ``budget`` / ``faults`` applies to every build; the
+    per-call parameters of :meth:`build` and :meth:`refine` override it.
     """
 
     def __init__(
@@ -51,10 +89,14 @@ class CADViewBuilder:
         config: CADViewConfig = CADViewConfig(),
         selector: Optional[FeatureSelector] = None,
         preference: Optional[PreferenceFunction] = None,
+        budget: Optional[Budget] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.config = config
         self.selector = selector
         self.preference = preference
+        self.budget = budget
+        self.faults = faults
 
     # -- public API -------------------------------------------------------
 
@@ -66,6 +108,8 @@ class CADViewBuilder:
         pinned: Sequence[str] = (),
         name: str = "cadview",
         exclude: Sequence[str] = (),
+        budget: Optional[Budget] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> CADView:
         """Construct the CAD View for ``result`` and ``pivot``.
 
@@ -86,35 +130,39 @@ class CADViewBuilder:
             Attributes never to auto-select (e.g. attributes already
             pinned by WHERE equality selections, which carry a single
             value in ``R`` and hence zero contrast).
+        budget:
+            Wall-clock/row limits for this build (overrides the
+            builder-level budget).
+        faults:
+            Fault-injection plan for this build (tests only).
         """
         config = self.config
+        budget = budget if budget is not None else self.budget
+        faults = faults if faults is not None else (self.faults or NO_FAULTS)
+        clock = (budget or Budget()).begin()
         profile = BuildProfile()
+        report = BuildReport(budget=budget, profile=profile)
         if len(result) == 0:
             raise EmptyResultError("result set is empty")
         result.schema[pivot]  # raises UnknownAttributeError when absent
+        result = self._apply_row_caps(result, budget, report)
 
         # pre-processing: context-dependent discretization of R
         with profile.timed("others"):
+            clock.check("discretize")
+            faults.fire("discretize")
             discretizer = Discretizer(
                 strategy=config.strategy, nbins=config.nbins
             )
             view = discretizer.fit(result)
             values = self._pivot_values(view, pivot, pivot_values)
 
-        # Problem 1.1 — Compare Attributes
+        # Problem 1.1 — Compare Attributes (resilient ladder)
         with profile.timed("compare_attrs"):
             compare = self._compare_attributes(
-                result, discretizer, view, pivot, pinned, exclude
+                result, discretizer, view, pivot, pinned, exclude,
+                clock, faults, report,
             )
-            if len(compare) < min(config.compare_limit,
-                                  len(view.attribute_names) - 1):
-                # contrast-based selection can come up short (e.g. a
-                # single pivot value has no contrast at all); fill the
-                # remaining slots with the highest-entropy attributes,
-                # which still summarize the partition's structure
-                compare = self._entropy_fallback(
-                    view, pivot, compare, exclude
-                )
         if not compare:
             raise CADViewError(
                 f"no usable Compare Attribute for pivot {pivot!r}"
@@ -128,28 +176,14 @@ class CADViewBuilder:
         )
         tau = default_tau(len(compare), config.tau_alpha)
         l = config.effective_l(len(result))
-        rows = {}
-        candidates = {}
-        rng = np.random.default_rng(config.seed)
-        for value in values:
-            with profile.timed("iunits"):
-                cands = self._candidate_iunits(
-                    view, pivot, value, compare, labeling, l, rng
-                )
-            with profile.timed("others"):
-                top = diversified_topk(
-                    cands,
-                    config.iunits_k,
-                    tau,
-                    self.preference,
-                    exact=config.exact_topk,
-                )
-            candidates[value] = cands
-            rows[value] = top
-
+        kept, rows, candidates = self._build_rows(
+            view, pivot, values, compare, labeling, tau, l, profile,
+            clock, faults, report,
+        )
+        report.elapsed_s = clock.elapsed()
         return CADView(
-            name, pivot, values, compare, rows, view, config, profile,
-            candidates,
+            name, pivot, kept, compare, rows, view, config, profile,
+            candidates, report,
         )
 
     def refine(
@@ -157,6 +191,8 @@ class CADViewBuilder:
         cad: CADView,
         extra_predicate,
         name: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> CADView:
         """Incrementally refine a view after the user narrows the query.
 
@@ -167,9 +203,15 @@ class CADViewBuilder:
         user drills down and skips the two selection phases entirely.
 
         Pivot values left with no tuples drop out of the refined view.
+        The same budget/degradation machinery as :meth:`build` applies
+        to the clustering loop.
         """
         config = self.config
+        budget = budget if budget is not None else self.budget
+        faults = faults if faults is not None else (self.faults or NO_FAULTS)
+        clock = (budget or Budget()).begin()
         profile = BuildProfile()
+        report = BuildReport(budget=budget, profile=profile)
         old_view = cad.view
         with profile.timed("others"):
             mask = extra_predicate.mask(old_view.table)
@@ -193,25 +235,14 @@ class CADViewBuilder:
         )
         tau = default_tau(len(compare), config.tau_alpha)
         l = config.effective_l(len(view))
-        rows = {}
-        candidates = {}
-        rng = np.random.default_rng(config.seed)
-        for value in values:
-            with profile.timed("iunits"):
-                cands = self._candidate_iunits(
-                    view, cad.pivot_attribute, value, compare, labeling,
-                    l, rng,
-                )
-            with profile.timed("others"):
-                top = diversified_topk(
-                    cands, config.iunits_k, tau, self.preference,
-                    exact=config.exact_topk,
-                )
-            candidates[value] = cands
-            rows[value] = top
+        kept, rows, candidates = self._build_rows(
+            view, cad.pivot_attribute, values, compare, labeling, tau, l,
+            profile, clock, faults, report,
+        )
+        report.elapsed_s = clock.elapsed()
         return CADView(
-            name or cad.name, cad.pivot_attribute, values, compare, rows,
-            view, config, profile, candidates,
+            name or cad.name, cad.pivot_attribute, kept, compare, rows,
+            view, config, profile, candidates, report,
         )
 
     # -- phases ---------------------------------------------------------------
@@ -237,6 +268,25 @@ class CADViewBuilder:
             raise CADViewError("pivot_values must not be empty")
         return values
 
+    def _apply_row_caps(
+        self,
+        result: Table,
+        budget: Optional[Budget],
+        report: BuildReport,
+    ) -> Table:
+        """Sample the input down to the budget's row/cell cap."""
+        if budget is None:
+            return result
+        cap = budget.row_cap(len(result.schema))
+        if cap is None or len(result) <= cap:
+            return result
+        cap = max(cap, 1)
+        report.record_degradation(
+            "input", f"rows:{len(result)}", f"rows:{cap}",
+            "row/cell budget cap",
+        )
+        return result.sample(cap, np.random.default_rng(self.config.seed))
+
     def _compare_attributes(
         self,
         result: Table,
@@ -245,24 +295,72 @@ class CADViewBuilder:
         pivot: str,
         pinned: Sequence[str],
         exclude: Sequence[str],
+        clock: BudgetClock,
+        faults: FaultInjector,
+        report: BuildReport,
     ) -> List[str]:
+        """Problem 1.1 with the selection degradation ladder.
+
+        Rungs: full statistical selection -> selection on a sample
+        (Optimization 1, forced under budget pressure) -> pinned
+        attributes topped up by the entropy fallback.  User errors
+        (unknown pinned attributes) always propagate.
+        """
         config = self.config
-        fs_view = view
-        if config.fs_sample is not None and len(result) > config.fs_sample:
-            # Optimization 1: rank attributes on a uniform sample
-            sample = result.sample(
-                config.fs_sample, np.random.default_rng(config.seed)
+        for name in pinned:
+            if name not in view:
+                raise QueryError(f"pinned attribute {name!r} not in view")
+
+        sample_n = config.fs_sample
+        if clock.under_pressure() and (
+            sample_n is None or sample_n > _PRESSURE_FS_SAMPLE
+        ):
+            sample_n = _PRESSURE_FS_SAMPLE
+            report.record_degradation(
+                "feature_selection", "full", f"sample:{sample_n}",
+                "budget pressure",
             )
-            fs_view = discretizer.fit(sample)
-        return select_compare_attributes(
-            fs_view,
-            pivot,
-            pinned=pinned,
-            limit=config.compare_limit,
-            alpha=config.alpha,
-            selector=self.selector,
-            exclude=exclude,
-        )
+        try:
+            faults.fire("feature_selection")
+            fs_view = view
+            if sample_n is not None and len(result) > sample_n:
+                # Optimization 1: rank attributes on a uniform sample
+                sample = result.sample(
+                    sample_n, np.random.default_rng(config.seed)
+                )
+                fs_view = discretizer.fit(sample)
+            compare = select_compare_attributes(
+                fs_view,
+                pivot,
+                pinned=pinned,
+                limit=config.compare_limit,
+                alpha=config.alpha,
+                selector=self.selector,
+                exclude=exclude,
+                checkpoint=clock.checkpoint("feature_selection"),
+            )
+        except BudgetExceededError as exc:
+            report.record_degradation(
+                "feature_selection", "chi-square", "entropy-fallback",
+                str(exc),
+            )
+            compare = list(dict.fromkeys(pinned))[:config.compare_limit]
+        except QueryError:
+            raise  # config/user errors (bad limit, bad pinned) propagate
+        except Exception as exc:
+            report.record_incident(
+                "feature_selection", None, exc,
+                "fell back to entropy ranking",
+            )
+            compare = list(dict.fromkeys(pinned))[:config.compare_limit]
+        if len(compare) < min(config.compare_limit,
+                              len(view.attribute_names) - 1):
+            # contrast-based selection can come up short (e.g. a
+            # single pivot value has no contrast at all); fill the
+            # remaining slots with the highest-entropy attributes,
+            # which still summarize the partition's structure
+            compare = self._entropy_fallback(view, pivot, compare, exclude)
+        return compare
 
     def _entropy_fallback(
         self,
@@ -291,6 +389,83 @@ class CADViewBuilder:
             chosen.append(name)
         return chosen
 
+    # -- per-pivot-value loop -------------------------------------------------
+
+    def _build_rows(
+        self,
+        view: DiscretizedView,
+        pivot: str,
+        values: Sequence[str],
+        compare: Sequence[str],
+        labeling: LabelingConfig,
+        tau: float,
+        l: int,
+        profile: BuildProfile,
+        clock: BudgetClock,
+        faults: FaultInjector,
+        report: BuildReport,
+    ) -> Tuple[List[str], Dict[str, List[IUnit]], Dict[str, List[IUnit]]]:
+        """Problems 1.2 + 2 for every pivot value, with error isolation.
+
+        Returns (kept values, displayed rows, candidate IUnits).  A
+        failing pivot value becomes an incident and is dropped; once the
+        deadline passes the remaining values are truncated.  Raises
+        :class:`BudgetExceededError` only when *nothing* was built
+        before the deadline, and :class:`CADViewError` when every value
+        failed.
+        """
+        rows: Dict[str, List[IUnit]] = {}
+        candidates: Dict[str, List[IUnit]] = {}
+        kept: List[str] = []
+        rng = np.random.default_rng(self.config.seed)
+        for i, value in enumerate(values):
+            if clock.exceeded():
+                if not kept:
+                    clock.check("iunits")  # raises BudgetExceededError
+                self._truncate(values[i:], report)
+                break
+            try:
+                with profile.timed("iunits"):
+                    cands = self._candidate_iunits(
+                        view, pivot, value, compare, labeling, l, rng,
+                        clock, faults, report,
+                    )
+                with profile.timed("others"):
+                    top = self._topk(
+                        cands, value, tau, clock, faults, report
+                    )
+            except BudgetExceededError:
+                if not kept:
+                    raise
+                self._truncate(values[i:], report)
+                break
+            except Exception as exc:
+                # isolation: one bad partition must not kill the view
+                report.record_incident(
+                    "iunits", value, exc, "dropped pivot value"
+                )
+                report.record_dropped(value)
+                continue
+            candidates[value] = cands
+            rows[value] = top
+            kept.append(value)
+        if not kept:
+            detail = "; ".join(str(i) for i in report.incidents)
+            raise CADViewError(
+                f"every pivot value failed to build: {detail}"
+            )
+        return kept, rows, candidates
+
+    @staticmethod
+    def _truncate(remaining: Sequence[str], report: BuildReport) -> None:
+        """Drop the not-yet-built pivot values at the deadline."""
+        for value in remaining:
+            report.record_dropped(value)
+        report.record_degradation(
+            "build", "all-values",
+            f"truncated:-{len(remaining)}", "deadline reached",
+        )
+
     def _candidate_iunits(
         self,
         view: DiscretizedView,
@@ -300,23 +475,104 @@ class CADViewBuilder:
         labeling: LabelingConfig,
         l: int,
         rng: np.random.Generator,
-    ):
+        clock: BudgetClock,
+        faults: FaultInjector,
+        report: BuildReport,
+    ) -> List[IUnit]:
+        """Problem 1.2 for one pivot value, with the clustering ladder.
+
+        Transient :class:`ConvergenceError` is retried with a fresh seed
+        ``budget.retries`` times; exhausted retries or a mid-clustering
+        deadline degrade to a single whole-partition IUnit.
+        """
         code = view.code_of(pivot, value)
         partition = view.restrict(view.codes(pivot) == code)
         config = self.config
-        if (
-            config.cluster_sample is not None
-            and len(partition) > config.cluster_sample
+        cap = config.cluster_sample
+        if clock.under_pressure() and (
+            cap is None or cap > _PRESSURE_CLUSTER_SAMPLE
         ):
-            keep = rng.choice(
-                len(partition), size=config.cluster_sample, replace=False
-            )
+            cap = _PRESSURE_CLUSTER_SAMPLE
+            if len(partition) > cap:
+                report.record_degradation(
+                    "cluster", "full-partition", f"sample:{cap}",
+                    "budget pressure",
+                )
+        if cap is not None and len(partition) > cap:
+            keep = rng.choice(len(partition), size=cap, replace=False)
             mask = np.zeros(len(partition), dtype=bool)
             mask[keep] = True
             partition = partition.restrict(mask)
         encoding = one_hot_encode(partition, compare)
-        km = KMeans(n_clusters=l, seed=int(rng.integers(2**31)))
-        fit = km.fit(encoding.matrix, rng)
+        k = min(l, len(partition))  # tiny partitions: one tuple per cluster
+        checkpoint = clock.checkpoint("cluster")
+        retries = clock.budget.retries
+        fit = None
+        for attempt in range(1, retries + 2):
+            try:
+                faults.fire("cluster", value)
+                km = KMeans(n_clusters=k, seed=int(rng.integers(2**31)))
+                fit = km.fit(encoding.matrix, rng, checkpoint=checkpoint)
+                break
+            except ConvergenceError as exc:
+                if attempt <= retries:
+                    report.record_retry("cluster", value, attempt, exc)
+                    continue
+                report.record_incident(
+                    "cluster", value, exc,
+                    "degraded to whole-partition IUnit",
+                )
+                report.record_degradation(
+                    "cluster", "kmeans", "whole-partition-iunit",
+                    "retries exhausted",
+                )
+                break
+            except BudgetExceededError:
+                report.record_degradation(
+                    "cluster", "kmeans", "whole-partition-iunit",
+                    "deadline mid-clustering",
+                )
+                break
+        if fit is None:
+            # the bottom rung: the whole partition as one summary IUnit
+            labels = np.zeros(len(partition), dtype=np.int32)
+        else:
+            labels = fit.labels
         return build_iunits(
-            partition, fit.labels, pivot, value, compare, labeling
+            partition, labels, pivot, value, compare, labeling
         )
+
+    def _topk(
+        self,
+        cands: Sequence[IUnit],
+        value: str,
+        tau: float,
+        clock: BudgetClock,
+        faults: FaultInjector,
+        report: BuildReport,
+    ) -> List[IUnit]:
+        """Problem 2 for one pivot value: exact div-astar, else greedy."""
+        config = self.config
+        faults.fire("topk", value)
+        exact = config.exact_topk
+        if exact and clock.under_pressure():
+            report.record_degradation(
+                "topk", "exact", "greedy", "budget pressure"
+            )
+            exact = False
+        try:
+            return diversified_topk(
+                cands,
+                config.iunits_k,
+                tau,
+                self.preference,
+                exact=exact,
+                checkpoint=clock.checkpoint("topk"),
+            )
+        except BudgetExceededError:
+            report.record_degradation(
+                "topk", "exact", "greedy", "deadline mid-search"
+            )
+            return diversified_topk(
+                cands, config.iunits_k, tau, self.preference, exact=False
+            )

@@ -121,6 +121,7 @@ class CADView:
         config: CADViewConfig,
         profile: Optional[BuildProfile] = None,
         candidates: Optional[Mapping[str, Sequence[IUnit]]] = None,
+        report: Optional["BuildReport"] = None,
     ):
         self.name = name
         self.pivot_attribute = pivot_attribute
@@ -135,6 +136,21 @@ class CADView:
         self.candidates: Dict[str, Tuple[IUnit, ...]] = {
             v: tuple((candidates or rows)[v]) for v in self.pivot_values
         }
+        if report is None:
+            from repro.robustness.report import BuildReport
+
+            report = BuildReport(profile=self.profile)
+        self.report = report
+
+    @property
+    def is_partial(self) -> bool:
+        """True when the build dropped at least one pivot value."""
+        return self.report.partial
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when any phase ran below its exact algorithm."""
+        return self.report.degraded
 
     # -- lookups ----------------------------------------------------------
 
@@ -235,6 +251,7 @@ class CADView:
             self.config,
             self.profile,
             self.candidates,
+            self.report,
         )
 
     # -- misc ------------------------------------------------------------------

@@ -26,6 +26,7 @@ from repro.core.cadview import CADView, CADViewConfig, IUnitRef
 from repro.core.render import render_cadview
 from repro.dataset.table import Table
 from repro.errors import CADViewError, QueryError
+from repro.robustness import Budget, BuildReport, FaultInjector
 from repro.iunits.iunit import IUnit
 from repro.query.ast import (
     CreateCadViewStatement,
@@ -46,12 +47,36 @@ ExecuteResult = Union[Table, CADView, List[Tuple[IUnitRef, float]]]
 
 
 class DBExplorer:
-    """Register tables, run statements, keep named CAD Views."""
+    """Register tables, run statements, keep named CAD Views.
 
-    def __init__(self, config: CADViewConfig = CADViewConfig()):
+    ``budget`` bounds every ``CREATE CADVIEW`` this instance executes
+    (wall-clock deadline, row caps, retry counts); ``faults`` injects
+    deterministic failures for testing.  Defaults: unbudgeted, no
+    faults — and ``faults`` falls back to the ``REPRO_FAULTS``
+    environment variable so a deployment can smoke-test its degradation
+    paths without code changes.
+    """
+
+    def __init__(
+        self,
+        config: CADViewConfig = CADViewConfig(),
+        budget: Optional[Budget] = None,
+        faults: Optional[FaultInjector] = None,
+    ):
         self.engine = QueryEngine()
         self.config = config
+        self.budget = budget
+        self.faults = faults if faults is not None else (
+            FaultInjector.from_env()
+        )
         self._views: Dict[str, CADView] = {}
+
+    @property
+    def last_report(self) -> Optional[BuildReport]:
+        """The :class:`BuildReport` of the most recent CADVIEW build."""
+        return self._last_report
+
+    _last_report: Optional[BuildReport] = None
 
     # -- catalog -----------------------------------------------------------
 
@@ -93,7 +118,7 @@ class DBExplorer:
                     reordered.name, reordered.pivot_attribute, order,
                     reordered.compare_attributes, reordered.rows,
                     reordered.view, reordered.config, reordered.profile,
-                    reordered.candidates,
+                    reordered.candidates, reordered.report,
                 )
             self._views[stmt.view] = reordered
             return reordered
@@ -146,13 +171,16 @@ class DBExplorer:
             config = config.with_(compare_limit=stmt.limit_columns)
         if stmt.iunits is not None:
             config = config.with_(iunits_k=stmt.iunits)
-        builder = CADViewBuilder(config)
+        builder = CADViewBuilder(
+            config, budget=self.budget, faults=self.faults
+        )
         cad = builder.build(
             result,
             pivot=stmt.pivot,
             pinned=stmt.select,
             name=stmt.name,
         )
+        self._last_report = cad.report
         if stmt.order_by:
             cad = _sort_iunits(cad, stmt.order_by)
         self._views[stmt.name] = cad
@@ -202,5 +230,5 @@ def _sort_iunits(cad: CADView, keys: Tuple[OrderKey, ...]) -> CADView:
     return CADView(
         cad.name, cad.pivot_attribute, cad.pivot_values,
         cad.compare_attributes, rows, cad.view, cad.config, cad.profile,
-        cad.candidates,
+        cad.candidates, cad.report,
     )

@@ -30,26 +30,30 @@ class BuildProfile:
         """Sum of the three buckets (the paper's 'total time')."""
         return self.compare_attrs_s + self.iunits_s + self.others_s
 
-    @contextmanager
-    def timed(self, bucket: str) -> Iterator[None]:
-        """Accumulate the elapsed time of the with-block into ``bucket``.
+    def record(self, bucket: str, elapsed: float) -> None:
+        """Accumulate ``elapsed`` seconds into ``bucket``.
 
         ``bucket`` is one of ``compare_attrs`` / ``iunits`` / ``others``,
-        or any other name, which lands in :attr:`extra`.
+        or any other name, which lands in :attr:`extra` (the builder's
+        degradation bookkeeping uses extra buckets like ``retries``).
         """
+        if bucket == "compare_attrs":
+            self.compare_attrs_s += elapsed
+        elif bucket == "iunits":
+            self.iunits_s += elapsed
+        elif bucket == "others":
+            self.others_s += elapsed
+        else:
+            self.extra[bucket] = self.extra.get(bucket, 0.0) + elapsed
+
+    @contextmanager
+    def timed(self, bucket: str) -> Iterator[None]:
+        """Accumulate the elapsed time of the with-block into ``bucket``."""
         start = time.perf_counter()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            if bucket == "compare_attrs":
-                self.compare_attrs_s += elapsed
-            elif bucket == "iunits":
-                self.iunits_s += elapsed
-            elif bucket == "others":
-                self.others_s += elapsed
-            else:
-                self.extra[bucket] = self.extra.get(bucket, 0.0) + elapsed
+            self.record(bucket, time.perf_counter() - start)
 
     def as_dict(self) -> Dict[str, float]:
         """All buckets plus the total, as a plain dict."""

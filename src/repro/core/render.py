@@ -51,11 +51,15 @@ def render_cadview(
     cell_width: int = 26,
     highlight: Optional[Iterable[IUnitRef]] = None,
     show_sizes: bool = True,
+    show_report: bool = True,
 ) -> str:
     """Render ``cad`` as an ASCII grid.
 
     ``highlight`` marks specific IUnits (e.g. the result of
     :meth:`CADView.similar_iunits`) with ``*`` around their size header.
+    When the build was partial or degraded, a ``-- build report``
+    footer lists every incident and ladder step (suppress with
+    ``show_report=False``); clean builds render exactly the bare grid.
     """
     highlighted: Set[Tuple[str, int]] = {
         (ref.pivot_value, ref.iunit_id) for ref in (highlight or [])
@@ -126,6 +130,8 @@ def render_cadview(
 
         lines.extend(emit([pivot_cell, attr_cell] + unit_cells))
         lines.append(hline())
+    if show_report and not cad.report.clean:
+        lines.extend(f"-- build report: {l}" for l in cad.report.lines())
     return "\n".join(lines)
 
 

@@ -70,3 +70,22 @@ class EmptyResultError(CADViewError):
 
 class ConvergenceError(ReproError):
     """An iterative numerical procedure failed to converge."""
+
+
+class BudgetExceededError(ReproError):
+    """A budgeted operation ran out of wall-clock (or work) budget.
+
+    Raised only when no further degradation rung can bring the work
+    back under budget; carries enough context to tell *where* the
+    deadline fired.
+    """
+
+    def __init__(self, phase: str, elapsed_s: float, deadline_s: float):
+        self.phase = phase
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+        super().__init__(
+            f"budget exceeded in phase {phase!r}: "
+            f"{elapsed_s * 1e3:.1f}ms elapsed of a "
+            f"{deadline_s * 1e3:.1f}ms deadline"
+        )

@@ -22,7 +22,7 @@ comparable in the E-FS ablation bench.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,10 +66,13 @@ class FeatureSelector:
         view: DiscretizedView,
         pivot: str,
         candidates: Optional[Sequence[str]] = None,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> List[FeatureScore]:
         """Candidates sorted by decreasing score.
 
-        ``candidates`` defaults to every view attribute except the pivot.
+        ``candidates`` defaults to every view attribute except the
+        pivot.  ``checkpoint`` is called once per candidate scored, so a
+        budgeted build can stop a wide selection mid-way.
         """
         if pivot not in view:
             raise QueryError(f"pivot {pivot!r} not in discretized view")
@@ -81,6 +84,8 @@ class FeatureSelector:
         for name in candidates:
             if name == pivot:
                 continue
+            if checkpoint is not None:
+                checkpoint()
             table = contingency_table(
                 pivot_codes, view.codes(name), n_classes, view.ncodes(name)
             )
@@ -163,6 +168,7 @@ def select_compare_attributes(
     alpha: float = 0.05,
     selector: Optional[FeatureSelector] = None,
     exclude: Sequence[str] = (),
+    checkpoint: Optional[Callable[[], None]] = None,
 ) -> List[str]:
     """The paper's Compare Attribute policy.
 
@@ -182,7 +188,7 @@ def select_compare_attributes(
     if len(chosen) < limit:
         skip = set(chosen) | {pivot} | set(exclude)
         candidates = [n for n in view.attribute_names if n not in skip]
-        for fs in selector.rank(view, pivot, candidates):
+        for fs in selector.rank(view, pivot, candidates, checkpoint):
             if len(chosen) >= limit:
                 break
             if fs.relevant(alpha):

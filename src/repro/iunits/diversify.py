@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,7 +61,10 @@ def _check(scores: Sequence[float], adjacency: np.ndarray, k: int) -> np.ndarray
 
 
 def div_astar(
-    scores: Sequence[float], adjacency: np.ndarray, k: int
+    scores: Sequence[float],
+    adjacency: np.ndarray,
+    k: int,
+    checkpoint: Optional[Callable[[], None]] = None,
 ) -> List[int]:
     """Exact diversified top-k: best-first search with an admissible bound.
 
@@ -70,6 +73,9 @@ def div_astar(
     still-compatible scores, which never underestimates, so the first
     fully-expanded best node is optimal (A* on the decision tree; the
     div-astar of Qin et al. specialised to our small ``l``).
+
+    ``checkpoint`` is called once per expanded node; a budgeted caller
+    can abort an exploding search and fall back to the greedy solver.
 
     Returns chosen vertex indices sorted by descending score.
     """
@@ -100,6 +106,8 @@ def div_astar(
     start = (-bound(0, (), 0.0), next(counter), 0, (), 0.0)
     heap = [start]
     while heap:
+        if checkpoint is not None:
+            checkpoint()
         neg_b, _, pos, chosen, current = heapq.heappop(heap)
         if -neg_b <= best_value:
             break  # no node can beat the incumbent
@@ -154,11 +162,14 @@ def diversified_topk(
     tau: float,
     preference: Optional[PreferenceFunction] = None,
     exact: bool = True,
+    checkpoint: Optional[Callable[[], None]] = None,
 ) -> List[IUnit]:
     """Problem 2 end-to-end: score, build the similarity graph, solve.
 
     Returns at most ``k`` IUnits, highest score first, each stamped with
-    its 1-based ``uid``.
+    its 1-based ``uid``.  ``checkpoint`` reaches the exact solver only —
+    the greedy baseline is the cheap fallback a budgeted caller degrades
+    to, so it must always run to completion.
     """
     if not iunits:
         return []
@@ -172,6 +183,8 @@ def diversified_topk(
         raw = np.where(np.isfinite(raw), raw - floor + 1.0, 0.0)
     scores = np.where(np.isfinite(raw), raw, 0.0)
     adj = similarity_graph(iunits, tau)
-    solver = div_astar if exact else div_greedy
-    picked = solver(scores, adj, k)
+    if exact:
+        picked = div_astar(scores, adj, k, checkpoint)
+    else:
+        picked = div_greedy(scores, adj, k)
     return [iunits[v].with_uid(rank) for rank, v in enumerate(picked, start=1)]

@@ -173,6 +173,23 @@ class _Parser:
             raise ParseError("expected number", self.text, tok.pos)
         return tok.value
 
+    def _expect_positive_int(self, clause: str) -> int:
+        """A sizing clause value: a whole number >= 1.
+
+        ``LIMIT COLUMNS 0`` / ``IUNITS 0`` would build a degenerate view
+        (no Compare Attributes, or rows with no IUnits) that every
+        downstream phase mishandles — reject them here, at the point
+        with the best error position.
+        """
+        tok = self._peek()
+        value = self._expect_number()
+        if value != int(value) or int(value) < 1:
+            raise ParseError(
+                f"{clause} must be a whole number >= 1, got {value:g}",
+                self.text, tok.pos if tok is not None else -1,
+            )
+        return int(value)
+
     def _expect_op(self, *ops: str) -> str:
         tok = self._next()
         if tok.kind != "op" or tok.value not in ops:
@@ -274,9 +291,9 @@ class _Parser:
         iunits = None
         if self._accept_keyword("LIMIT"):
             self._expect_keyword("COLUMNS")
-            limit_columns = int(self._expect_number())
+            limit_columns = self._expect_positive_int("LIMIT COLUMNS")
         if self._accept_keyword("IUNITS"):
-            iunits = int(self._expect_number())
+            iunits = self._expect_positive_int("IUNITS")
         order: Tuple[OrderKey, ...] = ()
         if self._accept_keyword("ORDER"):
             self._expect_keyword("BY")

@@ -1,0 +1,34 @@
+"""Resilience layer: budgets, degradation reporting, fault injection.
+
+The CAD View pipeline is interactive — the paper's premise is that an
+exploration step answers in interactive time, every time.  This package
+supplies the three pieces that make that a guarantee instead of a hope:
+
+* :class:`Budget` / :class:`BudgetClock` — wall-clock deadlines and
+  row/cell caps, checked cooperatively inside every long loop;
+* :class:`BuildReport` — the structured account of incidents,
+  degradations and retries carried by every built view;
+* :class:`FaultInjector` — deterministic fault injection so tests can
+  force every degradation rung on demand.
+"""
+
+from repro.robustness.budget import Budget, BudgetClock
+from repro.robustness.faults import NO_FAULTS, Fault, FaultInjector
+from repro.robustness.report import (
+    BuildReport,
+    Degradation,
+    Incident,
+    Retry,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetClock",
+    "BuildReport",
+    "Incident",
+    "Degradation",
+    "Retry",
+    "Fault",
+    "FaultInjector",
+    "NO_FAULTS",
+]

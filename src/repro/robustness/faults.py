@@ -1,0 +1,201 @@
+"""Deterministic fault injection for the CAD View pipeline.
+
+The builder consults a :class:`FaultInjector` at named *sites* — one per
+pipeline phase (``discretize``, ``feature_selection``, ``cluster``,
+``topk``), optionally narrowed to one pivot value
+(``cluster:Chevrolet``).  A planned :class:`Fault` then raises a typed
+error or sleeps (to simulate a slow phase) a configured number of
+times, after which the site behaves normally again — which is exactly
+what a retry-then-succeed test needs.
+
+Everything is deterministic: counting faults fire on their first
+``times`` consultations; probabilistic faults draw from a per-site RNG
+seeded by ``hash((seed, site))``, so a given (seed, plan) always fails
+the same way.
+
+The ``REPRO_FAULTS`` environment variable activates injection without
+code changes (used by the CI fault pass)::
+
+    REPRO_FAULTS=1                                # enabled, empty plan
+    REPRO_FAULTS="cluster:Jeep=convergence*2"     # fail Jeep twice
+    REPRO_FAULTS="topk=sleep:0.05,cluster=crash"  # several sites
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConvergenceError, EmptyResultError
+
+__all__ = ["Fault", "FaultInjector", "NO_FAULTS"]
+
+
+_ERROR_KINDS = {
+    "convergence": ConvergenceError,
+    "crash": RuntimeError,
+    "empty": EmptyResultError,
+    "value": ValueError,
+}
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned fault.
+
+    kind:
+        ``convergence`` / ``crash`` / ``empty`` / ``value`` raise the
+        matching exception; ``sleep`` only delays (pair with a budget
+        deadline to simulate a timeout mid-phase).
+    times:
+        Fire on the first ``times`` consultations of the site;
+        ``None`` means every time.
+    delay_s:
+        Sleep this long before raising (or, for ``sleep``, instead of
+        raising).
+    p:
+        Instead of counting, fire with this probability from the
+        injector's per-site seeded RNG.
+    """
+
+    kind: str = "crash"
+    times: Optional[int] = 1
+    delay_s: float = 0.0
+    p: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind != "sleep" and self.kind not in _ERROR_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"have {sorted(_ERROR_KINDS)} and 'sleep'"
+            )
+
+
+class FaultInjector:
+    """A plan of faults keyed by site name, consulted by the pipeline.
+
+    Site lookup tries the narrowed key first (``cluster:Jeep``), then
+    the bare phase (``cluster``), so one entry can target a single
+    pivot value or a whole phase.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[Mapping[str, Union[Fault, str]]] = None,
+        seed: int = 0,
+    ):
+        self.plan: Dict[str, Fault] = {}
+        for site, fault in (plan or {}).items():
+            self.plan[site] = (
+                fault if isinstance(fault, Fault) else _parse_fault(fault)
+            )
+        self.seed = seed
+        self._consulted: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+        self._rngs: Dict[str, np.random.Generator] = {}
+
+    # -- the pipeline-facing hook ------------------------------------------
+
+    def fire(self, phase: str, pivot_value: Optional[str] = None) -> None:
+        """Raise/sleep if a fault is planned for this site, else no-op."""
+        for site in self._keys(phase, pivot_value):
+            fault = self.plan.get(site)
+            if fault is None:
+                continue
+            if not self._due(site, fault):
+                continue
+            self._fired[site] = self._fired.get(site, 0) + 1
+            if fault.delay_s > 0.0:
+                time.sleep(fault.delay_s)
+            if fault.kind != "sleep":
+                raise _ERROR_KINDS[fault.kind](
+                    f"injected {fault.kind} fault at {site!r}"
+                )
+            return  # a sleep fault consumed the site; don't cascade
+
+    def fired(self, site: str) -> int:
+        """How many times the fault at ``site`` actually fired."""
+        return self._fired.get(site, 0)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault is planned."""
+        return bool(self.plan)
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _keys(phase: str, pivot_value: Optional[str]):
+        if pivot_value is not None:
+            yield f"{phase}:{pivot_value}"
+        yield phase
+
+    def _due(self, site: str, fault: Fault) -> bool:
+        if fault.p is not None:
+            rng = self._rngs.get(site)
+            if rng is None:
+                rng = np.random.default_rng(
+                    abs(hash((self.seed, site))) % (2**32)
+                )
+                self._rngs[site] = rng
+            return bool(rng.random() < fault.p)
+        n = self._consulted.get(site, 0)
+        self._consulted[site] = n + 1
+        return fault.times is None or n < fault.times
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultInjector":
+        """Build an injector from a ``site=kind[*times]`` spec string."""
+        plan: Dict[str, Fault] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            site, sep, rhs = part.partition("=")
+            if not sep or not site.strip():
+                raise ValueError(
+                    f"bad fault spec {part!r}; want site=kind[*times]"
+                )
+            plan[site.strip()] = _parse_fault(rhs.strip())
+        return cls(plan, seed=seed)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["FaultInjector"]:
+        """The injector requested by ``REPRO_FAULTS``, if any.
+
+        ``0``/unset/empty return ``None``; ``1`` returns an enabled-but-
+        empty injector (the CI switch); anything else is parsed as a
+        plan spec.
+        """
+        spec = (environ if environ is not None else os.environ).get(
+            "REPRO_FAULTS", ""
+        ).strip()
+        if not spec or spec == "0":
+            return None
+        if spec == "1":
+            return cls({})
+        return cls.parse(spec)
+
+
+def _parse_fault(text: str) -> Fault:
+    """``kind[*times]`` or ``sleep:seconds[*times]`` -> :class:`Fault`."""
+    times: Optional[int] = 1
+    if "*" in text:
+        text, _, count = text.partition("*")
+        times = None if count.strip() in ("", "inf") else int(count)
+    text = text.strip()
+    if text.startswith("sleep:"):
+        return Fault("sleep", times=times, delay_s=float(text[6:]))
+    return Fault(text, times=times)
+
+
+NO_FAULTS = FaultInjector({})
+"""A shared no-op injector: consulting it never raises or sleeps."""

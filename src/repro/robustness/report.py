@@ -1,0 +1,180 @@
+"""Structured account of what a CAD View build actually did.
+
+Every build — budgeted or not — carries a :class:`BuildReport` on the
+returned :class:`~repro.core.cadview.CADView`.  A clean build has an
+empty report; a degraded one lists every :class:`Degradation` rung the
+builder stepped down, every :class:`Retry` of a transient failure, and
+every :class:`Incident` where a pivot value had to be dropped so the
+rest of the view could still be answered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.profile import BuildProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.robustness.budget import Budget
+
+__all__ = ["Incident", "Degradation", "Retry", "BuildReport"]
+
+
+@dataclass(frozen=True)
+class Incident:
+    """A failure that was isolated instead of aborting the build."""
+
+    phase: str                      # e.g. "cluster", "topk"
+    pivot_value: Optional[str]      # None for whole-build phases
+    error: str                      # exception class name
+    message: str                    # str(exception)
+    action: str                     # what the builder did about it
+
+    def __str__(self) -> str:
+        where = f"{self.phase}[{self.pivot_value}]" if self.pivot_value \
+            else self.phase
+        return f"{where} {self.error}: {self.message} -> {self.action}"
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """One ladder step down from the exact algorithm."""
+
+    phase: str
+    from_mode: str
+    to_mode: str
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.phase} {self.from_mode}->{self.to_mode} ({self.reason})"
+        )
+
+
+@dataclass(frozen=True)
+class Retry:
+    """A transient failure retried with a fresh seed."""
+
+    phase: str
+    pivot_value: Optional[str]
+    attempt: int                    # 1-based attempt that failed
+    error: str
+
+    def __str__(self) -> str:
+        where = f"{self.phase}[{self.pivot_value}]" if self.pivot_value \
+            else self.phase
+        return f"{where} attempt {self.attempt} failed: {self.error}"
+
+
+@dataclass
+class BuildReport:
+    """Incidents, degradations, retries and timings of one build."""
+
+    incidents: List[Incident] = field(default_factory=list)
+    degradations: List[Degradation] = field(default_factory=list)
+    retries: List[Retry] = field(default_factory=list)
+    dropped_values: List[str] = field(default_factory=list)
+    budget: Optional["Budget"] = None
+    elapsed_s: float = 0.0
+    profile: Optional[BuildProfile] = None
+
+    # -- recording (builder-facing) ------------------------------------------
+
+    def record_incident(
+        self,
+        phase: str,
+        pivot_value: Optional[str],
+        error: BaseException,
+        action: str,
+    ) -> None:
+        """Log an isolated failure and what was done instead."""
+        self.incidents.append(
+            Incident(
+                phase, pivot_value, type(error).__name__, str(error), action
+            )
+        )
+
+    def record_degradation(
+        self, phase: str, from_mode: str, to_mode: str, reason: str
+    ) -> None:
+        """Log one ladder step, deduplicating repeats of the same step."""
+        step = Degradation(phase, from_mode, to_mode, reason)
+        if step not in self.degradations:
+            self.degradations.append(step)
+
+    def record_retry(
+        self,
+        phase: str,
+        pivot_value: Optional[str],
+        attempt: int,
+        error: BaseException,
+    ) -> None:
+        """Log a seeded retry of a transient failure."""
+        self.retries.append(
+            Retry(phase, pivot_value, attempt, type(error).__name__)
+        )
+
+    def record_dropped(self, pivot_value: str) -> None:
+        """Log a pivot value excluded from the returned view."""
+        if pivot_value not in self.dropped_values:
+            self.dropped_values.append(pivot_value)
+
+    # -- reading (caller-facing) ---------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        """True when the build ran the exact pipeline with no trouble."""
+        return not (
+            self.incidents or self.degradations or self.retries
+            or self.dropped_values
+        )
+
+    @property
+    def partial(self) -> bool:
+        """True when at least one pivot value was dropped."""
+        return bool(self.dropped_values)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any ladder rung below "exact" was used."""
+        return bool(self.degradations)
+
+    def summary(self) -> str:
+        """One line: PARTIAL/DEGRADED/OK plus counts and elapsed time."""
+        if self.partial:
+            status = "PARTIAL"
+        elif self.degraded:
+            status = "DEGRADED"
+        else:
+            status = "OK"
+        return (
+            f"{status}: {len(self.incidents)} incident(s), "
+            f"{len(self.degradations)} degradation(s), "
+            f"{len(self.retries)} retry(ies), "
+            f"{len(self.dropped_values)} dropped value(s) "
+            f"in {self.elapsed_s * 1e3:.1f}ms"
+        )
+
+    def lines(self) -> List[str]:
+        """The summary plus one detail line per recorded event."""
+        out = [self.summary()]
+        out.extend(f"incident: {i}" for i in self.incidents)
+        out.extend(f"degradation: {d}" for d in self.degradations)
+        out.extend(f"retry: {r}" for r in self.retries)
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly dump (used by the CLI and tests)."""
+        return {
+            "status": self.summary().split(":")[0],
+            "incidents": [vars(i) for i in self.incidents],
+            "degradations": [vars(d) for d in self.degradations],
+            "retries": [vars(r) for r in self.retries],
+            "dropped_values": list(self.dropped_values),
+            "elapsed_s": self.elapsed_s,
+            "profile": self.profile.as_dict() if self.profile else None,
+        }
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())

@@ -17,7 +17,7 @@ fixed effects are profiled out by GLS at each step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import minimize
@@ -112,10 +112,16 @@ def fit_mixed_lm(
     y: Sequence[float],
     X: np.ndarray,
     groups: Sequence,
+    seed: int = 0,
 ) -> MixedLMResult:
     """Fit ``y = X beta + u[group] + eps`` by maximum likelihood.
 
     ``X`` must include the intercept column if one is wanted.
+
+    Nelder–Mead occasionally collapses from an unlucky start; a
+    non-finite optimum gets one retry from a ``seed``-jittered start
+    before :class:`ConvergenceError` is raised (chaining the failure
+    of the first attempt as its cause).
     """
     y = np.asarray(y, dtype=float)
     X = np.asarray(X, dtype=float)
@@ -134,12 +140,28 @@ def fit_mixed_lm(
     def objective(log_params: np.ndarray) -> float:
         return _profile_negloglik(log_params, blocks, p)[0]
 
-    opt = minimize(
-        objective, start, method="Nelder-Mead",
-        options={"xatol": 1e-8, "fatol": 1e-10, "maxiter": 2000},
-    )
-    if not np.isfinite(opt.fun):
-        raise ConvergenceError("mixed model likelihood did not evaluate")
+    rng = np.random.default_rng(seed)
+    first_failure: Optional[ConvergenceError] = None
+    opt = None
+    for attempt in range(2):
+        attempt_start = (
+            start if attempt == 0 else start + rng.normal(scale=0.5, size=2)
+        )
+        opt = minimize(
+            objective, attempt_start, method="Nelder-Mead",
+            options={"xatol": 1e-8, "fatol": 1e-10, "maxiter": 2000},
+        )
+        if np.isfinite(opt.fun):
+            break
+        if first_failure is None:
+            first_failure = ConvergenceError(
+                f"mixed model likelihood did not evaluate "
+                f"(attempt {attempt + 1}, start={attempt_start.tolist()})"
+            )
+    else:
+        raise ConvergenceError(
+            "mixed model likelihood did not evaluate after a seeded retry"
+        ) from first_failure
     nll, beta, cov = _profile_negloglik(opt.x, blocks, p)
     return MixedLMResult(
         beta=beta,

@@ -85,7 +85,8 @@ class TestKMeans:
 
     def test_fewer_points_than_clusters(self):
         X = np.array([[0.0, 0.0], [1.0, 1.0]])
-        res = KMeans(5, seed=0).fit(X)
+        with pytest.warns(UserWarning, match="clamping"):
+            res = KMeans(5, seed=0).fit(X)
         assert res.k == 2
 
     def test_duplicate_points(self):
@@ -196,3 +197,56 @@ class TestQuality:
         X = blobs()
         with pytest.raises(QueryError):
             davies_bouldin(X, np.zeros(len(X), dtype=int), X[:1])
+
+
+class TestClampWarning:
+    """n_clusters > n_samples: clamp to singletons with a warning."""
+
+    def test_kmeans_warns_and_clamps(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.warns(UserWarning, match="clamping"):
+            res = KMeans(5, seed=0).fit(X)
+        assert res.k == 2
+        assert sorted(res.cluster_sizes()) == [1, 1]
+
+    def test_kmodes_warns_and_clamps(self):
+        X = np.array([[0, 1], [1, 0], [2, 2]], dtype=np.int32)
+        with pytest.warns(UserWarning, match="clamping"):
+            res = KModes(7, seed=0).fit(X)
+        assert res.k == 3
+
+    def test_no_warning_when_k_fits(self, recwarn):
+        X = np.arange(20, dtype=float).reshape(10, 2)
+        KMeans(3, seed=0).fit(X)
+        assert not [w for w in recwarn if "clamping" in str(w.message)]
+
+
+class TestCheckpoint:
+    """The budget hook: called every iteration, exceptions propagate."""
+
+    def test_kmeans_calls_checkpoint_each_iteration(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 3))
+        calls = []
+        KMeans(3, seed=0).fit(X, checkpoint=lambda: calls.append(1))
+        assert len(calls) >= 1
+
+    def test_kmeans_checkpoint_exception_propagates(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 3))
+
+        def boom():
+            raise TimeoutError("deadline")
+
+        with pytest.raises(TimeoutError):
+            KMeans(3, seed=0).fit(X, checkpoint=boom)
+
+    def test_kmodes_checkpoint_exception_propagates(self):
+        rng = np.random.default_rng(1)
+        X = rng.integers(0, 4, (50, 4)).astype(np.int32)
+
+        def boom():
+            raise TimeoutError("deadline")
+
+        with pytest.raises(TimeoutError):
+            KModes(3, seed=0).fit(X, checkpoint=boom)

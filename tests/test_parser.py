@@ -199,3 +199,32 @@ class TestErrors:
             assert "end of statement" in str(e)
         else:
             pytest.fail("expected ParseError")
+
+
+class TestPositiveIntGuards:
+    """LIMIT COLUMNS / IUNITS must be whole numbers >= 1."""
+
+    def test_limit_columns_zero_rejected(self):
+        with pytest.raises(ParseError, match="LIMIT COLUMNS.*>= 1"):
+            parse("CREATE CADVIEW v AS SET pivot = a SELECT * FROM t "
+                  "LIMIT COLUMNS 0")
+
+    def test_iunits_zero_rejected(self):
+        with pytest.raises(ParseError, match="IUNITS.*>= 1"):
+            parse("CREATE CADVIEW v AS SET pivot = a SELECT * FROM t "
+                  "IUNITS 0")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParseError, match=">= 1"):
+            parse("CREATE CADVIEW v AS SET pivot = a SELECT * FROM t "
+                  "LIMIT COLUMNS -3")
+
+    def test_fractional_rejected(self):
+        with pytest.raises(ParseError, match="whole number"):
+            parse("CREATE CADVIEW v AS SET pivot = a SELECT * FROM t "
+                  "IUNITS 2.5")
+
+    def test_one_is_fine(self):
+        stmt = parse("CREATE CADVIEW v AS SET pivot = a SELECT * FROM t "
+                     "LIMIT COLUMNS 1 IUNITS 1")
+        assert stmt.limit_columns == 1 and stmt.iunits == 1

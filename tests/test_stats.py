@@ -122,3 +122,62 @@ class TestDisplayEffect:
                 ["a", "b"], ["Solr", "TPFacet"], [1.0, 2.0],
                 treatment="Other",
             )
+
+
+class TestMixedLMRetry:
+    """A transient optimizer failure gets one seeded retry."""
+
+    def _patched(self, monkeypatch, fail_first_n):
+        import repro.stats.mixedlm as m
+
+        real = m.minimize
+        calls = {"n": 0}
+
+        def flaky(fun, x0, **kwargs):
+            calls["n"] += 1
+            if calls["n"] <= fail_first_n:
+                res = real(fun, x0, **kwargs)
+                res.fun = float("nan")
+                return res
+            return real(fun, x0, **kwargs)
+
+        monkeypatch.setattr(m, "minimize", flaky)
+        return calls
+
+    def test_retry_then_succeed(self, monkeypatch):
+        calls = self._patched(monkeypatch, fail_first_n=1)
+        y, X, users, _ = simulate(effect=-5.0, seed=1)
+        res = fit_mixed_lm(y, X, users)
+        assert calls["n"] == 2  # one failure, one successful retry
+        est, se = res.fixed_effect(1)
+        assert est == pytest.approx(-5.0, abs=3 * se)
+
+    def test_exhausted_raises_with_cause(self, monkeypatch):
+        from repro.errors import ConvergenceError
+
+        calls = self._patched(monkeypatch, fail_first_n=10)
+        y, X, users, _ = simulate(effect=-5.0, seed=1)
+        with pytest.raises(ConvergenceError, match="seeded retry") as exc:
+            fit_mixed_lm(y, X, users)
+        assert calls["n"] == 2  # no endless retrying
+        assert isinstance(exc.value.__cause__, ConvergenceError)
+        assert "attempt 1" in str(exc.value.__cause__)
+
+    def test_seed_changes_retry_start(self, monkeypatch):
+        import repro.stats.mixedlm as m
+
+        starts = []
+        real = m.minimize
+
+        def recording(fun, x0, **kwargs):
+            starts.append(np.array(x0))
+            res = real(fun, x0, **kwargs)
+            if len(starts) == 1:
+                res.fun = float("nan")
+            return res
+
+        monkeypatch.setattr(m, "minimize", recording)
+        y, X, users, _ = simulate(effect=-5.0, seed=1)
+        fit_mixed_lm(y, X, users, seed=3)
+        assert len(starts) == 2
+        assert not np.allclose(starts[0], starts[1])
