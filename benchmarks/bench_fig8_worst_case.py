@@ -47,17 +47,31 @@ def measure(cars, n, simulations=SIMULATIONS):
     return buckets / simulations
 
 
-def test_figure8_series(cars40k):
+def test_figure8_series(cars40k, bench_emit):
     print("\n== Figure 8: worst-case CAD View build time (ms) ==")
     print(f"{'result size':>12} {'compare':>9} {'iunits':>9} "
           f"{'others':>9} {'total':>9}")
     totals = []
+    series = []
     for n in SIZES:
         ca, iu, ot = measure(cars40k, n)
         total = ca + iu + ot
         totals.append(total)
+        series.append({
+            "result_size": n,
+            "compare_attrs_ms": ca * 1e3,
+            "iunits_ms": iu * 1e3,
+            "others_ms": ot * 1e3,
+            "total_ms": total * 1e3,
+        })
         print(f"{n:>12} {ca*1e3:>9.1f} {iu*1e3:>9.1f} "
               f"{ot*1e3:>9.1f} {total*1e3:>9.1f}")
+    bench_emit("fig8_worst_case", {
+        "figure": "8",
+        "simulations": SIMULATIONS,
+        "phases": ["compare_attrs", "iunits", "others"],
+        "series": series,
+    })
     # shape: monotone-ish growth; the largest size costs clearly more
     assert totals[-1] > totals[0] * 1.5
     # IUnit generation dominates the worst case in our substrate

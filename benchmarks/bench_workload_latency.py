@@ -34,11 +34,12 @@ def build_for(query, cars):
     )
 
 
-def test_workload_latency_distribution(cars40k):
+def test_workload_latency_distribution(cars40k, bench_emit):
     queries = random_conjunctive_queries(
         cars40k, N_QUERIES, target_selectivity=0.08, seed=12
     )
     latencies = []
+    phase_sums = {"compare_attrs": 0.0, "iunits": 0.0, "others": 0.0}
     skipped = 0
     for q in queries:
         try:
@@ -47,6 +48,9 @@ def test_workload_latency_distribution(cars40k):
             skipped += 1  # degenerate states (e.g. single-row results)
             continue
         latencies.append(cad.profile.total_s)
+        phase_sums["compare_attrs"] += cad.profile.compare_attrs_s
+        phase_sums["iunits"] += cad.profile.iunits_s
+        phase_sums["others"] += cad.profile.others_s
     assert latencies, "workload produced no buildable states"
     lat = np.array(latencies) * 1e3
     print(f"\n== E-WORK: CAD View latency over {len(lat)} exploration "
@@ -54,6 +58,17 @@ def test_workload_latency_distribution(cars40k):
     print(f"p50 {np.percentile(lat, 50):7.1f} ms")
     print(f"p95 {np.percentile(lat, 95):7.1f} ms")
     print(f"max {lat.max():7.1f} ms")
+    bench_emit("workload_latency", {
+        "n_states": len(latencies),
+        "skipped": skipped,
+        "p50_ms": float(np.percentile(lat, 50)),
+        "p95_ms": float(np.percentile(lat, 95)),
+        "max_ms": float(lat.max()),
+        "phase_totals_ms": {
+            phase: total * 1e3 for phase, total in phase_sums.items()
+        },
+        "latencies_ms": [float(v) for v in lat],
+    })
     # the interactivity budget the paper targets (sub-second, Sec. 3.1.2)
     assert np.percentile(lat, 95) < 1_000
 

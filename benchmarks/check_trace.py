@@ -1,0 +1,128 @@
+"""Validate observability artifacts produced by ``--trace``/``--metrics``.
+
+Stdlib-only, so CI can run it without installing the package::
+
+    python benchmarks/check_trace.py --trace trace.json --metrics metrics.json
+
+Exit code 0 when every given file is well-formed, 1 otherwise (with the
+problems printed to stderr).  The checks mirror what the consumers
+require:
+
+* the trace must load as Chrome trace-event JSON — a ``traceEvents``
+  list of complete (``"ph": "X"``) and instant (``"ph": "i"``) events
+  with numeric, non-negative ``ts``/``dur``, exactly what
+  ``chrome://tracing`` and https://ui.perfetto.dev accept;
+* the metrics snapshot must have ``counters``/``gauges``/``histograms``
+  maps, every histogram internally consistent (counts length =
+  bounds length + 1, count = sum of bucket counts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+
+def validate_trace(path: str) -> List[str]:
+    """Problems found in a Chrome trace-event JSON file (empty = valid)."""
+    problems: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: cannot load as JSON: {exc}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: missing 'traceEvents' list"]
+    if not events:
+        problems.append(f"{path}: trace is empty")
+    complete = 0
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            problems.append(f"{where}: unexpected phase {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            complete += 1
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+    if events and not complete:
+        problems.append(f"{path}: no complete ('X') span events")
+    return problems
+
+
+def validate_metrics(path: str) -> List[str]:
+    """Problems found in a metrics snapshot JSON file (empty = valid)."""
+    problems: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: cannot load as JSON: {exc}"]
+    if not isinstance(data, dict):
+        return [f"{path}: snapshot is not an object"]
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(data.get(section), dict):
+            problems.append(f"{path}: missing {section!r} map")
+    for name, value in data.get("counters", {}).items():
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"{path}: counter {name!r} not >= 0: {value!r}")
+    for name, dump in data.get("histograms", {}).items():
+        where = f"{path}: histogram {name!r}"
+        bounds = dump.get("bounds")
+        counts = dump.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            problems.append(f"{where}: missing bounds/counts")
+            continue
+        if len(counts) != len(bounds) + 1:
+            problems.append(
+                f"{where}: counts length {len(counts)} != "
+                f"bounds length {len(bounds)} + 1"
+            )
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            problems.append(f"{where}: bounds not strictly increasing")
+        if sum(counts) != dump.get("count"):
+            problems.append(
+                f"{where}: count {dump.get('count')!r} != "
+                f"sum of bucket counts {sum(counts)}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns 0 iff every given artifact validates."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", action="append", default=[],
+                        help="Chrome trace-event JSON file to validate")
+    parser.add_argument("--metrics", action="append", default=[],
+                        help="metrics snapshot JSON file to validate")
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("give at least one --trace or --metrics file")
+    problems: List[str] = []
+    for path in args.trace:
+        problems.extend(validate_trace(path))
+    for path in args.metrics:
+        problems.extend(validate_metrics(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        checked = len(args.trace) + len(args.metrics)
+        print(f"ok: {checked} artifact(s) valid")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,9 @@ runs once and is shared by the three study-figure benches.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.dataset.generators import generate_mushroom, generate_usedcars
@@ -29,6 +32,32 @@ def mushroom8124():
 def study(mushroom8124):
     """The full crossover user study (Figures 2-7 share it)."""
     return run_study(mushroom8124, seed=2016)
+
+
+@pytest.fixture
+def bench_emit():
+    """Opt-in machine-readable bench output.
+
+    Returns ``emit(name, payload)``: when the ``REPRO_BENCH_DIR``
+    environment variable names a directory, the payload is written
+    there as ``BENCH_<name>.json`` (per-phase breakdowns, latency
+    percentiles — whatever the bench reports on stdout, structured);
+    without the variable the call is a no-op, so the benches behave
+    identically in a plain pytest run.
+    """
+    out_dir = os.environ.get("REPRO_BENCH_DIR")
+
+    def emit(name, payload):
+        if not out_dir:
+            return None
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    return emit
 
 
 def print_user_table(title, table, fmt="{:.2f}"):

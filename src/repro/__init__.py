@@ -51,6 +51,16 @@ from repro.errors import (
     TypeMismatchError,
     UnknownAttributeError,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    registry,
+    render_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
 from repro.robustness import Budget, BuildReport, Fault, FaultInjector
 from repro.iunits import IUnit, iunit_similarity, ranked_list_distance
 from repro.query import (
@@ -81,4 +91,7 @@ __all__ = [
     "EmptyResultError", "ConvergenceError", "BudgetExceededError",
     # robustness
     "Budget", "BuildReport", "Fault", "FaultInjector",
+    # observability
+    "Tracer", "Span", "MetricsRegistry", "registry", "render_trace",
+    "to_chrome_trace", "write_chrome_trace", "write_metrics",
 ]

@@ -30,10 +30,25 @@ from repro.dataset.generators import (
     mushroom_schema,
     usedcars_schema,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    BudgetExceededError,
+    CADViewError,
+    ConvergenceError,
+    ReproError,
+)
+from repro.obs import Tracer, registry, write_chrome_trace, write_metrics
 from repro.robustness import Budget, FaultInjector
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main", "build_parser",
+    "EXIT_OK", "EXIT_USAGE", "EXIT_BUILD_FAILED", "EXIT_BUDGET_EXHAUSTED",
+]
+
+# Distinct exit codes so scripts and CI can tell failure modes apart.
+EXIT_OK = 0                 # statement ran to completion
+EXIT_USAGE = 1              # bad flags / unparsable statement / other error
+EXIT_BUILD_FAILED = 2       # the build itself failed (no view produced)
+EXIT_BUDGET_EXHAUSTED = 3   # budget ran out with nothing built
 
 _DEFAULT_ROWS = {"usedcars": 40_000, "mushroom": 8_124}
 
@@ -81,7 +96,34 @@ def _add_budget_args(parser) -> None:
     )
 
 
-def _explorer(args) -> DBExplorer:
+def _add_obs_args(parser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON of the session to FILE "
+             "(load in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write a metrics-registry snapshot (JSON) to FILE on exit",
+    )
+
+
+def _session_tracer(args) -> Optional[Tracer]:
+    """A session tracer when ``--trace`` asked for one."""
+    if getattr(args, "trace", None):
+        return Tracer("session", command=args.command)
+    return None
+
+
+def _write_obs(args, tracer: Optional[Tracer]) -> None:
+    """Flush ``--trace`` / ``--metrics`` outputs (also on failure)."""
+    if getattr(args, "trace", None) and tracer is not None:
+        write_chrome_trace(tracer.finish(), args.trace)
+    if getattr(args, "metrics", None):
+        write_metrics(registry(), args.metrics)
+
+
+def _explorer(args, tracer: Optional[Tracer] = None) -> DBExplorer:
     """A DBExplorer configured from the common CLI flags."""
     try:
         budget = None
@@ -100,7 +142,8 @@ def _explorer(args) -> DBExplorer:
     except ValueError as exc:
         raise ReproError(str(exc)) from exc
     return DBExplorer(
-        CADViewConfig(seed=args.seed), budget=budget, faults=faults
+        CADViewConfig(seed=args.seed), budget=budget, faults=faults,
+        tracer=tracer,
     )
 
 
@@ -144,33 +187,42 @@ def cmd_gen_data(args) -> int:
 
 def cmd_cadview(args) -> int:
     """``cadview``: execute one statement against the loaded table."""
-    dbx = _explorer(args)
+    tracer = _session_tracer(args)
+    dbx = _explorer(args, tracer)
     dbx.register("data", _load_table(args))
-    _show(dbx.execute(args.sql), args.cell_width)
-    return 0
+    try:
+        _show(dbx.execute(args.sql), args.cell_width)
+    finally:
+        # a failed build still leaves a partial, annotated trace behind
+        _write_obs(args, tracer)
+    return EXIT_OK
 
 
 def cmd_repl(args) -> int:
     """``repl``: interactive statement shell."""
-    dbx = _explorer(args)
+    tracer = _session_tracer(args)
+    dbx = _explorer(args, tracer)
     table = _load_table(args)
     dbx.register("data", table)
     print(f"loaded {len(table)} rows as table 'data'; "
           f"type statements, or 'quit'")
-    while True:
-        try:
-            line = input("dbexplorer> ").strip()
-        except EOFError:
-            print()
-            return 0
-        if not line:
-            continue
-        if line.lower() in ("quit", "exit"):
-            return 0
-        try:
-            _show(dbx.execute(line), args.cell_width)
-        except ReproError as exc:
-            print(f"error: {exc}")
+    try:
+        while True:
+            try:
+                line = input("dbexplorer> ").strip()
+            except EOFError:
+                print()
+                return EXIT_OK
+            if not line:
+                continue
+            if line.lower() in ("quit", "exit"):
+                return EXIT_OK
+            try:
+                _show(dbx.execute(line), args.cell_width)
+            except ReproError as exc:
+                print(f"error: {exc}")
+    finally:
+        _write_obs(args, tracer)
 
 
 def cmd_study(args) -> int:
@@ -203,13 +255,17 @@ def cmd_profile(args) -> int:
         compare_limit=args.compare, iunits_k=args.iunits,
         generated_l=args.generated, seed=args.seed,
     )
-    for name, config in (
-        ("naive", base),
-        ("optimized", recommended_config(base, len(table))),
-    ):
-        cad = CADViewBuilder(config).build(table, pivot)
-        print(f"{name:>10}: {cad.profile}")
-    return 0
+    tracer = _session_tracer(args)
+    try:
+        for name, config in (
+            ("naive", base),
+            ("optimized", recommended_config(base, len(table))),
+        ):
+            cad = CADViewBuilder(config).build(table, pivot, tracer=tracer)
+            print(f"{name:>10}: {cad.profile}")
+    finally:
+        _write_obs(args, tracer)
+    return EXIT_OK
 
 
 def cmd_deps(args) -> int:
@@ -246,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cadview", help="run one statement")
     _add_data_args(p)
     _add_budget_args(p)
+    _add_obs_args(p)
     p.add_argument("--sql", required=True, help="statement to execute")
     p.add_argument("--cell-width", type=int, default=26)
     p.set_defaults(func=cmd_cadview)
@@ -253,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("repl", help="interactive statement shell")
     _add_data_args(p)
     _add_budget_args(p)
+    _add_obs_args(p)
     p.add_argument("--cell-width", type=int, default=26)
     p.set_defaults(func=cmd_repl)
 
@@ -264,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("profile", help="profile a CAD View build")
     _add_data_args(p)
+    _add_obs_args(p)
     p.add_argument("--compare", type=int, default=11)
     p.add_argument("--iunits", type=int, default=6)
     p.add_argument("--generated", type=int, default=15)
@@ -277,13 +336,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 success, 1 usage/parse/other error, 2 build failed,
+    3 budget exhausted with nothing built.  Errors go to stderr.
+    """
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors; fold into our usage code
+        return EXIT_OK if exc.code == 0 else EXIT_USAGE
     try:
         return args.func(args)
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BUDGET_EXHAUSTED
+    except (CADViewError, ConvergenceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BUILD_FAILED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

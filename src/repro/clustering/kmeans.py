@@ -16,6 +16,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import QueryError
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["KMeansResult", "KMeans"]
 
@@ -110,6 +111,7 @@ class KMeans:
         X: np.ndarray,
         rng: Optional[np.random.Generator] = None,
         checkpoint: Optional[Callable[[], None]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> KMeansResult:
         """Cluster the rows of ``X``.
 
@@ -117,7 +119,9 @@ class KMeans:
         cluster (k is clamped, with a warning — tiny pivot partitions
         are routine, not an error).  ``checkpoint`` is called once per
         Lloyd iteration; a budgeted caller passes a deadline check that
-        raises :class:`~repro.errors.BudgetExceededError`.
+        raises :class:`~repro.errors.BudgetExceededError`.  A ``tracer``
+        gains a ``kmeans`` span recording iterations, empty-cluster
+        reseeds and convergence.
         """
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
@@ -134,40 +138,49 @@ class KMeans:
                 stacklevel=2,
             )
         k = min(self.n_clusters, n)
+        tracer = tracer or NULL_TRACER
 
-        centers = self._init_centers(X, rng)
-        labels = np.zeros(n, dtype=np.int32)
-        prev_inertia = np.inf
-        n_iter = 0
-        for n_iter in range(1, self.max_iter + 1):
-            if checkpoint is not None:
-                checkpoint()
+        with tracer.span("kmeans", n=n, d=int(X.shape[1]), k=k) as span:
+            centers = self._init_centers(X, rng)
+            labels = np.zeros(n, dtype=np.int32)
+            prev_inertia = np.inf
+            converged = False
+            n_iter = 0
+            for n_iter in range(1, self.max_iter + 1):
+                if checkpoint is not None:
+                    checkpoint()
+                span.inc("iterations")
+                dists = _pairwise_sq_dists(X, centers)
+                labels = dists.argmin(axis=1).astype(np.int32)
+                inertia = float(dists[np.arange(n), labels].sum())
+
+                # recompute centroids; reseed empties to farthest points
+                counts = np.bincount(labels, minlength=k).astype(np.float64)
+                sums = np.zeros_like(centers)
+                np.add.at(sums, labels, X)
+                empty = counts == 0
+                if empty.any():
+                    span.inc("reseeds", int(empty.sum()))
+                    far = np.argsort(dists[np.arange(n), labels])[::-1]
+                    replacements = iter(far)
+                    for j in np.flatnonzero(empty):
+                        idx = next(replacements)
+                        sums[j] = X[idx]
+                        counts[j] = 1.0
+                centers = sums / counts[:, None]
+
+                if np.isfinite(prev_inertia) and (
+                    prev_inertia - inertia
+                    <= self.tol * max(prev_inertia, 1e-12)
+                ):
+                    converged = True
+                    break
+                prev_inertia = inertia
+
+            # final assignment against the final centers
             dists = _pairwise_sq_dists(X, centers)
             labels = dists.argmin(axis=1).astype(np.int32)
             inertia = float(dists[np.arange(n), labels].sum())
-
-            # recompute centroids; reseed empties to the farthest points
-            counts = np.bincount(labels, minlength=k).astype(np.float64)
-            sums = np.zeros_like(centers)
-            np.add.at(sums, labels, X)
-            empty = counts == 0
-            if empty.any():
-                far = np.argsort(dists[np.arange(n), labels])[::-1]
-                replacements = iter(far)
-                for j in np.flatnonzero(empty):
-                    idx = next(replacements)
-                    sums[j] = X[idx]
-                    counts[j] = 1.0
-            centers = sums / counts[:, None]
-
-            if np.isfinite(prev_inertia) and (
-                prev_inertia - inertia <= self.tol * max(prev_inertia, 1e-12)
-            ):
-                break
-            prev_inertia = inertia
-
-        # final assignment against the final centers
-        dists = _pairwise_sq_dists(X, centers)
-        labels = dists.argmin(axis=1).astype(np.int32)
-        inertia = float(dists[np.arange(n), labels].sum())
+            span.set_attr("converged", converged)
+            span.set_attr("inertia", round(inertia, 6))
         return KMeansResult(labels, centers, inertia, n_iter)

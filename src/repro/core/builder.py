@@ -62,6 +62,8 @@ from repro.iunits.iunit import IUnit
 from repro.iunits.labeling import LabelingConfig, build_iunits
 from repro.iunits.ranking import PreferenceFunction
 from repro.iunits.similarity import default_tau
+from repro.obs.metrics import registry
+from repro.obs.tracer import Tracer
 from repro.robustness.budget import Budget, BudgetClock
 from repro.robustness.faults import NO_FAULTS, FaultInjector
 from repro.robustness.report import BuildReport
@@ -110,6 +112,7 @@ class CADViewBuilder:
         exclude: Sequence[str] = (),
         budget: Optional[Budget] = None,
         faults: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
     ) -> CADView:
         """Construct the CAD View for ``result`` and ``pivot``.
 
@@ -135,56 +138,105 @@ class CADViewBuilder:
             builder-level budget).
         faults:
             Fault-injection plan for this build (tests only).
+        tracer:
+            An existing :class:`~repro.obs.Tracer` to nest this build's
+            span tree under (``EXPLAIN ANALYZE`` and the CLI's
+            ``--trace`` pass one); ``None`` creates a fresh tracer.
+            Either way the build span lands on ``report.trace``.
         """
         config = self.config
         budget = budget if budget is not None else self.budget
         faults = faults if faults is not None else (self.faults or NO_FAULTS)
         clock = (budget or Budget()).begin()
         profile = BuildProfile()
-        report = BuildReport(budget=budget, profile=profile)
+        own_tracer = tracer is None
+        tracer = tracer if tracer is not None else Tracer("cadview")
+        report = BuildReport(
+            budget=budget, profile=profile, tracer=tracer
+        )
         if len(result) == 0:
             raise EmptyResultError("result set is empty")
         result.schema[pivot]  # raises UnknownAttributeError when absent
-        result = self._apply_row_caps(result, budget, report)
+        try:
+            with tracer.span(
+                "cadview.build", view=name, pivot=pivot,
+                rows_in=len(result),
+            ) as build_span:
+                report.trace = build_span
+                result = self._apply_row_caps(result, budget, report)
+                build_span.set_attr("rows", len(result))
 
-        # pre-processing: context-dependent discretization of R
-        with profile.timed("others"):
-            clock.check("discretize")
-            faults.fire("discretize")
-            discretizer = Discretizer(
-                strategy=config.strategy, nbins=config.nbins
-            )
-            view = discretizer.fit(result)
-            values = self._pivot_values(view, pivot, pivot_values)
+                # pre-processing: context-dependent discretization of R
+                with tracer.span(
+                    "discretize", bucket="others", profile=profile,
+                    strategy=config.strategy, nbins=config.nbins,
+                ) as sp:
+                    clock.check("discretize")
+                    faults.fire("discretize")
+                    discretizer = Discretizer(
+                        strategy=config.strategy, nbins=config.nbins
+                    )
+                    view = discretizer.fit(result)
+                    values = self._pivot_values(view, pivot, pivot_values)
+                    sp.set_attr("attributes", len(view.attribute_names))
+                    sp.set_attr("pivot_values", len(values))
 
-        # Problem 1.1 — Compare Attributes (resilient ladder)
-        with profile.timed("compare_attrs"):
-            compare = self._compare_attributes(
-                result, discretizer, view, pivot, pinned, exclude,
-                clock, faults, report,
-            )
-        if not compare:
-            raise CADViewError(
-                f"no usable Compare Attribute for pivot {pivot!r}"
-            )
+                # Problem 1.1 — Compare Attributes (resilient ladder)
+                with tracer.span(
+                    "compare_attrs", bucket="compare_attrs",
+                    profile=profile,
+                ) as sp:
+                    compare = self._compare_attributes(
+                        result, discretizer, view, pivot, pinned, exclude,
+                        clock, faults, report, tracer,
+                    )
+                    sp.set_attr("selected", len(compare))
+                if not compare:
+                    raise CADViewError(
+                        f"no usable Compare Attribute for pivot {pivot!r}"
+                    )
 
-        # Problems 1.2 + 2 — candidate IUnits, then diversified top-k
-        labeling = LabelingConfig(
-            max_display=config.max_display,
-            alpha=config.label_alpha,
-            min_share=config.min_share,
-        )
-        tau = default_tau(len(compare), config.tau_alpha)
-        l = config.effective_l(len(result))
-        kept, rows, candidates = self._build_rows(
-            view, pivot, values, compare, labeling, tau, l, profile,
-            clock, faults, report,
-        )
-        report.elapsed_s = clock.elapsed()
+                # Problems 1.2 + 2 — candidate IUnits, diversified top-k
+                labeling = LabelingConfig(
+                    max_display=config.max_display,
+                    alpha=config.label_alpha,
+                    min_share=config.min_share,
+                )
+                tau = default_tau(len(compare), config.tau_alpha)
+                l = config.effective_l(len(result))
+                kept, rows, candidates = self._build_rows(
+                    view, pivot, values, compare, labeling, tau, l,
+                    profile, clock, faults, report, tracer,
+                )
+                report.elapsed_s = clock.elapsed()
+                build_span.set_attr("values_built", len(kept))
+        except BudgetExceededError:
+            registry().counter("build.budget_exhausted").inc()
+            raise
+        except CADViewError:
+            registry().counter("build.failed").inc()
+            raise
+        finally:
+            if own_tracer:
+                tracer.finish()
+        self._record_build_metrics(report)
         return CADView(
             name, pivot, kept, compare, rows, view, config, profile,
             candidates, report,
         )
+
+    @staticmethod
+    def _record_build_metrics(report: BuildReport) -> None:
+        """Fold one finished build into the process-wide registry."""
+        reg = registry()
+        reg.counter("build.total").inc()
+        if report.degraded:
+            reg.counter("build.degraded").inc()
+        if report.partial:
+            reg.counter("build.partial").inc()
+        if report.retries:
+            reg.counter("build.retries").inc(len(report.retries))
+        reg.histogram("build.latency_s").observe(report.elapsed_s)
 
     def refine(
         self,
@@ -193,6 +245,7 @@ class CADViewBuilder:
         name: Optional[str] = None,
         budget: Optional[Budget] = None,
         faults: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
     ) -> CADView:
         """Incrementally refine a view after the user narrows the query.
 
@@ -211,35 +264,52 @@ class CADViewBuilder:
         faults = faults if faults is not None else (self.faults or NO_FAULTS)
         clock = (budget or Budget()).begin()
         profile = BuildProfile()
-        report = BuildReport(budget=budget, profile=profile)
+        own_tracer = tracer is None
+        tracer = tracer if tracer is not None else Tracer("cadview")
+        report = BuildReport(budget=budget, profile=profile, tracer=tracer)
         old_view = cad.view
-        with profile.timed("others"):
-            mask = extra_predicate.mask(old_view.table)
-            if not mask.any():
-                raise EmptyResultError(
-                    "refinement predicate matches no tuples"
-                )
-            view = old_view.restrict(mask)
-            present = view.value_counts(cad.pivot_attribute)
-            values = [v for v in cad.pivot_values if v in present]
-            if not values:
-                raise EmptyResultError(
-                    "no pivot value survives the refinement"
-                )
+        try:
+            with tracer.span(
+                "cadview.refine", view=name or cad.name,
+                pivot=cad.pivot_attribute,
+            ) as refine_span:
+                report.trace = refine_span
+                with tracer.span(
+                    "restrict", bucket="others", profile=profile
+                ) as sp:
+                    mask = extra_predicate.mask(old_view.table)
+                    if not mask.any():
+                        raise EmptyResultError(
+                            "refinement predicate matches no tuples"
+                        )
+                    view = old_view.restrict(mask)
+                    present = view.value_counts(cad.pivot_attribute)
+                    values = [v for v in cad.pivot_values if v in present]
+                    if not values:
+                        raise EmptyResultError(
+                            "no pivot value survives the refinement"
+                        )
+                    sp.set_attr("rows", len(view))
+                    sp.set_attr("pivot_values", len(values))
 
-        compare = list(cad.compare_attributes)
-        labeling = LabelingConfig(
-            max_display=config.max_display,
-            alpha=config.label_alpha,
-            min_share=config.min_share,
-        )
-        tau = default_tau(len(compare), config.tau_alpha)
-        l = config.effective_l(len(view))
-        kept, rows, candidates = self._build_rows(
-            view, cad.pivot_attribute, values, compare, labeling, tau, l,
-            profile, clock, faults, report,
-        )
-        report.elapsed_s = clock.elapsed()
+                compare = list(cad.compare_attributes)
+                labeling = LabelingConfig(
+                    max_display=config.max_display,
+                    alpha=config.label_alpha,
+                    min_share=config.min_share,
+                )
+                tau = default_tau(len(compare), config.tau_alpha)
+                l = config.effective_l(len(view))
+                kept, rows, candidates = self._build_rows(
+                    view, cad.pivot_attribute, values, compare, labeling,
+                    tau, l, profile, clock, faults, report, tracer,
+                )
+                report.elapsed_s = clock.elapsed()
+                refine_span.set_attr("values_built", len(kept))
+        finally:
+            if own_tracer:
+                tracer.finish()
+        self._record_build_metrics(report)
         return CADView(
             name or cad.name, cad.pivot_attribute, kept, compare, rows,
             view, config, profile, candidates, report,
@@ -298,6 +368,7 @@ class CADViewBuilder:
         clock: BudgetClock,
         faults: FaultInjector,
         report: BuildReport,
+        tracer: Tracer,
     ) -> List[str]:
         """Problem 1.1 with the selection degradation ladder.
 
@@ -325,20 +396,26 @@ class CADViewBuilder:
             fs_view = view
             if sample_n is not None and len(result) > sample_n:
                 # Optimization 1: rank attributes on a uniform sample
-                sample = result.sample(
-                    sample_n, np.random.default_rng(config.seed)
-                )
-                fs_view = discretizer.fit(sample)
-            compare = select_compare_attributes(
-                fs_view,
-                pivot,
-                pinned=pinned,
+                with tracer.span("fs_sample", rows=sample_n):
+                    sample = result.sample(
+                        sample_n, np.random.default_rng(config.seed)
+                    )
+                    fs_view = discretizer.fit(sample)
+            with tracer.span(
+                "feature_selection", rows=len(fs_view),
                 limit=config.compare_limit,
-                alpha=config.alpha,
-                selector=self.selector,
-                exclude=exclude,
-                checkpoint=clock.checkpoint("feature_selection"),
-            )
+            ):
+                compare = select_compare_attributes(
+                    fs_view,
+                    pivot,
+                    pinned=pinned,
+                    limit=config.compare_limit,
+                    alpha=config.alpha,
+                    selector=self.selector,
+                    exclude=exclude,
+                    checkpoint=clock.checkpoint("feature_selection"),
+                    tracer=tracer,
+                )
         except BudgetExceededError as exc:
             report.record_degradation(
                 "feature_selection", "chi-square", "entropy-fallback",
@@ -359,7 +436,10 @@ class CADViewBuilder:
             # single pivot value has no contrast at all); fill the
             # remaining slots with the highest-entropy attributes,
             # which still summarize the partition's structure
-            compare = self._entropy_fallback(view, pivot, compare, exclude)
+            with tracer.span("entropy_fallback", have=len(compare)):
+                compare = self._entropy_fallback(
+                    view, pivot, compare, exclude
+                )
         return compare
 
     def _entropy_fallback(
@@ -404,6 +484,7 @@ class CADViewBuilder:
         clock: BudgetClock,
         faults: FaultInjector,
         report: BuildReport,
+        tracer: Tracer,
     ) -> Tuple[List[str], Dict[str, List[IUnit]], Dict[str, List[IUnit]]]:
         """Problems 1.2 + 2 for every pivot value, with error isolation.
 
@@ -425,15 +506,21 @@ class CADViewBuilder:
                 self._truncate(values[i:], report)
                 break
             try:
-                with profile.timed("iunits"):
-                    cands = self._candidate_iunits(
-                        view, pivot, value, compare, labeling, l, rng,
-                        clock, faults, report,
-                    )
-                with profile.timed("others"):
-                    top = self._topk(
-                        cands, value, tau, clock, faults, report
-                    )
+                with tracer.span(f"pivot:{value}"):
+                    with tracer.span(
+                        "iunits", bucket="iunits", profile=profile
+                    ):
+                        cands = self._candidate_iunits(
+                            view, pivot, value, compare, labeling, l, rng,
+                            clock, faults, report, tracer,
+                        )
+                    with tracer.span(
+                        "topk", bucket="others", profile=profile
+                    ):
+                        top = self._topk(
+                            cands, value, tau, clock, faults, report,
+                            tracer,
+                        )
             except BudgetExceededError:
                 if not kept:
                     raise
@@ -478,6 +565,7 @@ class CADViewBuilder:
         clock: BudgetClock,
         faults: FaultInjector,
         report: BuildReport,
+        tracer: Tracer,
     ) -> List[IUnit]:
         """Problem 1.2 for one pivot value, with the clustering ladder.
 
@@ -488,6 +576,8 @@ class CADViewBuilder:
         code = view.code_of(pivot, value)
         partition = view.restrict(view.codes(pivot) == code)
         config = self.config
+        span = tracer.current
+        span.set_attr("rows", len(partition))
         cap = config.cluster_sample
         if clock.under_pressure() and (
             cap is None or cap > _PRESSURE_CLUSTER_SAMPLE
@@ -503,7 +593,9 @@ class CADViewBuilder:
             mask = np.zeros(len(partition), dtype=bool)
             mask[keep] = True
             partition = partition.restrict(mask)
-        encoding = one_hot_encode(partition, compare)
+            span.set_attr("sampled_rows", len(partition))
+        with tracer.span("encode", rows=len(partition)):
+            encoding = one_hot_encode(partition, compare)
         k = min(l, len(partition))  # tiny partitions: one tuple per cluster
         checkpoint = clock.checkpoint("cluster")
         retries = clock.budget.retries
@@ -512,11 +604,17 @@ class CADViewBuilder:
             try:
                 faults.fire("cluster", value)
                 km = KMeans(n_clusters=k, seed=int(rng.integers(2**31)))
-                fit = km.fit(encoding.matrix, rng, checkpoint=checkpoint)
+                fit = km.fit(
+                    encoding.matrix, rng, checkpoint=checkpoint,
+                    tracer=tracer,
+                )
                 break
             except ConvergenceError as exc:
                 if attempt <= retries:
                     report.record_retry("cluster", value, attempt, exc)
+                    if report.profile is not None:
+                        report.profile.count("retries")
+                    tracer.inc("cluster_restarts")
                     continue
                 report.record_incident(
                     "cluster", value, exc,
@@ -538,9 +636,12 @@ class CADViewBuilder:
             labels = np.zeros(len(partition), dtype=np.int32)
         else:
             labels = fit.labels
-        return build_iunits(
-            partition, labels, pivot, value, compare, labeling
-        )
+        with tracer.span("label", clusters=int(labels.max()) + 1):
+            units = build_iunits(
+                partition, labels, pivot, value, compare, labeling
+            )
+        span.inc("candidates", len(units))
+        return units
 
     def _topk(
         self,
@@ -550,6 +651,7 @@ class CADViewBuilder:
         clock: BudgetClock,
         faults: FaultInjector,
         report: BuildReport,
+        tracer: Tracer,
     ) -> List[IUnit]:
         """Problem 2 for one pivot value: exact div-astar, else greedy."""
         config = self.config
@@ -568,11 +670,13 @@ class CADViewBuilder:
                 self.preference,
                 exact=exact,
                 checkpoint=clock.checkpoint("topk"),
+                tracer=tracer,
             )
         except BudgetExceededError:
             report.record_degradation(
                 "topk", "exact", "greedy", "deadline mid-search"
             )
             return diversified_topk(
-                cands, config.iunits_k, tau, self.preference, exact=False
+                cands, config.iunits_k, tau, self.preference, exact=False,
+                tracer=tracer,
             )

@@ -26,24 +26,28 @@ from repro.core.cadview import CADView, CADViewConfig, IUnitRef
 from repro.core.render import render_cadview
 from repro.dataset.table import Table
 from repro.errors import CADViewError, QueryError
+from repro.obs.export import render_trace
+from repro.obs.tracer import Tracer
 from repro.robustness import Budget, BuildReport, FaultInjector
 from repro.iunits.iunit import IUnit
 from repro.query.ast import (
     CreateCadViewStatement,
     DescribeStatement,
     DropCadViewStatement,
+    ExplainStatement,
     HighlightSimilarStatement,
     OrderKey,
     ReorderRowsStatement,
     SelectStatement,
     ShowCadViewsStatement,
+    Statement,
 )
 from repro.query.engine import QueryEngine
 from repro.query.parser import parse
 
 __all__ = ["DBExplorer"]
 
-ExecuteResult = Union[Table, CADView, List[Tuple[IUnitRef, float]]]
+ExecuteResult = Union[str, Table, CADView, List[Tuple[IUnitRef, float]]]
 
 
 class DBExplorer:
@@ -62,6 +66,7 @@ class DBExplorer:
         config: CADViewConfig = CADViewConfig(),
         budget: Optional[Budget] = None,
         faults: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.engine = QueryEngine()
         self.config = config
@@ -69,6 +74,7 @@ class DBExplorer:
         self.faults = faults if faults is not None else (
             FaultInjector.from_env()
         )
+        self.tracer = tracer
         self._views: Dict[str, CADView] = {}
 
     @property
@@ -97,7 +103,11 @@ class DBExplorer:
 
     def execute(self, sql: str) -> ExecuteResult:
         """Parse and run one statement, returning its natural result."""
-        stmt = parse(sql)
+        return self._dispatch(parse(sql))
+
+    def _dispatch(self, stmt: Statement) -> ExecuteResult:
+        if isinstance(stmt, ExplainStatement):
+            return self._explain(stmt)
         if isinstance(stmt, SelectStatement):
             return self._select(stmt)
         if isinstance(stmt, CreateCadViewStatement):
@@ -163,7 +173,11 @@ class DBExplorer:
             result = result.head(stmt.limit)
         return result
 
-    def _create_cadview(self, stmt: CreateCadViewStatement) -> CADView:
+    def _create_cadview(
+        self,
+        stmt: CreateCadViewStatement,
+        tracer: Optional[Tracer] = None,
+    ) -> CADView:
         table = self.engine.table(stmt.table)
         result = self.engine.select(table, stmt.where)
         config = self.config
@@ -179,12 +193,85 @@ class DBExplorer:
             pivot=stmt.pivot,
             pinned=stmt.select,
             name=stmt.name,
+            tracer=tracer if tracer is not None else self.tracer,
         )
         self._last_report = cad.report
         if stmt.order_by:
             cad = _sort_iunits(cad, stmt.order_by)
         self._views[stmt.name] = cad
         return cad
+
+    # -- EXPLAIN ------------------------------------------------------------
+
+    def _explain(self, stmt: ExplainStatement) -> str:
+        """``EXPLAIN`` renders the plan; ``EXPLAIN ANALYZE`` runs it.
+
+        ANALYZE executes the inner statement under a dedicated
+        :class:`Tracer` and returns the rendered span tree — for CADVIEW
+        builds that is the full pipeline trace plus a reconciliation of
+        the trace's Figure-8 bucket totals against the legacy
+        :class:`~repro.core.profile.BuildProfile` and the build report.
+        """
+        if not stmt.analyze:
+            return "\n".join(self._plan_lines(stmt.inner))
+        tracer = Tracer("explain")
+        if isinstance(stmt.inner, CreateCadViewStatement):
+            cad = self._create_cadview(stmt.inner, tracer=tracer)
+            root = tracer.finish()
+            build = root.find("cadview.build")
+            top = build[0] if build else root
+            lines = [render_trace(top)]
+            if cad.profile is not None:
+                lines.append("")
+                lines.append("bucket reconciliation (trace vs profile):")
+                for bucket, legacy in (
+                    ("compare_attrs", cad.profile.compare_attrs_s),
+                    ("iunits", cad.profile.iunits_s),
+                    ("others", cad.profile.others_s),
+                ):
+                    lines.append(
+                        f"  {bucket:<14} trace={top.bucket_total(bucket) * 1e3:.1f}ms"
+                        f"  profile={legacy * 1e3:.1f}ms"
+                    )
+            if cad.report is not None:
+                lines.append("")
+                lines.extend(cad.report.lines())
+            return "\n".join(lines)
+        with tracer.span("execute", statement=type(stmt.inner).__name__):
+            self._dispatch(stmt.inner)
+        return render_trace(tracer.finish())
+
+    def _plan_lines(self, stmt: Statement) -> List[str]:
+        """Textual plan outline of what executing ``stmt`` would do."""
+        if isinstance(stmt, CreateCadViewStatement):
+            lines = [
+                f"CREATE CADVIEW {stmt.name} (pivot={stmt.pivot})",
+                f"  scan: {stmt.table}"
+                + (" with WHERE filter" if stmt.where else ""),
+                "  discretize [others]",
+                "  compare_attrs [compare_attrs]: chi-square ranking"
+                + (f", pinned={list(stmt.select)}" if stmt.select else ""),
+                "  per pivot value:",
+                "    iunits [iunits]: k-means candidate generation",
+                "    topk [others]: diversified top-k (div-astar)",
+            ]
+            if stmt.order_by:
+                lines.append("  reorder iunits by ORDER BY keys")
+            return lines
+        if isinstance(stmt, SelectStatement):
+            lines = [
+                f"SELECT from {stmt.table}",
+                "  scan: " + stmt.table
+                + (" with WHERE filter" if stmt.where else ""),
+            ]
+            if stmt.order_by:
+                lines.append("  sort: " + ", ".join(
+                    k.attribute for k in stmt.order_by
+                ))
+            if stmt.limit is not None:
+                lines.append(f"  limit: {stmt.limit}")
+            return lines
+        return [f"execute: {type(stmt).__name__}"]
 
 
 def _sort_iunits(cad: CADView, keys: Tuple[OrderKey, ...]) -> CADView:

@@ -33,9 +33,11 @@ class BuildProfile:
     def record(self, bucket: str, elapsed: float) -> None:
         """Accumulate ``elapsed`` seconds into ``bucket``.
 
-        ``bucket`` is one of ``compare_attrs`` / ``iunits`` / ``others``,
-        or any other name, which lands in :attr:`extra` (the builder's
-        degradation bookkeeping uses extra buckets like ``retries``).
+        ``bucket`` is one of ``compare_attrs`` / ``iunits`` / ``others``;
+        any other name lands in :attr:`extra` under an explicit
+        ``time/`` namespace, so time buckets can never collide with the
+        ``count/`` buckets written by :meth:`count` (event counts used
+        to silently conflate with seconds here).
         """
         if bucket == "compare_attrs":
             self.compare_attrs_s += elapsed
@@ -44,7 +46,19 @@ class BuildProfile:
         elif bucket == "others":
             self.others_s += elapsed
         else:
+            if not bucket.startswith(("time/", "count/")):
+                bucket = f"time/{bucket}"
             self.extra[bucket] = self.extra.get(bucket, 0.0) + elapsed
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Accumulate an event count (not seconds) into ``extra``.
+
+        Counts live under ``count/`` (e.g. the builder's clustering
+        ``count/retries``), keeping them distinct from the ``time/``
+        buckets :meth:`record` writes.
+        """
+        key = name if name.startswith("count/") else f"count/{name}"
+        self.extra[key] = self.extra.get(key, 0.0) + n
 
     @contextmanager
     def timed(self, bucket: str) -> Iterator[None]:

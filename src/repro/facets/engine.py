@@ -19,6 +19,7 @@ from repro.dataset.table import Table
 from repro.discretize.discretizer import DiscretizedView, Discretizer
 from repro.errors import QueryError
 from repro.facets.digest import Digest
+from repro.obs.metrics import registry
 from repro.query.predicates import And, Or, Predicate, TruePred
 
 __all__ = ["FacetedEngine", "FacetSession"]
@@ -80,6 +81,9 @@ class FacetedEngine:
     def result(self, selections: Dict[str, Set[str]]) -> Table:
         """The result set of a selection state."""
         pred = self.selection_predicate(selections)
+        reg = registry()
+        reg.counter("facets.results").inc()
+        reg.counter("facets.rows_scanned").inc(len(self.table))
         return self.table.filter(pred.mask(self.table))
 
     def digest_for_predicate(self, predicate: Predicate) -> Digest:
@@ -89,6 +93,9 @@ class FacetedEngine:
         target selection with the digest of a user's alternative.
         """
         mask = predicate.mask(self.table)
+        reg = registry()
+        reg.counter("facets.digests").inc()
+        reg.counter("facets.rows_scanned").inc(len(self.table))
         restricted = self._view.restrict(mask)
         counts = {a: restricted.value_counts(a) for a in self.queriable}
         return Digest(counts, int(mask.sum()))

@@ -30,6 +30,8 @@ from repro.discretize.discretizer import DiscretizedView
 from repro.errors import QueryError
 from repro.features.chi2 import chi2_sf, chi_square_test
 from repro.features.contingency import contingency_table
+from repro.obs.metrics import registry
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = [
     "FeatureScore",
@@ -67,19 +69,24 @@ class FeatureSelector:
         pivot: str,
         candidates: Optional[Sequence[str]] = None,
         checkpoint: Optional[Callable[[], None]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> List[FeatureScore]:
         """Candidates sorted by decreasing score.
 
         ``candidates`` defaults to every view attribute except the
         pivot.  ``checkpoint`` is called once per candidate scored, so a
-        budgeted build can stop a wide selection mid-way.
+        budgeted build can stop a wide selection mid-way.  A ``tracer``
+        gains per-span counters: candidates scored and contingency
+        cells evaluated (the chi-square work unit).
         """
         if pivot not in view:
             raise QueryError(f"pivot {pivot!r} not in discretized view")
         if candidates is None:
             candidates = [n for n in view.attribute_names if n != pivot]
+        tracer = tracer or NULL_TRACER
         pivot_codes = view.codes(pivot)
         n_classes = view.ncodes(pivot)
+        cells = 0
         scores = []
         for name in candidates:
             if name == pivot:
@@ -89,8 +96,14 @@ class FeatureSelector:
             table = contingency_table(
                 pivot_codes, view.codes(name), n_classes, view.ncodes(name)
             )
+            cells += int(table.size)
             score, p = self.score_table(table)
             scores.append(FeatureScore(name, score, p))
+        tracer.inc("candidates_scored", len(scores))
+        tracer.inc("cells_scored", cells)
+        reg = registry()
+        reg.counter("features.candidates_scored").inc(len(scores))
+        reg.counter("features.cells_scored").inc(cells)
         scores.sort(key=lambda s: (-s.score, s.attribute))
         return scores
 
@@ -169,6 +182,7 @@ def select_compare_attributes(
     selector: Optional[FeatureSelector] = None,
     exclude: Sequence[str] = (),
     checkpoint: Optional[Callable[[], None]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> List[str]:
     """The paper's Compare Attribute policy.
 
@@ -188,7 +202,7 @@ def select_compare_attributes(
     if len(chosen) < limit:
         skip = set(chosen) | {pivot} | set(exclude)
         candidates = [n for n in view.attribute_names if n not in skip]
-        for fs in selector.rank(view, pivot, candidates, checkpoint):
+        for fs in selector.rank(view, pivot, candidates, checkpoint, tracer):
             if len(chosen) >= limit:
                 break
             if fs.relevant(alpha):

@@ -23,6 +23,7 @@ from repro.errors import CADViewError
 from repro.iunits.iunit import IUnit
 from repro.iunits.ranking import PreferenceFunction, SizePreference
 from repro.iunits.similarity import iunit_similarity
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = [
     "similarity_graph",
@@ -65,6 +66,7 @@ def div_astar(
     adjacency: np.ndarray,
     k: int,
     checkpoint: Optional[Callable[[], None]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> List[int]:
     """Exact diversified top-k: best-first search with an admissible bound.
 
@@ -80,6 +82,7 @@ def div_astar(
     Returns chosen vertex indices sorted by descending score.
     """
     scores_arr = _check(scores, adjacency, k)
+    tracer = tracer or NULL_TRACER
     n = len(scores_arr)
     if n == 0 or k == 0:
         return []
@@ -108,8 +111,10 @@ def div_astar(
     while heap:
         if checkpoint is not None:
             checkpoint()
+        tracer.inc("astar_nodes")
         neg_b, _, pos, chosen, current = heapq.heappop(heap)
         if -neg_b <= best_value:
+            tracer.inc("astar_pruned", len(heap))
             break  # no node can beat the incumbent
         if current > best_value:
             best_value = current
@@ -163,16 +168,20 @@ def diversified_topk(
     preference: Optional[PreferenceFunction] = None,
     exact: bool = True,
     checkpoint: Optional[Callable[[], None]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> List[IUnit]:
     """Problem 2 end-to-end: score, build the similarity graph, solve.
 
     Returns at most ``k`` IUnits, highest score first, each stamped with
     its 1-based ``uid``.  ``checkpoint`` reaches the exact solver only —
     the greedy baseline is the cheap fallback a budgeted caller degrades
-    to, so it must always run to completion.
+    to, so it must always run to completion.  A ``tracer`` counts
+    candidates in, similarity pairs compared, search nodes expanded and
+    IUnits pruned away.
     """
     if not iunits:
         return []
+    tracer = tracer or NULL_TRACER
     preference = preference or SizePreference()
     raw = np.array([preference.score(u) for u in iunits], dtype=float)
     # shift to strictly positive when needed (preferences like ascending
@@ -182,9 +191,12 @@ def diversified_topk(
     if floor <= 0.0:
         raw = np.where(np.isfinite(raw), raw - floor + 1.0, 0.0)
     scores = np.where(np.isfinite(raw), raw, 0.0)
+    tracer.inc("candidates_in", len(iunits))
+    tracer.inc("similarity_pairs", len(iunits) * (len(iunits) - 1) // 2)
     adj = similarity_graph(iunits, tau)
     if exact:
-        picked = div_astar(scores, adj, k, checkpoint)
+        picked = div_astar(scores, adj, k, checkpoint, tracer)
     else:
         picked = div_greedy(scores, adj, k)
+    tracer.inc("pruned", len(iunits) - len(picked))
     return [iunits[v].with_uid(rank) for rank, v in enumerate(picked, start=1)]

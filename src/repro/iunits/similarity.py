@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import CADViewError
 from repro.iunits.iunit import IUnit
+from repro.obs.metrics import registry
 
 __all__ = [
     "cosine_similarity",
@@ -61,6 +62,7 @@ def iunit_similarity(x: IUnit, y: IUnit) -> float:
             "IUnits come from different Compare Attribute sets: "
             f"{x.compare_attributes} vs {y.compare_attributes}"
         )
+    registry().counter("similarity.iunit_pairs").inc()
     total = 0.0
     for d in x.compare_attributes:
         total += cosine_similarity(x.distributions[d], y.distributions[d])

@@ -1,0 +1,34 @@
+"""Observability: span tracing, process metrics, and exporters.
+
+The build pipeline threads a :class:`Tracer` through every phase (see
+:class:`~repro.core.builder.CADViewBuilder`); the resulting span tree
+backs ``EXPLAIN ANALYZE``, the CLI's ``--trace`` Chrome-trace output,
+and the legacy three-bucket :class:`~repro.core.profile.BuildProfile`.
+Process-wide counters/gauges/histograms live in the default
+:func:`registry` and are dumped by ``--metrics``.
+"""
+
+from repro.obs.export import (
+    render_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    set_registry,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
+
+__all__ = [
+    "Tracer", "NullTracer", "NULL_TRACER", "Span", "SpanEvent",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "LATENCY_BUCKETS_S", "registry", "set_registry",
+    "render_trace", "to_chrome_trace", "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,149 @@
+"""Trace and metrics exporters.
+
+Three consumers of the same :class:`~repro.obs.tracer.Span` tree:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — Chrome
+  trace-event JSON (the ``traceEvents`` array format), loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev;
+* :func:`render_trace` — the plain-text tree printed by
+  ``EXPLAIN ANALYZE`` (times, rows, counters, and robustness events
+  inline);
+* :func:`write_metrics` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_trace",
+    "write_metrics",
+]
+
+
+def _event_args(span: Span) -> Dict[str, object]:
+    args: Dict[str, object] = {}
+    if span.bucket:
+        args["bucket"] = span.bucket
+    args.update({str(k): v for k, v in span.attrs.items()})
+    args.update({str(k): v for k, v in span.counters.items()})
+    if span.error:
+        args["error"] = span.error
+    return args
+
+
+def to_chrome_trace(
+    root: Span, pid: int = 1, tid: int = 1
+) -> Dict[str, object]:
+    """The span tree as a Chrome trace-event JSON object.
+
+    Spans become complete (``"ph": "X"``) events; span events become
+    instant (``"ph": "i"``) events.  Timestamps are microseconds
+    relative to the root's start, so traces from different runs line up
+    at zero when loaded side by side.
+    """
+    origin = root.start_s
+    events: List[Dict[str, object]] = []
+    for span in root.walk():
+        end = span.end_s if span.end_s is not None else (
+            origin + span.duration_s
+        )
+        events.append({
+            "name": span.name,
+            "cat": span.bucket or "span",
+            "ph": "X",
+            "ts": round((span.start_s - origin) * 1e6, 3),
+            "dur": round((end - span.start_s) * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": _event_args(span),
+        })
+        for ev in span.events:
+            events.append({
+                "name": f"{ev.kind}: {ev.message}",
+                "cat": ev.kind,
+                "ph": "i",
+                "ts": round((ev.t_s - origin) * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "s": "t",  # thread-scoped instant
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(root: Span, path: str) -> None:
+    """Write :func:`to_chrome_trace` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(root), fh, indent=1)
+        fh.write("\n")
+
+
+def _fmt_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _span_line(span: Span, show_times: bool) -> str:
+    parts = [span.name]
+    if span.bucket:
+        parts.append(f"[{span.bucket}]")
+    if show_times:
+        parts.append(f"{span.duration_s * 1e3:.1f}ms")
+    parts.extend(
+        f"{k}={_fmt_value(v)}" for k, v in sorted(span.attrs.items())
+    )
+    parts.extend(
+        f"{k}={_fmt_value(v)}" for k, v in sorted(span.counters.items())
+    )
+    if span.status != "ok":
+        parts.append(f"!{span.status}" + (
+            f" ({span.error})" if span.error else ""
+        ))
+    return "  ".join(parts)
+
+
+def render_trace(
+    root: Span,
+    show_times: bool = True,
+    max_depth: Optional[int] = None,
+) -> str:
+    """The span tree as indented text (the ``EXPLAIN ANALYZE`` body).
+
+    ``show_times=False`` drops every duration, leaving only the
+    structure, attributes, counters and events — byte-stable across
+    runs of the same seeded build, which is what the stability tests
+    compare.
+    """
+    lines: List[str] = []
+
+    def emit(span: Span, label: str, body: str, depth: int) -> None:
+        lines.append(label + _span_line(span, show_times))
+        items: List[object] = list(span.events) + list(span.children)
+        if max_depth is not None and depth >= max_depth:
+            items = list(span.events)
+        for idx, item in enumerate(items):
+            last = idx == len(items) - 1
+            connector = "`- " if last else "|- "
+            extend = "   " if last else "|  "
+            if isinstance(item, Span):
+                emit(item, body + connector, body + extend, depth + 1)
+            else:
+                lines.append(body + connector + f"! {item}")
+
+    emit(root, "", "", 0)
+    return "\n".join(lines)
+
+
+def write_metrics(reg: MetricsRegistry, path: str) -> None:
+    """Write a registry snapshot to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(reg.snapshot(), fh, indent=1, sort_keys=True)
+        fh.write("\n")

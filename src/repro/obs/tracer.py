@@ -1,0 +1,297 @@
+"""Hierarchical span tracing for the CAD View build pipeline.
+
+A :class:`Tracer` produces a tree of timed :class:`Span` objects — one
+per pipeline phase, pivot value, clustering fit, or top-k search — each
+carrying free-form attributes, per-span counters, and annotation
+:class:`SpanEvent` records (degradations, incidents, retries from the
+robustness layer).  The paper's Figure 8–10 accounting falls out of the
+same tree: a span opened with a ``bucket`` and a ``profile`` feeds its
+wall-clock duration into the legacy
+:class:`~repro.core.profile.BuildProfile` bucket on close, so the trace
+totals and the three-bucket profile reconcile exactly by construction.
+
+Usage::
+
+    tracer = Tracer("cadview.build", pivot="Make")
+    with tracer.span("compare_attrs", bucket="compare_attrs",
+                     profile=profile):
+        tracer.inc("candidates_scored")
+        ...
+    tracer.finish()
+    print(render_trace(tracer.root))
+
+Spans nest per-thread (the stack is ``threading.local``), so a tracer
+shared across worker threads keeps each thread's spans properly nested
+under the shared root.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Span", "SpanEvent", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A point-in-time annotation attached to a span.
+
+    ``kind`` names the event family (``degradation`` / ``incident`` /
+    ``retry`` / ``note``); ``message`` is the human-readable detail.
+    """
+
+    kind: str
+    message: str
+    t_s: float  # perf_counter timestamp, same clock as Span.start_s
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+class Span:
+    """One timed node in the trace tree."""
+
+    __slots__ = (
+        "name", "attrs", "counters", "events", "children",
+        "start_s", "end_s", "status", "error", "bucket",
+    )
+
+    def __init__(self, name: str, bucket: Optional[str] = None, **attrs):
+        self.name = name
+        self.bucket = bucket
+        self.attrs: Dict[str, object] = dict(attrs)
+        self.counters: Dict[str, float] = {}
+        self.events: List[SpanEvent] = []
+        self.children: List["Span"] = []
+        self.start_s = time.perf_counter()
+        self.end_s: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    # -- recording --------------------------------------------------------
+
+    def inc(self, counter: str, n: float = 1) -> None:
+        """Accumulate ``n`` into a per-span counter."""
+        self.counters[counter] = self.counters.get(counter, 0.0) + n
+
+    def set_attr(self, name: str, value: object) -> None:
+        """Set (or overwrite) one span attribute."""
+        self.attrs[name] = value
+
+    def add_event(self, kind: str, message: str) -> None:
+        """Attach a point-in-time annotation to this span."""
+        self.events.append(SpanEvent(kind, message, time.perf_counter()))
+
+    def close(self, error: Optional[BaseException] = None) -> None:
+        """End the span; a non-``None`` error marks it failed."""
+        if self.end_s is None:
+            self.end_s = time.perf_counter()
+        if error is not None:
+            self.status = "error"
+            self.error = f"{type(error).__name__}: {error}"
+
+    # -- reading ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock span length (up to *now* while still open)."""
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return end - self.start_s
+
+    @property
+    def self_time_s(self) -> float:
+        """Duration not covered by direct children (clamped at 0)."""
+        return max(
+            0.0, self.duration_s - sum(c.duration_s for c in self.children)
+        )
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """Every span in this subtree named ``name``."""
+        return [s for s in self.walk() if s.name == name]
+
+    def total_counter(self, counter: str) -> float:
+        """Sum of one counter over the whole subtree."""
+        return sum(s.counters.get(counter, 0.0) for s in self.walk())
+
+    def bucket_total(self, bucket: str) -> float:
+        """Total duration of subtree spans tagged with ``bucket``.
+
+        Only outermost tagged spans count (a tagged span's time is
+        wholly attributed to its own bucket, children included),
+        mirroring how the legacy profile buckets were accumulated at
+        phase boundaries.
+        """
+        if self.bucket == bucket:
+            return self.duration_s
+        if self.bucket is not None:
+            return 0.0
+        return sum(c.bucket_total(bucket) for c in self.children)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly recursive dump of this subtree."""
+        return {
+            "name": self.name,
+            "bucket": self.bucket,
+            "status": self.status,
+            "error": self.error,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "events": [
+                {"kind": e.kind, "message": e.message} for e in self.events
+            ],
+            "children": [c.as_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:
+        state = "open" if not self.closed else self.status
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e3:.1f}ms, {state}, "
+            f"{len(self.children)} child(ren))"
+        )
+
+
+class Tracer:
+    """Builds one span tree; the context-manager entry point.
+
+    The tracer opens an implicit *root* span at construction so that
+    top-level phases always have a parent; call :meth:`finish` to close
+    it (exporters tolerate a still-open root).  The span stack is
+    per-thread; the root is shared.
+    """
+
+    def __init__(self, name: str = "trace", **attrs):
+        self.root = Span(name, **attrs)
+        self._local = threading.local()
+
+    # -- stack ------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span on this thread (the root if none)."""
+        stack = self._stack()
+        return stack[-1] if stack else self.root
+
+    # -- recording --------------------------------------------------------
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        bucket: Optional[str] = None,
+        profile=None,
+        **attrs,
+    ) -> Iterator[Span]:
+        """Open a child span of the current span for the with-block.
+
+        ``bucket`` tags the span with one of the paper's Figure-8
+        buckets (``compare_attrs`` / ``iunits`` / ``others``); when a
+        ``profile`` (:class:`~repro.core.profile.BuildProfile`) is also
+        given, the span's duration is recorded into that bucket on
+        close — including when the block raises, matching the legacy
+        ``profile.timed`` semantics.
+        """
+        parent = self.current
+        child = Span(name, bucket=bucket, **attrs)
+        parent.children.append(child)
+        stack = self._stack()
+        stack.append(child)
+        error: Optional[BaseException] = None
+        try:
+            yield child
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            stack.pop()
+            child.close(error)
+            if profile is not None and bucket is not None:
+                profile.record(bucket, child.duration_s)
+
+    def inc(self, counter: str, n: float = 1) -> None:
+        """Increment a counter on the current span."""
+        self.current.inc(counter, n)
+
+    def annotate(self, kind: str, message: str) -> None:
+        """Attach an event to the current span."""
+        self.current.add_event(kind, message)
+
+    def finish(self) -> Span:
+        """Close the root span (idempotent) and return it."""
+        self.root.close()
+        return self.root
+
+
+class _NullSpan(Span):
+    """A shared, inert span: all recording is a no-op."""
+
+    def inc(self, counter: str, n: float = 1) -> None:
+        pass
+
+    def set_attr(self, name: str, value: object) -> None:
+        pass
+
+    def add_event(self, kind: str, message: str) -> None:
+        pass
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing — the default for un-traced calls.
+
+    Call sites write ``tracer = tracer or NULL_TRACER`` and then trace
+    unconditionally; the null instance never accumulates state, so it is
+    safe to share process-wide.
+    """
+
+    def __init__(self):
+        super().__init__("null")
+        self._null = _NullSpan("null")
+
+    @contextmanager
+    def span(self, name, bucket=None, profile=None, **attrs):
+        # keep the profile-feeding contract: legacy buckets must fill
+        # even when nobody asked for a trace
+        if profile is not None and bucket is not None:
+            start = time.perf_counter()
+            try:
+                yield self._null
+            finally:
+                profile.record(bucket, time.perf_counter() - start)
+        else:
+            yield self._null
+
+    @property
+    def current(self) -> Span:
+        """Always the shared inert span."""
+        return self._null
+
+    def inc(self, counter: str, n: float = 1) -> None:
+        pass
+
+    def annotate(self, kind: str, message: str) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -31,6 +31,7 @@ __all__ = [
     "DescribeStatement",
     "ShowCadViewsStatement",
     "DropCadViewStatement",
+    "ExplainStatement",
     "OrderKey",
 ]
 
@@ -115,3 +116,16 @@ class DropCadViewStatement(Statement):
     """``DROP CADVIEW name`` — forget a registered CAD View."""
 
     name: str
+
+
+@dataclass(frozen=True)
+class ExplainStatement(Statement):
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    Plain EXPLAIN describes the plan the inner statement would run;
+    EXPLAIN ANALYZE executes it under a fresh tracer and renders the
+    resulting span tree with per-phase timings and counters.
+    """
+
+    inner: Statement
+    analyze: bool = False

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.dataset.table import Table
 from repro.errors import QueryError
+from repro.obs.metrics import registry
 from repro.query.predicates import Predicate, TruePred
 
 __all__ = ["QueryEngine"]
@@ -67,11 +68,18 @@ class QueryEngine:
             result = result.project(columns)
         if limit is not None:
             result = result.head(limit)
+        reg = registry()
+        reg.counter("query.select.calls").inc()
+        reg.counter("query.rows_scanned").inc(len(table))
+        reg.counter("query.rows_returned").inc(len(result))
         return result
 
     @staticmethod
     def count(table: Table, predicate: Optional[Predicate] = None) -> int:
         """Number of rows matching ``predicate`` (no materialization)."""
+        reg = registry()
+        reg.counter("query.count.calls").inc()
+        reg.counter("query.rows_scanned").inc(len(table))
         if predicate is None or isinstance(predicate, TruePred):
             return len(table)
         return int(np.count_nonzero(predicate.mask(table)))
@@ -87,6 +95,9 @@ class QueryEngine:
         This is the primitive behind faceted digests: one call per
         attribute gives the whole facet panel.
         """
+        reg = registry()
+        reg.counter("query.group_count.calls").inc()
+        reg.counter("query.rows_scanned").inc(len(table))
         if predicate is not None and not isinstance(predicate, TruePred):
             table = table.filter(predicate.mask(table))
         return table.value_counts(by)

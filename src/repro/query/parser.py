@@ -36,6 +36,7 @@ from repro.query.ast import (
     CreateCadViewStatement,
     DescribeStatement,
     DropCadViewStatement,
+    ExplainStatement,
     HighlightSimilarStatement,
     OrderKey,
     ReorderRowsStatement,
@@ -67,7 +68,7 @@ _KEYWORDS = {
     "NULL", "TRUE", "LIMIT", "ORDER", "BY", "ASC", "DESC", "CREATE",
     "CADVIEW", "AS", "SET", "PIVOT", "COLUMNS", "IUNITS", "HIGHLIGHT",
     "SIMILAR", "REORDER", "ROWS", "SIMILARITY", "DESCRIBE", "SHOW",
-    "CADVIEWS", "DROP",
+    "CADVIEWS", "DROP", "EXPLAIN", "ANALYZE",
 }
 
 
@@ -199,12 +200,27 @@ class _Parser:
     # -- entry point -----------------------------------------------------
 
     def statement(self) -> Statement:
+        stmt = self._statement_body()
+        self._accept_punct(";")
+        if self._peek() is not None:
+            raise ParseError("trailing input", self.text, self._peek().pos)
+        return stmt
+
+    def _statement_body(self) -> Statement:
         tok = self._peek()
         if tok is None:
             raise ParseError("empty statement", self.text, 0)
         if tok.kind != "keyword":
             raise ParseError("statement must start with a keyword",
                              self.text, tok.pos)
+        if tok.value == "EXPLAIN":
+            self._next()
+            analyze = self._accept_keyword("ANALYZE")
+            inner = self._statement_body()
+            if isinstance(inner, ExplainStatement):
+                raise ParseError("EXPLAIN cannot be nested",
+                                 self.text, tok.pos)
+            return ExplainStatement(inner, analyze)
         if tok.value == "SELECT":
             stmt: Statement = self._select()
         elif tok.value == "CREATE":
@@ -227,9 +243,6 @@ class _Parser:
         else:
             raise ParseError(f"unsupported statement {tok.value}",
                              self.text, tok.pos)
-        self._accept_punct(";")
-        if self._peek() is not None:
-            raise ParseError("trailing input", self.text, self._peek().pos)
         return stmt
 
     # -- SELECT -----------------------------------------------------------

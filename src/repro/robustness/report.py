@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from repro.core.profile import BuildProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.tracer import Span, Tracer
     from repro.robustness.budget import Budget
 
 __all__ = ["Incident", "Degradation", "Retry", "BuildReport"]
@@ -78,8 +79,15 @@ class BuildReport:
     budget: Optional["Budget"] = None
     elapsed_s: float = 0.0
     profile: Optional[BuildProfile] = None
+    tracer: Optional["Tracer"] = None
+    trace: Optional["Span"] = None
 
     # -- recording (builder-facing) ------------------------------------------
+
+    def _annotate(self, kind: str, message: str) -> None:
+        """Mirror a robustness event onto the currently open span."""
+        if self.tracer is not None:
+            self.tracer.annotate(kind, message)
 
     def record_incident(
         self,
@@ -89,11 +97,11 @@ class BuildReport:
         action: str,
     ) -> None:
         """Log an isolated failure and what was done instead."""
-        self.incidents.append(
-            Incident(
-                phase, pivot_value, type(error).__name__, str(error), action
-            )
+        incident = Incident(
+            phase, pivot_value, type(error).__name__, str(error), action
         )
+        self.incidents.append(incident)
+        self._annotate("incident", str(incident))
 
     def record_degradation(
         self, phase: str, from_mode: str, to_mode: str, reason: str
@@ -102,6 +110,7 @@ class BuildReport:
         step = Degradation(phase, from_mode, to_mode, reason)
         if step not in self.degradations:
             self.degradations.append(step)
+            self._annotate("degradation", str(step))
 
     def record_retry(
         self,
@@ -111,9 +120,9 @@ class BuildReport:
         error: BaseException,
     ) -> None:
         """Log a seeded retry of a transient failure."""
-        self.retries.append(
-            Retry(phase, pivot_value, attempt, type(error).__name__)
-        )
+        retry = Retry(phase, pivot_value, attempt, type(error).__name__)
+        self.retries.append(retry)
+        self._annotate("retry", str(retry))
 
     def record_dropped(self, pivot_value: str) -> None:
         """Log a pivot value excluded from the returned view."""

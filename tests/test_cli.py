@@ -1,8 +1,28 @@
 """Unit tests for the command-line interface."""
 
+import importlib.util
+import json
+from pathlib import Path
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_BUDGET_EXHAUSTED,
+    EXIT_BUILD_FAILED,
+    EXIT_OK,
+    EXIT_USAGE,
+    build_parser,
+    main,
+)
+
+
+def _load_check_trace():
+    """Import benchmarks/check_trace.py (not an installed package)."""
+    path = Path(__file__).parent.parent / "benchmarks" / "check_trace.py"
+    spec = importlib.util.spec_from_file_location("check_trace", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 class TestParser:
@@ -70,6 +90,110 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "naive" in out and "optimized" in out
+
+
+class TestExitCodes:
+    """The documented exit-code contract: 0 ok, 1 usage, 2 build
+    failure, 3 budget exhausted with nothing built."""
+
+    def test_usage_error_is_1(self, capsys):
+        rc = main(["cadview"])  # missing required --sql
+        assert rc == EXIT_USAGE
+        assert "required" in capsys.readouterr().err
+
+    def test_bad_faults_spec_is_1_on_stderr(self, capsys):
+        rc = main([
+            "cadview", "--rows", "300", "--faults", "not-a-spec",
+            "--sql", "SELECT Make FROM data LIMIT 1",
+        ])
+        assert rc == EXIT_USAGE
+        captured = capsys.readouterr()
+        assert "error" in captured.err and "fault" in captured.err
+        assert "error" not in captured.out
+
+    def test_build_failure_is_2(self, capsys):
+        rc = main([
+            "cadview", "--rows", "300",
+            "--sql",
+            "CREATE CADVIEW v AS SET pivot = Make SELECT Price "
+            "FROM data WHERE Price < 0",  # empty result set
+        ])
+        assert rc == EXIT_BUILD_FAILED
+        assert "error" in capsys.readouterr().err
+
+    def test_budget_exhausted_is_3(self, capsys):
+        rc = main([
+            "cadview", "--rows", "2000", "--budget-ms", "0.0001",
+            "--sql",
+            "CREATE CADVIEW v AS SET pivot = Make SELECT Price "
+            "FROM data IUNITS 2",
+        ])
+        assert rc == EXIT_BUDGET_EXHAUSTED
+        assert "budget" in capsys.readouterr().err
+
+    def test_success_is_0(self):
+        rc = main([
+            "cadview", "--rows", "300",
+            "--sql", "SELECT Make FROM data LIMIT 1",
+        ])
+        assert rc == EXIT_OK
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_written_and_valid(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main([
+            "cadview", "--rows", "2000",
+            "--sql",
+            "CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM data "
+            "WHERE BodyType = SUV IUNITS 2",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ])
+        assert rc == EXIT_OK
+        checker = _load_check_trace()
+        assert checker.validate_trace(str(trace)) == []
+        assert checker.validate_metrics(str(metrics)) == []
+        # the trace holds the whole build pipeline
+        names = {
+            e["name"] for e in
+            json.loads(trace.read_text())["traceEvents"]
+        }
+        assert "cadview.build" in names and "kmeans" in names
+        # the metrics snapshot saw the build
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["build.total"] >= 1
+
+    def test_trace_written_even_when_build_fails(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        rc = main([
+            "cadview", "--rows", "300",
+            "--sql",
+            "CREATE CADVIEW v AS SET pivot = Make SELECT Price "
+            "FROM data WHERE Price < 0",
+            "--trace", str(trace),
+        ])
+        assert rc == EXIT_BUILD_FAILED
+        checker = _load_check_trace()
+        assert checker.validate_trace(str(trace)) == []
+
+    def test_explain_analyze_through_cli(self, capsys):
+        rc = main([
+            "cadview", "--rows", "2000",
+            "--sql",
+            "EXPLAIN ANALYZE CREATE CADVIEW v AS SET pivot = Make "
+            "SELECT Price FROM data WHERE BodyType = SUV IUNITS 2",
+        ])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "cadview.build" in out
+        assert "bucket reconciliation" in out
+
+    def test_check_trace_cli_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"traceEvents\": \"nope\"}")
+        checker = _load_check_trace()
+        assert checker.main(["--trace", str(bad)]) == 1
 
 
 class TestShowVariants:
