@@ -6,6 +6,8 @@ Usage (``python -m repro <command> ...``)::
     python -m repro cadview --dataset usedcars --rows 20000 \
         --sql "CREATE CADVIEW v AS SET pivot = Make SELECT Price \
                FROM data WHERE BodyType = SUV LIMIT COLUMNS 5 IUNITS 3"
+    python -m repro check --dataset usedcars --rows 1000 \
+        --sql "SELECT Price FROM data WHERE Price > 9 AND Price < 5"
     python -m repro repl --dataset usedcars --rows 20000
     python -m repro study --rows 8124
     python -m repro profile --rows 40000
@@ -31,6 +33,7 @@ from repro.dataset.generators import (
     usedcars_schema,
 )
 from repro.errors import (
+    AnalysisError,
     BudgetExceededError,
     CADViewError,
     ConvergenceError,
@@ -198,6 +201,24 @@ def cmd_cadview(args) -> int:
     return EXIT_OK
 
 
+def cmd_check(args) -> int:
+    """``check``: run the semantic analyzer only; never execute.
+
+    Exit 0 when the statement is clean or carries only warnings
+    (printed), 1 when any ERROR-severity diagnostic fires.
+    """
+    dbx = _explorer(args, None)
+    dbx.register("data", _load_table(args))
+    report = dbx.analyze(args.sql)
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return EXIT_OK if report.ok else EXIT_USAGE
+
+
 def cmd_repl(args) -> int:
     """``repl``: interactive statement shell."""
     tracer = _session_tracer(args)
@@ -307,6 +328,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cell-width", type=int, default=26)
     p.set_defaults(func=cmd_cadview)
 
+    p = sub.add_parser(
+        "check", help="semantic-check one statement without executing it"
+    )
+    _add_data_args(p)
+    _add_budget_args(p)
+    p.add_argument("--sql", required=True, help="statement to analyze")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON instead of text")
+    p.set_defaults(func=cmd_check)
+
     p = sub.add_parser("repl", help="interactive statement shell")
     _add_data_args(p)
     _add_budget_args(p)
@@ -351,6 +382,12 @@ def main(argv: Optional[list] = None) -> int:
     except BudgetExceededError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_BUDGET_EXHAUSTED
+    except AnalysisError as exc:
+        # before the CADViewError clause: AnalysisError inherits from it,
+        # but a statement rejected pre-execution is a usage error, not a
+        # failed build
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     except (CADViewError, ConvergenceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_BUILD_FAILED

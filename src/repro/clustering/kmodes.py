@@ -99,6 +99,10 @@ class KModes:
         # seed with distinct random rows (k-modes++ analogue: farthest rows)
         modes = X[rng.choice(n, size=1)]
         while modes.shape[0] < k:
+            # seeding scans all n rows per new mode; a budgeted caller
+            # must be able to stop here too, not just in the main loop
+            if checkpoint is not None:
+                checkpoint()
             d = _mismatches(X, modes).min(axis=1).astype(float)
             total = d.sum()
             if total <= 0:

@@ -424,6 +424,9 @@ class CADViewBuilder:
             compare = list(dict.fromkeys(pinned))[:config.compare_limit]
         except QueryError:
             raise  # config/user errors (bad limit, bad pinned) propagate
+        # deliberate blanket: any selector crash downgrades to the entropy
+        # ranking and is recorded as an incident, never swallowed silently
+        # repro-lint: ignore[RL004]
         except Exception as exc:
             report.record_incident(
                 "feature_selection", None, exc,
@@ -526,6 +529,9 @@ class CADViewBuilder:
                     raise
                 self._truncate(values[i:], report)
                 break
+            # deliberate blanket: per-pivot isolation — the incident and
+            # the dropped value are recorded on the build report
+            # repro-lint: ignore[RL004]
             except Exception as exc:
                 # isolation: one bad partition must not kill the view
                 report.record_incident(

@@ -25,7 +25,7 @@ from repro.core.builder import CADViewBuilder
 from repro.core.cadview import CADView, CADViewConfig, IUnitRef
 from repro.core.render import render_cadview
 from repro.dataset.table import Table
-from repro.errors import CADViewError, QueryError
+from repro.errors import AnalysisError, CADViewError, QueryError
 from repro.obs.export import render_trace
 from repro.obs.tracer import Tracer
 from repro.robustness import Budget, BuildReport, FaultInjector
@@ -42,6 +42,8 @@ from repro.query.ast import (
     ShowCadViewsStatement,
     Statement,
 )
+from repro.query.analyzer import Analyzer, AnalyzerLimits
+from repro.query.diagnostics import AnalysisReport
 from repro.query.engine import QueryEngine
 from repro.query.parser import parse
 
@@ -67,6 +69,7 @@ class DBExplorer:
         budget: Optional[Budget] = None,
         faults: Optional[FaultInjector] = None,
         tracer: Optional[Tracer] = None,
+        analyzer_limits: Optional[AnalyzerLimits] = None,
     ):
         self.engine = QueryEngine()
         self.config = config
@@ -75,7 +78,12 @@ class DBExplorer:
             FaultInjector.from_env()
         )
         self.tracer = tracer
+        self.analyzer_limits = (
+            analyzer_limits if analyzer_limits is not None
+            else AnalyzerLimits()
+        )
         self._views: Dict[str, CADView] = {}
+        self._last_analysis: Optional[AnalysisReport] = None
 
     @property
     def last_report(self) -> Optional[BuildReport]:
@@ -102,8 +110,55 @@ class DBExplorer:
     # -- execution -------------------------------------------------------------
 
     def execute(self, sql: str) -> ExecuteResult:
-        """Parse and run one statement, returning its natural result."""
-        return self._dispatch(parse(sql))
+        """Parse, analyze and run one statement.
+
+        The semantic analyzer (:mod:`repro.query.analyzer`) gates every
+        statement before anything executes: ERROR-severity diagnostics
+        raise :class:`~repro.errors.AnalysisError` without touching the
+        engine or builder; warnings are kept on :attr:`last_analysis`
+        (and, for CADVIEW builds, attached to the build report and the
+        trace).  Plain ``EXPLAIN`` is exempt — describing a plan is safe
+        and useful even for a statement the analyzer would reject.
+        """
+        stmt = parse(sql)
+        self._last_analysis = None
+        plain_explain = (
+            isinstance(stmt, ExplainStatement)
+            and not stmt.analyze and not stmt.check
+        )
+        if not plain_explain:
+            report = self.analyze(stmt, text=sql)
+            if not report.ok:
+                raise AnalysisError(report)
+            self._last_analysis = report
+            if isinstance(stmt, ExplainStatement) and stmt.check:
+                return report.render()
+        return self._dispatch(stmt)
+
+    def analyze(
+        self, stmt_or_sql: Union[str, Statement], text: str = ""
+    ) -> AnalysisReport:
+        """Run the semantic analyzer without executing anything.
+
+        Accepts either SQL text or an already-parsed statement; checks
+        it against the registered tables and CAD Views and returns the
+        full :class:`~repro.query.diagnostics.AnalysisReport`.
+        """
+        if isinstance(stmt_or_sql, str):
+            text = stmt_or_sql
+            stmt = parse(stmt_or_sql)
+        else:
+            stmt = stmt_or_sql
+        analyzer = Analyzer(
+            engine=self.engine, views=self._views,
+            limits=self.analyzer_limits,
+        )
+        return analyzer.analyze(stmt, text=text)
+
+    @property
+    def last_analysis(self) -> Optional[AnalysisReport]:
+        """The analyzer report of the most recent gated ``execute``."""
+        return self._last_analysis
 
     def _dispatch(self, stmt: Statement) -> ExecuteResult:
         if isinstance(stmt, ExplainStatement):
@@ -196,6 +251,9 @@ class DBExplorer:
             tracer=tracer if tracer is not None else self.tracer,
         )
         self._last_report = cad.report
+        if cad.report is not None and self._last_analysis is not None:
+            for diag in self._last_analysis.warnings:
+                cad.report.record_analysis_warning(str(diag))
         if stmt.order_by:
             cad = _sort_iunits(cad, stmt.order_by)
         self._views[stmt.name] = cad
@@ -212,6 +270,11 @@ class DBExplorer:
         the trace's Figure-8 bucket totals against the legacy
         :class:`~repro.core.profile.BuildProfile` and the build report.
         """
+        if stmt.check:
+            report = self.analyze(stmt.inner)
+            if not report.ok:
+                raise AnalysisError(report)
+            return report.render()
         if not stmt.analyze:
             return "\n".join(self._plan_lines(stmt.inner))
         tracer = Tracer("explain")

@@ -64,6 +64,28 @@ class CADViewError(ReproError):
     """The CAD View could not be constructed as requested."""
 
 
+class AnalysisError(QueryError, CADViewError):
+    """Static analysis rejected a statement before execution.
+
+    Raised by the pre-execution gate when the semantic analyzer
+    (:mod:`repro.query.analyzer`) finds ERROR-severity diagnostics.
+    Inherits from both :class:`QueryError` and :class:`CADViewError`
+    because the gate fires for failures of either family *before* the
+    engine or builder gets a chance to — callers that caught the
+    execution-time class keep working unchanged.
+
+    ``diagnostics`` holds the offending
+    :class:`~repro.query.diagnostics.Diagnostic` records; ``report``
+    the full :class:`~repro.query.diagnostics.AnalysisReport`.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        self.diagnostics = list(getattr(report, "errors", []))
+        super().__init__(report.render() if hasattr(report, "render")
+                         else str(report))
+
+
 class EmptyResultError(CADViewError):
     """The selection produced no tuples for a required pivot value."""
 

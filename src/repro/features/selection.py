@@ -194,6 +194,8 @@ def select_compare_attributes(
     """
     if limit < 1:
         raise QueryError(f"limit must be >= 1, got {limit}")
+    # bounded by the handful of user-pinned names, never data-sized
+    # repro-lint: ignore[RL002]
     for name in pinned:
         if name not in view:
             raise QueryError(f"pinned attribute {name!r} not in view")

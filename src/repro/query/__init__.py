@@ -12,6 +12,10 @@ from repro.query.ast import (
     Statement,
 )
 from repro.query.aggregate import AggregateSpec, GroupedResult, cube, group_by
+from repro.query.analyzer import Analyzer, AnalyzerLimits, analyze_statement
+from repro.query.diagnostics import (
+    AnalysisReport, Diagnostic, Severity, levenshtein, suggest,
+)
 from repro.query.engine import QueryEngine
 from repro.query.join import hash_join
 from repro.query.parser import parse, parse_predicate
@@ -29,4 +33,6 @@ __all__ = [
     "HighlightSimilarStatement", "ReorderRowsStatement", "OrderKey",
     "DescribeStatement", "ShowCadViewsStatement", "DropCadViewStatement",
     "hash_join",
+    "Analyzer", "AnalyzerLimits", "analyze_statement",
+    "AnalysisReport", "Diagnostic", "Severity", "levenshtein", "suggest",
 ]

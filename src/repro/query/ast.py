@@ -18,9 +18,26 @@ plus ordinary ``SELECT ... FROM ... WHERE ... [LIMIT n]``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.query.predicates import Predicate
+
+# Token start/end character offsets of one syntactic element, recorded
+# by the parser so the analyzer can point diagnostics at source text.
+Span = Tuple[int, int]
+
+
+def _spans_field():
+    """The per-statement span table: element key -> (start, end).
+
+    Keys follow a small convention: ``"table"``, ``"pivot"``, ``"name"``,
+    ``"view"``, ``"limit"``, ``"limit_columns"``, ``"iunits"``,
+    ``"pivot_value"``, ``"iunit_id"``, ``"threshold"``, and indexed
+    ``"select.0"`` / ``"order.0"`` for list elements.  The field is
+    excluded from equality/hash/repr so statements built programmatically
+    (without positions) compare equal to parsed ones.
+    """
+    return field(default=None, compare=False, repr=False)
 
 __all__ = [
     "Statement",
@@ -60,6 +77,7 @@ class SelectStatement(Statement):
     where: Optional[Predicate] = None
     order_by: Tuple[OrderKey, ...] = ()
     limit: Optional[int] = None
+    spans: Optional[Dict[str, Span]] = _spans_field()
 
 
 @dataclass(frozen=True)
@@ -78,6 +96,7 @@ class CreateCadViewStatement(Statement):
     limit_columns: Optional[int] = None
     iunits: Optional[int] = None
     order_by: Tuple[OrderKey, ...] = ()
+    spans: Optional[Dict[str, Span]] = _spans_field()
 
 
 @dataclass(frozen=True)
@@ -88,6 +107,7 @@ class HighlightSimilarStatement(Statement):
     pivot_value: str
     iunit_id: int
     threshold: float
+    spans: Optional[Dict[str, Span]] = _spans_field()
 
 
 @dataclass(frozen=True)
@@ -97,6 +117,7 @@ class ReorderRowsStatement(Statement):
     view: str
     pivot_value: str
     descending: bool = True
+    spans: Optional[Dict[str, Span]] = _spans_field()
 
 
 @dataclass(frozen=True)
@@ -104,6 +125,7 @@ class DescribeStatement(Statement):
     """``DESCRIBE table`` — schema, kinds and queriability."""
 
     table: str
+    spans: Optional[Dict[str, Span]] = _spans_field()
 
 
 @dataclass(frozen=True)
@@ -116,16 +138,20 @@ class DropCadViewStatement(Statement):
     """``DROP CADVIEW name`` — forget a registered CAD View."""
 
     name: str
+    spans: Optional[Dict[str, Span]] = _spans_field()
 
 
 @dataclass(frozen=True)
 class ExplainStatement(Statement):
-    """``EXPLAIN [ANALYZE] <statement>``.
+    """``EXPLAIN [ANALYZE|CHECK] <statement>``.
 
     Plain EXPLAIN describes the plan the inner statement would run;
     EXPLAIN ANALYZE executes it under a fresh tracer and renders the
-    resulting span tree with per-phase timings and counters.
+    resulting span tree with per-phase timings and counters; EXPLAIN
+    CHECK runs only the semantic analyzer and renders its diagnostics
+    without executing anything.
     """
 
     inner: Statement
     analyze: bool = False
+    check: bool = False

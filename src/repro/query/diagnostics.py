@@ -1,0 +1,234 @@
+"""Structured diagnostics for the SQL/CADVIEW semantic analyzer.
+
+A :class:`Diagnostic` is one finding of the pre-execution analyzer
+(:mod:`repro.query.analyzer`): a stable ``QA###`` code, a severity, a
+human-readable message, an optional source span (character offsets into
+the statement text, straight from the lexer tokens) and an optional
+"did you mean" suggestion computed by edit distance over the schema.
+
+An :class:`AnalysisReport` is the ordered collection of diagnostics for
+one statement plus the statement text, and knows how to render itself
+with caret underlining::
+
+    QA102 error: unknown column 'Pricee' (did you mean 'Price'?)
+      SELECT Pricee FROM UsedCars
+             ^^^^^^
+
+Diagnostic codes are grouped by family:
+
+====== ===========================================================
+family meaning
+====== ===========================================================
+QA1xx  name resolution (tables, columns, suggestion included)
+QA2xx  operator / type compatibility
+QA3xx  predicate logic (contradictions, tautologies, duplicates)
+QA4xx  CADVIEW-specific rules (pivot, LIMIT COLUMNS / IUNITS caps)
+QA5xx  view-registry rules (HIGHLIGHT / REORDER targets)
+====== ===========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "AnalysisReport",
+    "levenshtein",
+    "suggest",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ERROR blocks execution (the gate raises
+    :class:`~repro.errors.AnalysisError`); WARNING is reported — on the
+    tracer, in the build report, on stdout for ``repro check`` — but
+    lets the statement run.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``span`` is a ``(start, end)`` pair of character offsets into the
+    analyzed statement text (``None`` when the statement was built
+    programmatically and carries no token positions).
+    """
+
+    code: str                           # e.g. "QA102"
+    severity: Severity
+    message: str
+    span: Optional[Tuple[int, int]] = None
+    suggestion: Optional[str] = None    # "did you mean" candidate
+
+    @property
+    def is_error(self) -> bool:
+        """True for execution-blocking findings."""
+        return self.severity is Severity.ERROR
+
+    def __str__(self) -> str:
+        text = f"{self.code} {self.severity}: {self.message}"
+        if self.suggestion:
+            text += f" (did you mean {self.suggestion!r}?)"
+        return text
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly dump."""
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "span": list(self.span) if self.span else None,
+            "suggestion": self.suggestion,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """Every diagnostic the analyzer produced for one statement."""
+
+    text: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    # -- recording (analyzer-facing) --------------------------------------
+
+    def add(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        span: Optional[Tuple[int, int]] = None,
+        suggestion: Optional[str] = None,
+    ) -> Diagnostic:
+        """Append one finding (deduplicating exact repeats)."""
+        diag = Diagnostic(code, severity, message, span, suggestion)
+        if diag not in self.diagnostics:
+            self.diagnostics.append(diag)
+        return diag
+
+    def error(self, code: str, message: str, **kwargs) -> Diagnostic:
+        """Shorthand for :meth:`add` with ERROR severity."""
+        return self.add(code, Severity.ERROR, message, **kwargs)
+
+    def warning(self, code: str, message: str, **kwargs) -> Diagnostic:
+        """Shorthand for :meth:`add` with WARNING severity."""
+        return self.add(code, Severity.WARNING, message, **kwargs)
+
+    # -- reading (caller-facing) ------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        """The execution-blocking findings."""
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        """The advisory findings."""
+        return [d for d in self.diagnostics if not d.is_error]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity diagnostic was recorded."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing at all was recorded."""
+        return not self.diagnostics
+
+    def codes(self) -> Tuple[str, ...]:
+        """The diagnostic codes, in report order."""
+        return tuple(d.code for d in self.diagnostics)
+
+    def render(self) -> str:
+        """Human-readable multi-line report with caret underlining."""
+        if not self.diagnostics:
+            return "analysis: clean"
+        lines: List[str] = []
+        for diag in self.diagnostics:
+            lines.append(str(diag))
+            if diag.span is not None and self.text:
+                start, end = diag.span
+                start = max(0, min(start, len(self.text)))
+                end = max(start + 1, min(end, len(self.text)))
+                lines.append("  " + self.text)
+                lines.append("  " + " " * start + "^" * (end - start))
+        counts = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        lines.append(counts)
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly dump (used by the CLI and tests)."""
+        return {
+            "text": self.text,
+            "ok": self.ok,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+# -- "did you mean" -------------------------------------------------------
+
+def levenshtein(a: str, b: str, cap: int = 8) -> int:
+    """Edit distance between ``a`` and ``b`` (early-exit above ``cap``).
+
+    Case-insensitive: exploratory users typo case at least as often as
+    letters, and SQL identifiers here are case-sensitive only in storage.
+    """
+    a, b = a.lower(), b.lower()
+    if a == b:
+        return 0
+    if abs(len(a) - len(b)) > cap:
+        return cap + 1
+    prev = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        cur = [i]
+        best = i
+        for j, cb in enumerate(b, start=1):
+            cost = min(
+                prev[j] + 1,            # deletion
+                cur[j - 1] + 1,         # insertion
+                prev[j - 1] + (ca != cb),  # substitution
+            )
+            cur.append(cost)
+            best = min(best, cost)
+        if best > cap:
+            return cap + 1
+        prev = cur
+    return prev[-1]
+
+
+def suggest(
+    name: str, candidates: Sequence[str], max_distance: int = 3
+) -> Optional[str]:
+    """The closest candidate within ``max_distance`` edits, or ``None``.
+
+    Distance ties break toward the earlier candidate (schema order),
+    and a candidate is never suggested for a very short name unless the
+    distance is small relative to its length — ``x`` should not suggest
+    ``y``.
+    """
+    best: Optional[str] = None
+    best_d = max_distance + 1
+    limit = min(max_distance, len(name) // 2)
+    for cand in candidates:
+        d = levenshtein(name, cand, cap=max_distance + 1)
+        if d <= limit and d < best_d:
+            best, best_d = cand, d
+    return best

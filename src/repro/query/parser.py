@@ -68,19 +68,30 @@ _KEYWORDS = {
     "NULL", "TRUE", "LIMIT", "ORDER", "BY", "ASC", "DESC", "CREATE",
     "CADVIEW", "AS", "SET", "PIVOT", "COLUMNS", "IUNITS", "HIGHLIGHT",
     "SIMILAR", "REORDER", "ROWS", "SIMILARITY", "DESCRIBE", "SHOW",
-    "CADVIEWS", "DROP", "EXPLAIN", "ANALYZE",
+    "CADVIEWS", "DROP", "EXPLAIN", "ANALYZE", "CHECK",
 }
 
 
 class Token:
-    """One lexer token: kind in {number, string, ident, keyword, op, punct}."""
+    """One lexer token: kind in {number, string, ident, keyword, op, punct}.
 
-    __slots__ = ("kind", "value", "pos")
+    ``pos``/``end`` are the start/end character offsets in the source
+    text, recorded so parse errors and analyzer diagnostics can point at
+    the exact span.
+    """
 
-    def __init__(self, kind: str, value, pos: int):
+    __slots__ = ("kind", "value", "pos", "end")
+
+    def __init__(self, kind: str, value, pos: int, end: Optional[int] = None):
         self.kind = kind
         self.value = value
         self.pos = pos
+        self.end = end if end is not None else pos + len(str(value))
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        """The (start, end) character offsets of this token."""
+        return (self.pos, self.end)
 
     def __repr__(self) -> str:
         return f"Token({self.kind}, {self.value!r})"
@@ -96,6 +107,7 @@ def tokenize(text: str) -> List[Token]:
             raise ParseError("unexpected character", text, pos)
         kind = m.lastgroup
         raw = m.group()
+        end = m.end()
         if kind == "ws":
             pass
         elif kind == "number":
@@ -104,17 +116,19 @@ def tokenize(text: str) -> List[Token]:
             if raw[-1] in "KkMm":
                 mult = 1_000.0 if raw[-1] in "Kk" else 1_000_000.0
                 raw = raw[:-1].strip()
-            tokens.append(Token("number", float(raw) * mult, pos))
+            tokens.append(Token("number", float(raw) * mult, pos, end))
         elif kind == "string":
-            tokens.append(Token("string", raw[1:-1].replace("''", "'"), pos))
+            tokens.append(
+                Token("string", raw[1:-1].replace("''", "'"), pos, end)
+            )
         elif kind == "ident":
             upper = raw.upper()
             if upper in _KEYWORDS:
-                tokens.append(Token("keyword", upper, pos))
+                tokens.append(Token("keyword", upper, pos, end))
             else:
-                tokens.append(Token("ident", raw, pos))
+                tokens.append(Token("ident", raw, pos, end))
         else:
-            tokens.append(Token(kind, raw, pos))
+            tokens.append(Token(kind, raw, pos, end))
         pos = m.end()
     return tokens
 
@@ -162,11 +176,14 @@ class _Parser:
             return True
         return False
 
-    def _expect_ident(self) -> str:
+    def _expect_ident_token(self) -> Token:
         tok = self._next()
         if tok.kind != "ident":
             raise ParseError("expected identifier", self.text, tok.pos)
-        return tok.value
+        return tok
+
+    def _expect_ident(self) -> str:
+        return self._expect_ident_token().value
 
     def _expect_number(self) -> float:
         tok = self._next()
@@ -216,11 +233,12 @@ class _Parser:
         if tok.value == "EXPLAIN":
             self._next()
             analyze = self._accept_keyword("ANALYZE")
+            check = (not analyze) and self._accept_keyword("CHECK")
             inner = self._statement_body()
             if isinstance(inner, ExplainStatement):
                 raise ParseError("EXPLAIN cannot be nested",
                                  self.text, tok.pos)
-            return ExplainStatement(inner, analyze)
+            return ExplainStatement(inner, analyze, check)
         if tok.value == "SELECT":
             stmt: Statement = self._select()
         elif tok.value == "CREATE":
@@ -231,7 +249,10 @@ class _Parser:
             stmt = self._reorder()
         elif tok.value == "DESCRIBE":
             self._next()
-            stmt = DescribeStatement(self._expect_ident())
+            table_tok = self._expect_ident_token()
+            stmt = DescribeStatement(
+                table_tok.value, spans={"table": table_tok.span}
+            )
         elif tok.value == "SHOW":
             self._next()
             self._expect_keyword("CADVIEWS")
@@ -239,7 +260,10 @@ class _Parser:
         elif tok.value == "DROP":
             self._next()
             self._expect_keyword("CADVIEW")
-            stmt = DropCadViewStatement(self._expect_ident())
+            name_tok = self._expect_ident_token()
+            stmt = DropCadViewStatement(
+                name_tok.value, spans={"view": name_tok.span}
+            )
         else:
             raise ParseError(f"unsupported statement {tok.value}",
                              self.text, tok.pos)
@@ -247,86 +271,106 @@ class _Parser:
 
     # -- SELECT -----------------------------------------------------------
 
-    def _column_list(self) -> Tuple[str, ...]:
+    def _column_list(self, spans: dict) -> Tuple[str, ...]:
         if self._accept_punct("*"):
             return ()
-        cols = [self._expect_ident()]
+        tokens = [self._expect_ident_token()]
         while self._accept_punct(","):
-            cols.append(self._expect_ident())
-        return tuple(cols)
+            tokens.append(self._expect_ident_token())
+        for i, tok in enumerate(tokens):
+            spans[f"select.{i}"] = tok.span
+        return tuple(t.value for t in tokens)
 
-    def _order_keys(self) -> Tuple[OrderKey, ...]:
+    def _order_keys(self, spans: dict) -> Tuple[OrderKey, ...]:
         keys = []
         while True:
-            attr = self._expect_ident()
+            tok = self._expect_ident_token()
             ascending = True
             if self._accept_keyword("ASC"):
                 ascending = True
             elif self._accept_keyword("DESC"):
                 ascending = False
-            keys.append(OrderKey(attr, ascending))
+            spans[f"order.{len(keys)}"] = tok.span
+            keys.append(OrderKey(tok.value, ascending))
             if not self._accept_punct(","):
                 break
         return tuple(keys)
 
     def _select(self) -> SelectStatement:
+        spans: dict = {}
         self._expect_keyword("SELECT")
-        columns = self._column_list()
+        columns = self._column_list(spans)
         self._expect_keyword("FROM")
-        table = self._expect_ident()
+        table_tok = self._expect_ident_token()
+        spans["table"] = table_tok.span
         where = self.expr() if self._accept_keyword("WHERE") else None
         order: Tuple[OrderKey, ...] = ()
         if self._accept_keyword("ORDER"):
             self._expect_keyword("BY")
-            order = self._order_keys()
+            order = self._order_keys(spans)
         limit = None
         if self._accept_keyword("LIMIT"):
+            tok = self._peek()
             limit = int(self._expect_number())
-        return SelectStatement(table, columns, where, order, limit)
+            if tok is not None:
+                spans["limit"] = tok.span
+        return SelectStatement(
+            table_tok.value, columns, where, order, limit, spans=spans
+        )
 
     # -- CREATE CADVIEW --------------------------------------------------
 
     def _create_cadview(self) -> CreateCadViewStatement:
+        spans: dict = {}
         self._expect_keyword("CREATE")
         self._expect_keyword("CADVIEW")
-        name = self._expect_ident()
+        name_tok = self._expect_ident_token()
+        spans["name"] = name_tok.span
         self._expect_keyword("AS")
         self._expect_keyword("SET")
         self._expect_keyword("PIVOT")
         self._expect_op("=")
-        pivot = self._expect_ident()
+        pivot_tok = self._expect_ident_token()
+        spans["pivot"] = pivot_tok.span
         self._expect_keyword("SELECT")
-        select = self._column_list()
+        select = self._column_list(spans)
         self._expect_keyword("FROM")
-        table = self._expect_ident()
+        table_tok = self._expect_ident_token()
+        spans["table"] = table_tok.span
         where = self.expr() if self._accept_keyword("WHERE") else None
         limit_columns = None
         iunits = None
         if self._accept_keyword("LIMIT"):
             self._expect_keyword("COLUMNS")
+            tok = self._peek()
             limit_columns = self._expect_positive_int("LIMIT COLUMNS")
+            if tok is not None:
+                spans["limit_columns"] = tok.span
         if self._accept_keyword("IUNITS"):
+            tok = self._peek()
             iunits = self._expect_positive_int("IUNITS")
+            if tok is not None:
+                spans["iunits"] = tok.span
         order: Tuple[OrderKey, ...] = ()
         if self._accept_keyword("ORDER"):
             self._expect_keyword("BY")
-            order = self._order_keys()
+            order = self._order_keys(spans)
         return CreateCadViewStatement(
-            name, pivot, table, select, where, limit_columns, iunits, order
+            name_tok.value, pivot_tok.value, table_tok.value, select, where,
+            limit_columns, iunits, order, spans=spans,
         )
 
     # -- HIGHLIGHT SIMILAR IUNITS ----------------------------------------
 
-    def _similarity_args(self, want: int) -> list:
+    def _similarity_args(self, want: int) -> List[Token]:
         self._expect_keyword("SIMILARITY")
+        open_tok = self._peek()
         self._expect_punct("(")
-        args: list = []
+        args: List[Token] = []
         while True:
             tok = self._next()
-            if tok.kind in ("ident", "string"):
-                args.append(tok.value)
-            elif tok.kind == "number":
-                args.append(tok.value)
+            if tok.kind in ("ident", "string", "number"):
+                args.append(tok)
             else:
                 raise ParseError("bad SIMILARITY argument", self.text, tok.pos)
             if not self._accept_punct(","):
@@ -335,7 +379,8 @@ class _Parser:
         if len(args) != want:
             raise ParseError(
                 f"SIMILARITY takes {want} argument(s), got {len(args)}",
-                self.text, 0,
+                self.text,
+                open_tok.pos if open_tok is not None else -1,
             )
         return args
 
@@ -344,18 +389,32 @@ class _Parser:
         self._expect_keyword("SIMILAR")
         self._expect_keyword("IUNITS")
         self._expect_keyword("IN")
-        view = self._expect_ident()
+        view_tok = self._expect_ident_token()
         self._expect_keyword("WHERE")
-        value, iunit = self._similarity_args(2)
+        value_tok, iunit_tok = self._similarity_args(2)
+        if iunit_tok.kind != "number":
+            raise ParseError(
+                "SIMILARITY's second argument must be an IUnit number",
+                self.text, iunit_tok.pos,
+            )
         op = self._expect_op(">", ">=")
+        threshold_tok = self._peek()
         threshold = self._expect_number()
         if op == ">":
             # normalize to >= with an open-interval epsilon-free semantics:
             # callers compare with >= on the stored threshold and we keep
             # strictness by storing the raw value; the view operation uses >=.
             pass
+        spans = {
+            "view": view_tok.span,
+            "pivot_value": value_tok.span,
+            "iunit_id": iunit_tok.span,
+        }
+        if threshold_tok is not None:
+            spans["threshold"] = threshold_tok.span
         return HighlightSimilarStatement(
-            view, str(value), int(iunit), float(threshold)
+            view_tok.value, str(value_tok.value), int(iunit_tok.value),
+            float(threshold), spans=spans,
         )
 
     # -- REORDER ROWS -------------------------------------------------------
@@ -364,16 +423,19 @@ class _Parser:
         self._expect_keyword("REORDER")
         self._expect_keyword("ROWS")
         self._expect_keyword("IN")
-        view = self._expect_ident()
+        view_tok = self._expect_ident_token()
         self._expect_keyword("ORDER")
         self._expect_keyword("BY")
-        (value,) = self._similarity_args(1)
+        (value_tok,) = self._similarity_args(1)
         descending = True
         if self._accept_keyword("ASC"):
             descending = False
         else:
             self._accept_keyword("DESC")
-        return ReorderRowsStatement(view, str(value), descending)
+        return ReorderRowsStatement(
+            view_tok.value, str(value_tok.value), descending,
+            spans={"view": view_tok.span, "pivot_value": value_tok.span},
+        )
 
     # -- WHERE expressions -------------------------------------------------
 
@@ -402,39 +464,58 @@ class _Parser:
             return TruePred()
         return self._comparison()
 
-    def _value(self):
+    def _value_token(self) -> Token:
         tok = self._next()
         if tok.kind in ("number", "string", "ident"):
-            return tok.value
+            return tok
         raise ParseError("expected a value", self.text, tok.pos)
 
+    @staticmethod
+    def _with_span(pred: Predicate, tok: Token) -> Predicate:
+        """Stamp the attribute token's span onto a leaf predicate.
+
+        Stored as a plain attribute (not part of predicate equality)
+        so analyzer diagnostics can point at the attribute name.
+        """
+        pred.attr_span = tok.span  # type: ignore[attr-defined]
+        return pred
+
     def _comparison(self) -> Predicate:
-        attr = self._expect_ident()
+        attr_tok = self._expect_ident_token()
+        attr = attr_tok.value
         if self._accept_keyword("BETWEEN"):
             lo = self._expect_number()
             self._expect_keyword("AND")
             hi = self._expect_number()
-            return Between(attr, lo, hi)
+            return self._with_span(Between(attr, lo, hi), attr_tok)
         if self._accept_keyword("IN"):
             self._expect_punct("(")
-            values = [self._value()]
+            values = [self._value_token().value]
             while self._accept_punct(","):
-                values.append(self._value())
+                values.append(self._value_token().value)
             self._expect_punct(")")
-            return In(attr, values)
+            return self._with_span(In(attr, values), attr_tok)
         if self._accept_keyword("IS"):
             if self._accept_keyword("NOT"):
                 self._expect_keyword("NULL")
-                return Not(IsMissing(attr))
+                return Not(self._with_span(IsMissing(attr), attr_tok))
             self._expect_keyword("NULL")
-            return IsMissing(attr)
+            return self._with_span(IsMissing(attr), attr_tok)
         op = self._expect_op("=", "<>", "!=", "<", "<=", ">", ">=")
-        value = self._value()
+        value_tok = self._value_token()
+        value = value_tok.value
         if op == "=":
-            return Eq(attr, value)
+            return self._with_span(Eq(attr, value), attr_tok)
         if op in ("<>", "!="):
-            return Ne(attr, value)
-        return Cmp(attr, op, float(value))
+            return self._with_span(Ne(attr, value), attr_tok)
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            raise ParseError(
+                f"{op!r} needs a numeric right-hand side, got {value!r}",
+                self.text, value_tok.pos,
+            ) from None
+        return self._with_span(Cmp(attr, op, number), attr_tok)
 
 
 def parse(text: str) -> Statement:

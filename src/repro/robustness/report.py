@@ -76,6 +76,7 @@ class BuildReport:
     degradations: List[Degradation] = field(default_factory=list)
     retries: List[Retry] = field(default_factory=list)
     dropped_values: List[str] = field(default_factory=list)
+    analysis_warnings: List[str] = field(default_factory=list)
     budget: Optional["Budget"] = None
     elapsed_s: float = 0.0
     profile: Optional[BuildProfile] = None
@@ -129,14 +130,31 @@ class BuildReport:
         if pivot_value not in self.dropped_values:
             self.dropped_values.append(pivot_value)
 
+    def record_analysis_warning(self, message: str) -> None:
+        """Log a pre-execution analyzer warning against this build.
+
+        Warnings do not make the build unclean — the pipeline itself ran
+        exactly as asked — but they travel with the view (and onto the
+        trace) so a degraded-looking result can be explained by its
+        statement, not just its execution.
+        """
+        if message not in self.analysis_warnings:
+            self.analysis_warnings.append(message)
+            self._annotate("analysis", message)
+
     # -- reading (caller-facing) ---------------------------------------------
 
     @property
     def clean(self) -> bool:
-        """True when the build ran the exact pipeline with no trouble."""
+        """True when the build ran the exact pipeline with no trouble.
+
+        Analyzer warnings count as trouble: they do not degrade the
+        build, but a report that carries them must render its footer so
+        the warning reaches the user next to the grid it is about.
+        """
         return not (
             self.incidents or self.degradations or self.retries
-            or self.dropped_values
+            or self.dropped_values or self.analysis_warnings
         )
 
     @property
@@ -171,6 +189,7 @@ class BuildReport:
         out.extend(f"incident: {i}" for i in self.incidents)
         out.extend(f"degradation: {d}" for d in self.degradations)
         out.extend(f"retry: {r}" for r in self.retries)
+        out.extend(f"analysis: {w}" for w in self.analysis_warnings)
         return out
 
     def as_dict(self) -> Dict[str, object]:
@@ -181,6 +200,7 @@ class BuildReport:
             "degradations": [vars(d) for d in self.degradations],
             "retries": [vars(r) for r in self.retries],
             "dropped_values": list(self.dropped_values),
+            "analysis_warnings": list(self.analysis_warnings),
             "elapsed_s": self.elapsed_s,
             "profile": self.profile.as_dict() if self.profile else None,
         }

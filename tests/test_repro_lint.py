@@ -1,0 +1,367 @@
+"""Tests for the repro-lint framework and every RL rule.
+
+Each rule gets at least one failing fixture (the invariant violated)
+and one passing fixture (the sanctioned idiom); plus the suppression
+syntax, the reporters, the CLI entry point, and the meta-check that the
+shipped ``src/repro`` tree is lint-clean.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.repro_lint import lint_paths, render_json, render_text
+from tools.repro_lint.framework import ModuleInfo, Rule, all_rules
+from tools.repro_lint.__main__ import main as lint_main
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def lint_source(
+    source: str, path: str = "src/repro/sample.py", select=None
+):
+    """Lint one in-memory module written to a real temp-free path name."""
+    import ast
+
+    text = textwrap.dedent(source)
+    module = ModuleInfo(path, text, ast.parse(text))
+    findings = []
+    suppressed = 0
+    for rule in all_rules():
+        if select and rule.code not in select:
+            continue
+        for finding in rule.check(module):
+            if module.is_suppressed(finding):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+class TestRL001UnseededRandomness:
+    def test_flags_unseeded_sources(self):
+        findings, _ = lint_source("""
+            import random
+            r = random.Random()
+            x = random.random()
+            rng = default_rng()
+        """)
+        assert [f.rule for f in findings] == ["RL001"] * 3
+
+    def test_seeded_sources_pass(self):
+        findings, _ = lint_source("""
+            import random
+            r = random.Random(7)
+            rng = default_rng(13)
+            rng2 = np.random.default_rng(seed)
+        """)
+        assert findings == []
+
+    def test_tests_are_exempt(self):
+        findings, _ = lint_source(
+            "import random\nr = random.Random()\n",
+            path="tests/test_x.py",
+        )
+        assert findings == []
+
+
+HOT = "src/repro/clustering/sample.py"
+
+
+class TestRL002HotLoopCheckpoint:
+    def test_flags_loop_without_checkpoint(self):
+        findings, _ = lint_source("""
+            def fit(X, checkpoint=None):
+                while True:
+                    step()
+        """, path=HOT)
+        assert [f.rule for f in findings] == ["RL002"]
+        assert "fit" in findings[0].message
+
+    def test_direct_call_passes(self):
+        findings, _ = lint_source("""
+            def fit(X, checkpoint=None):
+                for row in X:
+                    if checkpoint is not None:
+                        checkpoint()
+                    step(row)
+        """, path=HOT)
+        assert findings == []
+
+    def test_forwarding_to_callee_passes(self):
+        findings, _ = lint_source("""
+            def outer(X, checkpoint=None):
+                for block in X:
+                    inner(block, checkpoint)
+        """, path=HOT)
+        assert findings == []
+
+    def test_functions_without_checkpoint_param_are_out_of_scope(self):
+        findings, _ = lint_source("""
+            def helper(X):
+                for row in X:
+                    step(row)
+        """, path=HOT)
+        assert findings == []
+
+    def test_cold_modules_are_out_of_scope(self):
+        findings, _ = lint_source("""
+            def fit(X, checkpoint=None):
+                while True:
+                    step()
+        """, path="src/repro/core/sample.py")
+        assert findings == []
+
+    def test_only_outermost_loops_count(self):
+        findings, _ = lint_source("""
+            def fit(X, checkpoint=None):
+                for row in X:
+                    checkpoint()
+                    for cell in row:
+                        step(cell)
+        """, path=HOT)
+        assert findings == []
+
+
+OBS = "src/repro/obs/sample.py"
+
+
+class TestRL003ObsLockDiscipline:
+    def test_flags_unlocked_mutation(self):
+        findings, _ = lint_source("""
+            class Counter:
+                def __init__(self):
+                    self._value = 0
+                    self._lock = threading.Lock()
+
+                def inc(self):
+                    self._value += 1
+        """, path=OBS)
+        assert [f.rule for f in findings] == ["RL003"]
+        assert "_value" in findings[0].message
+
+    def test_locked_mutation_passes(self):
+        findings, _ = lint_source("""
+            class Counter:
+                def __init__(self):
+                    self._value = 0
+                    self._lock = threading.Lock()
+
+                def inc(self):
+                    with self._lock:
+                        self._value += 1
+        """, path=OBS)
+        assert findings == []
+
+    def test_lockless_classes_are_out_of_scope(self):
+        findings, _ = lint_source("""
+            class Plain:
+                def set(self, x):
+                    self._x = x
+        """, path=OBS)
+        assert findings == []
+
+    def test_outside_obs_is_out_of_scope(self):
+        findings, _ = lint_source("""
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def inc(self):
+                    self._value = 1
+        """, path="src/repro/core/sample.py")
+        assert findings == []
+
+
+class TestRL004SwallowedException:
+    def test_flags_silent_blanket_handler(self):
+        findings, _ = lint_source("""
+            try:
+                work()
+            except Exception:
+                pass
+        """)
+        assert [f.rule for f in findings] == ["RL004"]
+
+    def test_flags_bare_except(self):
+        findings, _ = lint_source("""
+            try:
+                work()
+            except:
+                result = None
+        """)
+        assert [f.rule for f in findings] == ["RL004"]
+
+    def test_reraise_passes(self):
+        findings, _ = lint_source("""
+            try:
+                work()
+            except Exception:
+                cleanup()
+                raise
+        """)
+        assert findings == []
+
+    def test_fault_report_passes(self):
+        findings, _ = lint_source("""
+            try:
+                work()
+            except Exception as exc:
+                report.record_incident("phase", None, exc, "dropped")
+        """)
+        assert findings == []
+
+    def test_narrow_handler_is_out_of_scope(self):
+        findings, _ = lint_source("""
+            try:
+                work()
+            except ValueError:
+                pass
+        """)
+        assert findings == []
+
+
+class TestRL005DanglingSpan:
+    def test_flags_span_without_with(self):
+        findings, _ = lint_source("""
+            span = tracer.span("phase", rows=10)
+            work()
+        """)
+        assert [f.rule for f in findings] == ["RL005"]
+
+    def test_with_block_passes(self):
+        findings, _ = lint_source("""
+            with tracer.span("phase", rows=10):
+                work()
+        """)
+        assert findings == []
+
+    def test_enter_context_passes(self):
+        findings, _ = lint_source("""
+            span = stack.enter_context(tracer.span("phase"))
+        """)
+        assert findings == []
+
+
+class TestSuppression:
+    SOURCE = """
+        import random
+        r = random.Random()  # repro-lint: ignore[RL001]
+    """
+
+    def test_same_line_marker(self):
+        findings, suppressed = lint_source(self.SOURCE)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_preceding_comment_line_marker(self):
+        findings, suppressed = lint_source("""
+            import random
+            # seeded by the caller in every real path
+            # repro-lint: ignore[RL001]
+            r = random.Random()
+        """)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_bare_ignore_silences_all_rules(self):
+        findings, suppressed = lint_source("""
+            import random
+            r = random.Random()  # repro-lint: ignore
+        """)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_wrong_code_does_not_suppress(self):
+        findings, _ = lint_source("""
+            import random
+            r = random.Random()  # repro-lint: ignore[RL005]
+        """)
+        assert [f.rule for f in findings] == ["RL001"]
+
+
+class TestRunnerAndReporters:
+    def test_lint_paths_on_directory(self, tmp_path):
+        (tmp_path / "good.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text(
+            "import random\nr = random.Random()\n"
+        )
+        result = lint_paths([str(tmp_path)])
+        assert result.checked_files == 2
+        assert [f.rule for f in result.findings] == ["RL001"]
+        assert not result.ok
+
+    def test_unparsable_file_is_rl000(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        result = lint_paths([str(bad)])
+        assert [f.rule for f in result.findings] == ["RL000"]
+
+    def test_json_report_shape(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import random\nr = random.Random()\n"
+        )
+        result = lint_paths([str(tmp_path)])
+        payload = json.loads(render_json(result))
+        assert set(payload) == {"findings", "checked_files", "suppressed"}
+        finding = payload["findings"][0]
+        assert finding["rule"] == "RL001"
+        assert finding["line"] == 2
+
+    def test_text_report(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import random\nr = random.Random()\n"
+        )
+        out = render_text(lint_paths([str(tmp_path)]))
+        assert "RL001" in out and "1 finding(s)" in out
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert lint_main([str(good)]) == 0
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nr = random.Random()\n")
+        assert lint_main([str(bad)]) == 1
+        capsys.readouterr()
+
+    def test_cli_json_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nr = random.Random()\n")
+        report_path = tmp_path / "report.json"
+        assert lint_main([str(bad), "--json", str(report_path)]) == 1
+        payload = json.loads(report_path.read_text())
+        assert payload["findings"][0]["rule"] == "RL001"
+        capsys.readouterr()
+
+    def test_cli_select(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nr = random.Random()\n")
+        assert lint_main([str(bad), "--select", "RL005"]) == 0
+        capsys.readouterr()
+
+    def test_rules_listing(self, capsys):
+        assert lint_main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert code in out
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_lints_clean(self):
+        result = lint_paths([str(REPO / "src" / "repro")])
+        assert result.findings == [], render_text(result)
+        assert result.checked_files > 50
+
+    def test_module_invocation(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.repro_lint", "src/repro"],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout

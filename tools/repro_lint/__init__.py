@@ -1,0 +1,35 @@
+"""repro-lint: project-specific invariant checks over the source tree.
+
+A small stdlib-``ast`` lint framework plus the rules that encode this
+repository's hard-won conventions — determinism (seeded randomness),
+budget cooperation (checkpoints in hot loops), observability locking
+discipline, exception-swallowing hygiene and tracer span usage.  See
+``tools/repro_lint/README.md`` for the rule table and the suppression
+syntax, and run it with::
+
+    python -m tools.repro_lint src/repro
+"""
+
+from tools.repro_lint.framework import (
+    Finding,
+    LintResult,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    lint_paths,
+    register,
+)
+from tools.repro_lint import rules as _rules  # noqa: F401  (registers rules)
+from tools.repro_lint.reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+]

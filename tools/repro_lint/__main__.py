@@ -1,0 +1,52 @@
+"""Command-line entry point: ``python -m tools.repro_lint src/repro``.
+
+Exit code 0 when no findings survive suppression, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from tools.repro_lint.framework import all_rules, lint_paths
+from tools.repro_lint.reporters import render_json, render_text
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="project-specific invariant checks (see rule list "
+                    "with --rules)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE "
+                             "('-' for stdout)")
+    parser.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--rules", action="store_true",
+                        help="list the registered rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.description}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    result = lint_paths(args.paths or ["src/repro"], select=select)
+    if args.json == "-":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(render_json(result) + "\n")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

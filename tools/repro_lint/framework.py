@@ -1,0 +1,223 @@
+"""The lint framework: findings, rule registry, suppressions, runner.
+
+Rules are :class:`Rule` subclasses registered with :func:`register`;
+each receives a parsed :class:`ModuleInfo` and yields
+:class:`Finding` records.  Findings can be silenced per line with::
+
+    something_suspicious()  # repro-lint: ignore[RL004]
+
+either on the offending line itself or on a pure-comment line directly
+above it.  A bare ``# repro-lint: ignore`` silences every rule on that
+line; suppressions must name the rule (or be bare) — unknown codes in
+the bracket list are simply inert.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Type
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?"
+)
+
+# Sentinel rule code for files the runner itself could not process.
+PARSE_FAILURE_RULE = "RL000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file handed to every rule."""
+
+    path: str                   # as given on the command line (repo-relative)
+    text: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.text.splitlines()
+
+    @property
+    def is_test(self) -> bool:
+        """True for test files — several rules only bind to src code."""
+        parts = Path(self.path).parts
+        name = Path(self.path).name
+        return "tests" in parts or name.startswith("test_")
+
+    def suppressions(self) -> Dict[int, Optional[Set[str]]]:
+        """Line -> suppressed rule codes (``None`` = every rule).
+
+        A suppression comment covers its own line and, when the line is
+        a pure comment, the next line — so the marker can sit above a
+        long statement without pushing it past the line-length limit.
+        """
+        out: Dict[int, Optional[Set[str]]] = {}
+
+        def merge(lineno: int, codes: Optional[Set[str]]) -> None:
+            if codes is None or out.get(lineno, set()) is None:
+                out[lineno] = None
+            else:
+                out.setdefault(lineno, set()).update(codes)
+
+        for i, line in enumerate(self.lines, start=1):
+            m = _SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            codes: Optional[Set[str]] = None
+            if m.group(1) is not None:
+                codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
+            merge(i, codes)
+            if line.strip().startswith("#"):
+                merge(i + 1, codes)
+        return out
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        codes = self.suppressions().get(finding.line, ...)
+        if codes is ...:
+            return False
+        return codes is None or finding.rule in codes
+
+
+class Rule:
+    """Base class of lint rules.
+
+    Subclasses set ``code`` (``RL###``) and ``description`` and
+    implement :meth:`check`; the suppression machinery and the runner
+    are shared.
+    """
+
+    code: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield every violation found in ``module``."""
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        """A :class:`Finding` for this rule at ``node``'s location."""
+        return Finding(
+            self.code,
+            module.path,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one rule instance to the registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "findings": [f.as_dict() for f in self.findings],
+            "checked_files": self.checked_files,
+            "suppressed": self.suppressed,
+        }
+
+
+def _iter_files(paths: Iterable[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Iterable[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Run the (selected) rules over every ``*.py`` under ``paths``."""
+    active = list(rules) if rules is not None else all_rules()
+    if select is not None:
+        wanted = set(select)
+        active = [r for r in active if r.code in wanted]
+    result = LintResult()
+    for file_path in _iter_files(paths):
+        try:
+            text = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=str(file_path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            result.findings.append(Finding(
+                PARSE_FAILURE_RULE, str(file_path), 1, 0,
+                f"could not lint file: {exc}",
+            ))
+            continue
+        module = ModuleInfo(str(file_path), text, tree)
+        result.checked_files += 1
+        for rule in active:
+            for finding in rule.check(module):
+                if module.is_suppressed(finding):
+                    result.suppressed += 1
+                else:
+                    result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

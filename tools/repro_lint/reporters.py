@@ -1,0 +1,24 @@
+"""Text and JSON renderings of a :class:`LintResult`."""
+
+from __future__ import annotations
+
+import json
+
+from tools.repro_lint.framework import LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line:col: CODE message`` line per finding + summary."""
+    lines = [str(f) for f in result.findings]
+    lines.append(
+        f"repro-lint: {len(result.findings)} finding(s) in "
+        f"{result.checked_files} file(s), {result.suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-readable report (consumed by the CI artifact)."""
+    return json.dumps(result.as_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,357 @@
+"""The repro-lint rules: this repository's invariants as AST checks.
+
+====== ==================================================================
+code   invariant
+====== ==================================================================
+RL001  no unseeded randomness outside tests (determinism)
+RL002  loops in hot modules cooperate with the budget via checkpoint()
+RL003  ``self._x`` mutation in ``repro/obs/`` happens under ``self._lock``
+RL004  blanket ``except Exception`` must re-raise or record the fault
+RL005  tracer spans are opened with ``with`` (never left dangling)
+====== ==================================================================
+
+Every rule explains *why* in its docstring; suppress a justified
+exception with ``# repro-lint: ignore[RL###]`` plus a comment saying
+what makes the site safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Set
+
+from tools.repro_lint.framework import Finding, ModuleInfo, Rule, register
+
+__all__ = [
+    "UnseededRandomness",
+    "HotLoopWithoutCheckpoint",
+    "UnlockedObsMutation",
+    "SwallowedException",
+    "DanglingTracerSpan",
+]
+
+# Reporting records that an isolated failure was handled, not swallowed.
+_FAULT_REPORT_CALLS = {
+    "record_incident",
+    "record_degradation",
+    "record_retry",
+    "record_dropped",
+}
+
+
+def _call_name(node: ast.Call) -> str:
+    """The trailing identifier of a call target ('' when not a name)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+@register
+class UnseededRandomness(Rule):
+    """RL001: every random source must be constructed with a seed.
+
+    The reproduction's claim is determinism — same data, same config,
+    same view.  An unseeded ``random.Random()``, a module-level
+    ``random.random()`` or a bare ``np.random.default_rng()`` breaks
+    that silently.  Tests are exempt (they may probe robustness with
+    true randomness).
+    """
+
+    code = "RL001"
+    description = "unseeded random source outside tests"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.is_test:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            unseeded = not node.args and not node.keywords
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ) and func.value.id == "random":
+                # the stdlib module: random.Random() / random.random()
+                if func.attr == "Random" and unseeded:
+                    yield self.finding(
+                        module, node,
+                        "random.Random() without a seed; pass one",
+                    )
+                elif func.attr == "random":
+                    yield self.finding(
+                        module, node,
+                        "random.random() uses the unseeded global RNG; "
+                        "use a seeded random.Random/np Generator",
+                    )
+            elif _call_name(node) == "default_rng" and unseeded:
+                yield self.finding(
+                    module, node,
+                    "default_rng() without a seed; pass one",
+                )
+
+
+# Modules on the CAD View build's critical path, where a loop without a
+# budget checkpoint can blow straight through a deadline.
+def _is_hot_module(path: str) -> bool:
+    parts = Path(path).parts
+    if "clustering" in parts or "features" in parts:
+        return True
+    return "iunits" in parts and Path(path).name == "diversify.py"
+
+
+def _mentions_checkpoint(node: ast.AST) -> bool:
+    """True when the subtree calls, or forwards, a checkpoint."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        if "checkpoint" in _call_name(sub).lower():
+            return True
+        for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+            if isinstance(arg, ast.Name) and arg.id == "checkpoint":
+                return True
+    return False
+
+
+@register
+class HotLoopWithoutCheckpoint(Rule):
+    """RL002: hot loops must cooperate with the wall-clock budget.
+
+    PR 1 made builds budgeted by inserting cheap ``checkpoint()`` calls
+    into the iterative kernels; a new loop added to a hot module without
+    one reintroduces an unbounded stall the budget cannot interrupt.
+    The rule binds to functions that *take* a ``checkpoint`` parameter
+    (i.e. ones the builder already considers budget-cooperative) and
+    flags their outermost loops that neither call a checkpoint nor
+    forward it to a callee.
+    """
+
+    code = "RL002"
+    description = "hot loop never calls or forwards checkpoint()"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not _is_hot_module(module.path) or module.is_test:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            args = node.args
+            names = {
+                a.arg
+                for a in args.posonlyargs + args.args + args.kwonlyargs
+            }
+            if "checkpoint" not in names:
+                continue
+            for loop in self._outer_loops(node.body):
+                if not _mentions_checkpoint(loop):
+                    kind = "for" if isinstance(loop, ast.For) else "while"
+                    yield self.finding(
+                        module, loop,
+                        f"{kind}-loop in budget-cooperative function "
+                        f"{node.name!r} never calls or forwards "
+                        f"checkpoint()",
+                    )
+
+    def _outer_loops(self, body: List[ast.stmt]) -> Iterator[ast.AST]:
+        """Outermost for/while statements, not entering nested defs."""
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.For, ast.While)):
+                yield node                  # do not descend: outermost only
+            elif isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.Lambda),
+            ):
+                continue                    # handled via its own walk
+            else:
+                stack.extend(ast.iter_child_nodes(node))
+
+
+def _uses_lock(with_node: ast.With) -> bool:
+    for item in with_node.items:
+        for sub in ast.walk(item.context_expr):
+            if isinstance(sub, ast.Attribute) and sub.attr == "_lock":
+                return True
+    return False
+
+
+@register
+class UnlockedObsMutation(Rule):
+    """RL003: observability state mutates only under its lock.
+
+    The metrics instruments in ``repro/obs/`` are shared across threads
+    (a traced build can run beside a reader); every class there that
+    owns a ``self._lock`` must touch its private state inside
+    ``with self._lock:``.  ``__init__``/``__post_init__`` are exempt —
+    the object is not yet visible to other threads.
+    """
+
+    code = "RL003"
+    description = "obs private-state mutation outside `with self._lock`"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if "obs" not in Path(module.path).parts or module.is_test:
+            return
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not self._owns_lock(cls):
+                continue
+            for method in cls.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name in ("__init__", "__post_init__"):
+                    continue
+                yield from self._check_method(module, method, locked=False)
+
+    @staticmethod
+    def _owns_lock(cls: ast.ClassDef) -> bool:
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Attribute) and node.attr == "_lock":
+                return True
+        return False
+
+    def _check_method(
+        self, module: ModuleInfo, node: ast.AST, locked: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            inside = locked
+            if isinstance(child, ast.With) and _uses_lock(child):
+                inside = True
+            if isinstance(child, (ast.Assign, ast.AugAssign)) and not inside:
+                targets = (
+                    child.targets if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr.startswith("_")
+                        and target.attr != "_lock"
+                    ):
+                        yield self.finding(
+                            module, child,
+                            f"mutation of self.{target.attr} outside "
+                            f"`with self._lock:`",
+                        )
+            if not isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.Lambda),
+            ):
+                yield from self._check_method(module, child, inside)
+
+
+def _is_blanket(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:`` / ``except Exception`` / ``BaseException``."""
+    broad = {"Exception", "BaseException"}
+
+    def name_of(node) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return ""
+
+    if handler.type is None:
+        return True
+    if name_of(handler.type) in broad:
+        return True
+    if isinstance(handler.type, ast.Tuple):
+        return any(name_of(e) in broad for e in handler.type.elts)
+    return False
+
+
+@register
+class SwallowedException(Rule):
+    """RL004: a blanket handler must re-raise or record the fault.
+
+    Catch-all handlers exist in this codebase for exactly one purpose:
+    fault *isolation* — keep the rest of the build alive and say so on
+    the build report.  A blanket ``except Exception`` whose body neither
+    raises nor calls a ``record_*`` fault reporter silently converts
+    bugs into wrong answers.
+    """
+
+    code = "RL004"
+    description = "blanket except without re-raise or fault report"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.is_test:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_blanket(node):
+                continue
+            if self._handled(node):
+                continue
+            shape = "bare except" if node.type is None else (
+                "blanket except Exception"
+            )
+            yield self.finding(
+                module, node,
+                f"{shape} neither re-raises nor records the fault "
+                f"(record_incident/record_dropped/...)",
+            )
+
+    @staticmethod
+    def _handled(handler: ast.ExceptHandler) -> bool:
+        for sub in ast.walk(handler):
+            if isinstance(sub, ast.Raise):
+                return True
+            if isinstance(sub, ast.Call) and \
+                    _call_name(sub) in _FAULT_REPORT_CALLS:
+                return True
+        return False
+
+
+@register
+class DanglingTracerSpan(Rule):
+    """RL005: ``tracer.span(...)`` is a context manager, not a handle.
+
+    A span opened without ``with`` never closes: the span tree keeps
+    the whole rest of the build as its children and every bucket total
+    downstream is wrong.  The only sanctioned forms are
+    ``with tracer.span(...):`` and
+    ``stack.enter_context(tracer.span(...))``.
+    """
+
+    code = "RL005"
+    description = "tracer span opened without a with-block"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.is_test:
+            return
+        sanctioned: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    sanctioned.add(id(item.context_expr))
+            elif isinstance(node, ast.Call) and \
+                    _call_name(node) == "enter_context":
+                for arg in node.args:
+                    sanctioned.add(id(arg))
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in sanctioned
+            ):
+                yield self.finding(
+                    module, node,
+                    "span(...) result must be entered with `with` (or "
+                    "ExitStack.enter_context)",
+                )
