@@ -1,23 +1,37 @@
 """E-WORK — interactive latency over a realistic exploration workload.
 
 The paper's Fig. 8 sweeps iid row subsets; real exploration states are
-conjunctive facet selections with skewed result sizes.  This bench
-generates such a workload (the facet-click-biased generator of
-``repro.study.workload``), builds an optimized CAD View for each query
-result, and reports the latency distribution — the p95 is what an
-interactive system actually has to keep under budget.
+conjunctive facet selections with skewed result sizes.  Two workloads
+run here:
+
+* a synthetic one — the facet-click-biased generator of
+  ``repro.study.workload`` produces conjunctive queries and an
+  optimized CAD View is built per result; the p95 is what an
+  interactive system has to keep under budget;
+* the canned exploration session ``examples/session_nba.worklog.jsonl``
+  replayed through the full statement path (parse -> analyze ->
+  execute), reporting per-statement-kind percentiles — the numbers
+  ``repro replay`` prints, made regression-gateable.
 """
+
+import os
 
 import numpy as np
 import pytest
 
 from repro import CADViewBuilder, CADViewConfig
+from repro.core import DBExplorer
 from repro.core.optimizer import recommended_config
+from repro.dataset.generators import generate_usedcars
 from repro.errors import CADViewError, EmptyResultError
+from repro.obs import NO_WORKLOG, read_worklog, replay
 from repro.study import random_conjunctive_queries
 
 N_QUERIES = 25
 BASE = CADViewConfig(compare_limit=5, iunits_k=3, seed=0)
+SESSION_LOG = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "session_nba.worklog.jsonl"
+)
 
 
 def build_for(query, cars):
@@ -71,6 +85,31 @@ def test_workload_latency_distribution(cars40k, bench_emit):
     })
     # the interactivity budget the paper targets (sub-second, Sec. 3.1.2)
     assert np.percentile(lat, 95) < 1_000
+
+
+def test_canned_session_replay(bench_emit):
+    """Replay the committed exploration session; gate its percentiles."""
+    records = read_worklog(SESSION_LOG)
+    session = next(r for r in records if r.get("kind") == "session")
+    table = generate_usedcars(session["rows"], seed=session["seed"])
+    # NO_WORKLOG: a REPRO_WORKLOG in the environment must not make the
+    # bench append the replayed statements to a live log
+    dbx = DBExplorer(
+        CADViewConfig(seed=session["seed"]), worklog=NO_WORKLOG
+    )
+    dbx.register("data", table)
+    report = replay(records, dbx)
+    n_stmts = sum(1 for r in records if r.get("kind") == "statement")
+    assert report.statements == n_stmts
+    assert report.skipped == 0
+    # the canned session deliberately contains one analyzer-rejected
+    # statement — replay measures it instead of dying on it
+    assert report.statuses.get("analysis_error") == 1
+    assert report.statuses.get("ok") == n_stmts - 1
+    print("\n" + report.render())
+    bench_emit("session_replay", report.as_dict())
+    # interactivity: even the heaviest statement kind stays sub-second
+    assert report.by_kind["create_cadview"]["p95_ms"] < 1_000
 
 
 def test_bench_median_workload_state(benchmark, cars40k):

@@ -1,8 +1,9 @@
-"""Validate observability artifacts produced by ``--trace``/``--metrics``.
+"""Validate observability artifacts: ``--trace``/``--metrics``/``--worklog``.
 
 Stdlib-only, so CI can run it without installing the package::
 
     python benchmarks/check_trace.py --trace trace.json --metrics metrics.json
+    python benchmarks/check_trace.py --worklog session.worklog.jsonl
 
 Exit code 0 when every given file is well-formed, 1 otherwise (with the
 problems printed to stderr).  The checks mirror what the consumers
@@ -14,7 +15,14 @@ require:
   ``chrome://tracing`` and https://ui.perfetto.dev accept;
 * the metrics snapshot must have ``counters``/``gauges``/``histograms``
   maps, every histogram internally consistent (counts length =
-  bounds length + 1, count = sum of bucket counts).
+  bounds length + 1, count = sum of bucket counts);
+* the workload log must be one JSON object per line, every record
+  carrying the schema version and a strictly increasing ``seq``,
+  ``t_rel_s`` non-decreasing (the writer stamps both under its lock),
+  statement records complete (statement text, kind, a known status,
+  non-negative ``elapsed_ms``) with their span-derived per-phase times
+  reconciling: ``sum(phases_ms) <= elapsed_ms`` up to a small
+  tolerance — phases are a breakdown of the statement, never more.
 """
 
 from __future__ import annotations
@@ -101,6 +109,110 @@ def validate_metrics(path: str) -> List[str]:
     return problems
 
 
+# duplicated from repro.obs.worklog on purpose: this checker must stay
+# importable without the package installed (and would hide schema drift
+# if it read the vocabulary from the code under test)
+WORKLOG_VERSION = 1
+WORKLOG_STATUSES = (
+    "ok", "analysis_error", "parse_error", "build_failed",
+    "budget_exhausted", "error",
+)
+# phases are measured by perf_counter spans inside the statement's own
+# perf_counter window; 5% + 1ms absorbs float rounding on tiny builds
+PHASE_SUM_TOLERANCE = 1.05
+PHASE_SUM_SLACK_MS = 1.0
+
+
+def validate_worklog(path: str) -> List[str]:
+    """Problems found in a workload-log JSONL file (empty = valid)."""
+    problems: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        return [f"{path}: cannot read: {exc}"]
+    if not lines:
+        return [f"{path}: worklog is empty"]
+    last_seq = 0
+    last_t_rel = float("-inf")
+    statements = 0
+    for i, line in enumerate(lines, start=1):
+        where = f"{path}:{i}"
+        if not line.strip():
+            problems.append(f"{where}: blank line")
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"{where}: not JSON: {exc}")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"{where}: record is not an object")
+            continue
+        if record.get("v") != WORKLOG_VERSION:
+            problems.append(
+                f"{where}: schema version {record.get('v')!r} != "
+                f"{WORKLOG_VERSION}"
+            )
+        seq = record.get("seq")
+        if not isinstance(seq, int) or seq <= last_seq:
+            problems.append(
+                f"{where}: seq {seq!r} not strictly increasing "
+                f"(previous {last_seq})"
+            )
+        else:
+            last_seq = seq
+        t_rel = record.get("t_rel_s")
+        if not isinstance(t_rel, (int, float)) or t_rel < last_t_rel:
+            problems.append(
+                f"{where}: t_rel_s {t_rel!r} went backwards "
+                f"(previous {last_t_rel:.6f})"
+            )
+        else:
+            last_t_rel = float(t_rel)
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)) or ts <= 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        kind = record.get("kind")
+        if kind == "session":
+            continue
+        if kind != "statement":
+            problems.append(f"{where}: unknown record kind {kind!r}")
+            continue
+        statements += 1
+        stmt = record.get("statement")
+        if not isinstance(stmt, str) or not stmt.strip():
+            problems.append(f"{where}: missing statement text")
+        if not isinstance(record.get("statement_kind"), str):
+            problems.append(f"{where}: missing statement_kind")
+        if record.get("status") not in WORKLOG_STATUSES:
+            problems.append(
+                f"{where}: unknown status {record.get('status')!r}"
+            )
+        elapsed = record.get("elapsed_ms")
+        if not isinstance(elapsed, (int, float)) or elapsed < 0:
+            problems.append(f"{where}: bad elapsed_ms {elapsed!r}")
+            continue
+        phases = record.get("phases_ms")
+        if phases is None:
+            continue
+        if not isinstance(phases, dict) or not all(
+            isinstance(v, (int, float)) and v >= 0
+            for v in phases.values()
+        ):
+            problems.append(f"{where}: bad phases_ms {phases!r}")
+            continue
+        total = sum(phases.values())
+        if total > elapsed * PHASE_SUM_TOLERANCE + PHASE_SUM_SLACK_MS:
+            problems.append(
+                f"{where}: phase sum {total:.3f}ms exceeds elapsed_ms "
+                f"{elapsed:.3f}ms (phases are a breakdown, not a superset)"
+            )
+    if not statements:
+        problems.append(f"{path}: no statement records")
+    return problems
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns 0 iff every given artifact validates."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -108,18 +220,24 @@ def main(argv=None) -> int:
                         help="Chrome trace-event JSON file to validate")
     parser.add_argument("--metrics", action="append", default=[],
                         help="metrics snapshot JSON file to validate")
+    parser.add_argument("--worklog", action="append", default=[],
+                        help="workload-log JSONL file to validate")
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics:
-        parser.error("give at least one --trace or --metrics file")
+    if not args.trace and not args.metrics and not args.worklog:
+        parser.error(
+            "give at least one --trace, --metrics, or --worklog file"
+        )
     problems: List[str] = []
     for path in args.trace:
         problems.extend(validate_trace(path))
     for path in args.metrics:
         problems.extend(validate_metrics(path))
+    for path in args.worklog:
+        problems.extend(validate_worklog(path))
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:
-        checked = len(args.trace) + len(args.metrics)
+        checked = len(args.trace) + len(args.metrics) + len(args.worklog)
         print(f"ok: {checked} artifact(s) valid")
     return 1 if problems else 0
 

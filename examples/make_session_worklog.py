@@ -1,0 +1,96 @@
+"""Regenerate the canned exploration session, examples/session_nba.worklog.jsonl.
+
+"nba" is the narrow-build-analyze loop the paper's interface is built
+around: narrow the result with facet-style selections, build a CAD View
+on it, inspect/search inside the view, narrow again.  The canned log is
+one such session over the generated used-car dataset — including a
+warning-carrying statement and one the analyzer rejects, because real
+exploration sessions contain both.
+
+Run from the repository root (only needed when the statement script or
+the worklog schema changes)::
+
+    PYTHONPATH=src python examples/make_session_worklog.py
+
+``benchmarks/bench_workload_latency.py`` and the ``repro replay``
+acceptance test both consume the committed output, so regenerate and
+commit together with whatever change moved it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import CADViewConfig, DBExplorer  # noqa: E402
+from repro.dataset.generators import generate_usedcars  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
+from repro.obs import WorkLogWriter  # noqa: E402
+
+ROWS = 10_000
+SEED = 7
+OUT = os.path.join(os.path.dirname(__file__), "session_nba.worklog.jsonl")
+
+#: The session script: narrow -> build -> analyze, twice over, with the
+#: in-view search statements and two deliberately imperfect statements
+#: (a numeric pivot that warns, a contradictory range the analyzer
+#: rejects) so the log exercises every status the replay report shows.
+STATEMENTS = (
+    "DESCRIBE data",
+    "SELECT Make, Price, Mileage FROM data LIMIT 5",
+    "SELECT Make, Price FROM data WHERE BodyType = SUV LIMIT 10",
+    "SELECT Make, Price FROM data WHERE BodyType = SUV AND Price < 30000"
+    " LIMIT 10",
+    "CREATE CADVIEW suvs AS SET pivot = Make SELECT Price, Mileage"
+    " FROM data WHERE BodyType = SUV LIMIT COLUMNS 4 IUNITS 3",
+    "SHOW CADVIEWS",
+    "HIGHLIGHT SIMILAR IUNITS IN suvs WHERE SIMILARITY(Ford, 1) > 0.5",
+    "REORDER ROWS IN suvs ORDER BY SIMILARITY(Ford) DESC",
+    "SELECT Make, Price FROM data WHERE BodyType = Sedan"
+    " AND Price < 20000 LIMIT 10",
+    "CREATE CADVIEW cheap_sedans AS SET pivot = Make SELECT Price,"
+    " Mileage, Year FROM data WHERE BodyType = Sedan AND Price < 20000"
+    " LIMIT COLUMNS 4 IUNITS 3",
+    "EXPLAIN ANALYZE CREATE CADVIEW trucks AS SET pivot = Drivetrain"
+    " SELECT Price, Mileage FROM data WHERE BodyType = Truck"
+    " LIMIT COLUMNS 3 IUNITS 3",
+    # QA401: numeric pivot — executes fine but carries a warning
+    "CREATE CADVIEW by_price AS SET pivot = Price SELECT Mileage"
+    " FROM data WHERE BodyType = SUV LIMIT COLUMNS 3 IUNITS 3",
+    # QA3xx: contradictory range — the analyzer gate rejects this one
+    "SELECT Price FROM data WHERE Price > 9000 AND Price < 5000",
+    "DROP CADVIEW by_price",
+    "SELECT Make, Price FROM data WHERE Color = Red LIMIT 5",
+    "CREATE CADVIEW red_cars AS SET pivot = BodyType SELECT Price,"
+    " Mileage FROM data WHERE Color = Red LIMIT COLUMNS 4 IUNITS 3",
+    "SHOW CADVIEWS",
+)
+
+
+def main() -> int:
+    table = generate_usedcars(ROWS, seed=SEED)
+    if os.path.exists(OUT):
+        os.remove(OUT)
+    with WorkLogWriter(OUT) as worklog:
+        worklog.session(
+            command="examples/make_session_worklog.py",
+            dataset="usedcars", rows=ROWS, seed=SEED, csv=None,
+        )
+        dbx = DBExplorer(CADViewConfig(seed=SEED), worklog=worklog)
+        dbx.register("data", table)
+        statuses = {}
+        for sql in STATEMENTS:
+            try:
+                dbx.execute(sql)
+                status = "ok"
+            except ReproError as exc:
+                status = type(exc).__name__
+            statuses[status] = statuses.get(status, 0) + 1
+    print(f"wrote {len(STATEMENTS)} statement(s) to {OUT}: {statuses}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,9 @@ Usage (``python -m repro <command> ...``)::
                FROM data WHERE BodyType = SUV LIMIT COLUMNS 5 IUNITS 3"
     python -m repro check --dataset usedcars --rows 1000 \
         --sql "SELECT Price FROM data WHERE Price > 9 AND Price < 5"
-    python -m repro repl --dataset usedcars --rows 20000
+    python -m repro repl --dataset usedcars --rows 20000 \
+        --worklog session.worklog.jsonl
+    python -m repro replay session.worklog.jsonl --budget-ms 200
     python -m repro study --rows 8124
     python -m repro profile --rows 40000
     python -m repro deps --dataset usedcars
@@ -20,6 +22,7 @@ by ``gen-data`` (pass ``--csv`` with ``--dataset`` naming its schema).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -39,7 +42,16 @@ from repro.errors import (
     ConvergenceError,
     ReproError,
 )
-from repro.obs import Tracer, registry, write_chrome_trace, write_metrics
+from repro.obs import (
+    NO_WORKLOG,
+    Tracer,
+    WorkLogWriter,
+    read_worklog,
+    registry,
+    replay,
+    write_chrome_trace,
+    write_metrics,
+)
 from repro.robustness import Budget, FaultInjector
 
 __all__ = [
@@ -62,7 +74,13 @@ def _load_table(args) -> Table:
             usedcars_schema() if args.dataset == "usedcars"
             else mushroom_schema()
         )
-        return Table.from_csv(args.csv, schema)
+        try:
+            return Table.from_csv(args.csv, schema)
+        except OSError as exc:
+            # a bad --csv path is a usage error, not a crash — and the
+            # artifact flush guards only see ReproError
+            raise ReproError(f"cannot read --csv {args.csv!r}: {exc}") \
+                from exc
     rows = args.rows or _DEFAULT_ROWS[args.dataset]
     if args.dataset == "usedcars":
         return generate_usedcars(rows, seed=args.seed)
@@ -109,6 +127,12 @@ def _add_obs_args(parser) -> None:
         "--metrics", default=None, metavar="FILE",
         help="write a metrics-registry snapshot (JSON) to FILE on exit",
     )
+    parser.add_argument(
+        "--worklog", default=None, metavar="FILE",
+        help="append one JSONL record per executed statement to FILE "
+             "(replayable with 'repro replay'; default: the "
+             "REPRO_WORKLOG environment variable)",
+    )
 
 
 def _session_tracer(args) -> Optional[Tracer]:
@@ -118,15 +142,50 @@ def _session_tracer(args) -> Optional[Tracer]:
     return None
 
 
-def _write_obs(args, tracer: Optional[Tracer]) -> None:
-    """Flush ``--trace`` / ``--metrics`` outputs (also on failure)."""
+def _session_worklog(args) -> Optional[WorkLogWriter]:
+    """A workload-log writer when ``--worklog`` asked for one.
+
+    Writes the session header immediately, so even a session that dies
+    before its first statement leaves a well-formed log behind.  When
+    the flag is absent the explorer falls back to ``REPRO_WORKLOG``.
+    """
+    if not getattr(args, "worklog", None):
+        return None
+    writer = WorkLogWriter(args.worklog)
+    writer.session(
+        command=args.command,
+        dataset=getattr(args, "dataset", None),
+        rows=getattr(args, "rows", None),
+        seed=getattr(args, "seed", None),
+        csv=getattr(args, "csv", None),
+    )
+    return writer
+
+
+def _write_obs(
+    args,
+    tracer: Optional[Tracer],
+    worklog: Optional[WorkLogWriter] = None,
+) -> None:
+    """Flush ``--trace`` / ``--metrics`` / ``--worklog`` (also on failure).
+
+    Every command that opens observability outputs calls this from a
+    ``finally`` so artifacts survive *any* abort — including statements
+    the semantic analyzer rejects before the first build span opens.
+    """
     if getattr(args, "trace", None) and tracer is not None:
         write_chrome_trace(tracer.finish(), args.trace)
     if getattr(args, "metrics", None):
         write_metrics(registry(), args.metrics)
+    if worklog is not None:
+        worklog.close()
 
 
-def _explorer(args, tracer: Optional[Tracer] = None) -> DBExplorer:
+def _explorer(
+    args,
+    tracer: Optional[Tracer] = None,
+    worklog: Optional[WorkLogWriter] = None,
+) -> DBExplorer:
     """A DBExplorer configured from the common CLI flags."""
     try:
         budget = None
@@ -146,7 +205,7 @@ def _explorer(args, tracer: Optional[Tracer] = None) -> DBExplorer:
         raise ReproError(str(exc)) from exc
     return DBExplorer(
         CADViewConfig(seed=args.seed), budget=budget, faults=faults,
-        tracer=tracer,
+        tracer=tracer, worklog=worklog,
     )
 
 
@@ -191,13 +250,21 @@ def cmd_gen_data(args) -> int:
 def cmd_cadview(args) -> int:
     """``cadview``: execute one statement against the loaded table."""
     tracer = _session_tracer(args)
-    dbx = _explorer(args, tracer)
-    dbx.register("data", _load_table(args))
+    worklog = _session_worklog(args)
     try:
+        # everything after the outputs open runs inside the flush guard:
+        # a bad fault spec, a CSV that fails to load, or a statement the
+        # analyzer rejects must still leave the artifacts behind
+        dbx = _explorer(args, tracer, worklog)
+        dbx.register("data", _load_table(args))
         _show(dbx.execute(args.sql), args.cell_width)
+    except ReproError as exc:
+        if tracer is not None:
+            tracer.annotate("error", f"{type(exc).__name__}: {exc}")
+        raise
     finally:
         # a failed build still leaves a partial, annotated trace behind
-        _write_obs(args, tracer)
+        _write_obs(args, tracer, worklog)
     return EXIT_OK
 
 
@@ -222,12 +289,13 @@ def cmd_check(args) -> int:
 def cmd_repl(args) -> int:
     """``repl``: interactive statement shell."""
     tracer = _session_tracer(args)
-    dbx = _explorer(args, tracer)
-    table = _load_table(args)
-    dbx.register("data", table)
-    print(f"loaded {len(table)} rows as table 'data'; "
-          f"type statements, or 'quit'")
+    worklog = _session_worklog(args)
     try:
+        dbx = _explorer(args, tracer, worklog)
+        table = _load_table(args)
+        dbx.register("data", table)
+        print(f"loaded {len(table)} rows as table 'data'; "
+              f"type statements, or 'quit'")
         while True:
             try:
                 line = input("dbexplorer> ").strip()
@@ -243,7 +311,67 @@ def cmd_repl(args) -> int:
             except ReproError as exc:
                 print(f"error: {exc}")
     finally:
-        _write_obs(args, tracer)
+        _write_obs(args, tracer, worklog)
+
+
+def cmd_replay(args) -> int:
+    """``replay``: re-execute a captured workload log, report latency.
+
+    The session header of the log supplies the dataset/rows/seed/csv
+    defaults; explicit flags override them, so a 40k-row capture can be
+    replayed against 4k rows or under a tighter ``--budget-ms``.  A
+    ``--budget-ms`` of 0 (or less) means "no budget".
+    """
+    records = read_worklog(args.worklog_file)
+    session = next(
+        (r for r in records if r.get("kind") == "session"), {}
+    )
+    if args.dataset is None:
+        dataset = session.get("dataset")
+        args.dataset = dataset if dataset in ("usedcars", "mushroom") \
+            else "usedcars"
+    if args.rows is None and isinstance(session.get("rows"), int):
+        args.rows = session["rows"]
+    if args.seed is None:
+        seed = session.get("seed")
+        args.seed = seed if isinstance(seed, int) else 7
+    if args.csv is None and isinstance(session.get("csv"), str):
+        args.csv = session["csv"]
+    if args.budget_ms is not None and args.budget_ms <= 0:
+        args.budget_ms = None
+
+    # guard before _session_worklog opens the file: opening in append
+    # mode would stamp a session header onto the log being replayed
+    if getattr(args, "worklog", None) and os.path.abspath(args.worklog) \
+            == os.path.abspath(args.worklog_file):
+        raise ReproError(
+            "refusing to replay a worklog into itself; pass a different "
+            "--worklog path"
+        )
+    tracer = _session_tracer(args)
+    worklog = _session_worklog(args)
+    try:
+        # NO_WORKLOG (not None) when --worklog is absent: a REPRO_WORKLOG
+        # environment variable must not append the replayed statements to
+        # the very log being read
+        dbx = _explorer(
+            args, tracer, worklog if worklog is not None else NO_WORKLOG
+        )
+        dbx.register("data", _load_table(args))
+        report = replay(records, dbx)
+        if args.json:
+            import json
+
+            print(json.dumps(report.as_dict(), indent=2))
+        else:
+            print(report.render())
+    finally:
+        _write_obs(args, tracer, worklog)
+    if report.statements == 0:
+        print("error: no statement records in "
+              f"{args.worklog_file}", file=sys.stderr)
+        return EXIT_USAGE
+    return EXIT_OK
 
 
 def cmd_study(args) -> int:
@@ -277,6 +405,7 @@ def cmd_profile(args) -> int:
         generated_l=args.generated, seed=args.seed,
     )
     tracer = _session_tracer(args)
+    worklog = _session_worklog(args)
     try:
         for name, config in (
             ("naive", base),
@@ -285,7 +414,7 @@ def cmd_profile(args) -> int:
             cad = CADViewBuilder(config).build(table, pivot, tracer=tracer)
             print(f"{name:>10}: {cad.profile}")
     finally:
-        _write_obs(args, tracer)
+        _write_obs(args, tracer, worklog)
     return EXIT_OK
 
 
@@ -344,6 +473,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(p)
     p.add_argument("--cell-width", type=int, default=26)
     p.set_defaults(func=cmd_repl)
+
+    p = sub.add_parser(
+        "replay", help="re-execute a captured workload log"
+    )
+    p.add_argument("worklog_file",
+                   help="workload log (JSONL) captured with --worklog")
+    p.add_argument("--dataset", choices=("usedcars", "mushroom"),
+                   default=None,
+                   help="override the dataset recorded in the log")
+    p.add_argument("--rows", type=int, default=None,
+                   help="override the row count recorded in the log")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the RNG seed recorded in the log")
+    p.add_argument("--csv", default=None,
+                   help="load this CSV instead of generating")
+    _add_budget_args(p)
+    _add_obs_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="print the replay report as JSON")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("study", help="run the simulated user study")
     p.add_argument("--rows", type=int, default=None)

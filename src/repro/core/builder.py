@@ -102,6 +102,18 @@ class CADViewBuilder:
 
     # -- public API -------------------------------------------------------
 
+    def _default_faults(self) -> FaultInjector:
+        """The injector for builds that were not handed one explicitly.
+
+        Falls back to the ``REPRO_FAULTS`` environment variable — the
+        same switch :class:`~repro.core.explorer.DBExplorer` honors —
+        so direct-builder workloads (the benches) can have latency or
+        failure faults injected without code changes.
+        """
+        if self.faults is not None:
+            return self.faults
+        return FaultInjector.from_env() or NO_FAULTS
+
     def build(
         self,
         result: Table,
@@ -146,7 +158,7 @@ class CADViewBuilder:
         """
         config = self.config
         budget = budget if budget is not None else self.budget
-        faults = faults if faults is not None else (self.faults or NO_FAULTS)
+        faults = faults if faults is not None else self._default_faults()
         clock = (budget or Budget()).begin()
         profile = BuildProfile()
         own_tracer = tracer is None
@@ -261,7 +273,7 @@ class CADViewBuilder:
         """
         config = self.config
         budget = budget if budget is not None else self.budget
-        faults = faults if faults is not None else (self.faults or NO_FAULTS)
+        faults = faults if faults is not None else self._default_faults()
         clock = (budget or Budget()).begin()
         profile = BuildProfile()
         own_tracer = tracer is None

@@ -17,6 +17,7 @@ in-view search statements against the named-view registry.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -25,9 +26,21 @@ from repro.core.builder import CADViewBuilder
 from repro.core.cadview import CADView, CADViewConfig, IUnitRef
 from repro.core.render import render_cadview
 from repro.dataset.table import Table
-from repro.errors import AnalysisError, CADViewError, QueryError
+from repro.errors import (
+    AnalysisError,
+    BudgetExceededError,
+    CADViewError,
+    ConvergenceError,
+    ParseError,
+    QueryError,
+)
 from repro.obs.export import render_trace
 from repro.obs.tracer import Tracer
+from repro.obs.worklog import (
+    NO_WORKLOG,
+    WorkLogWriter,
+    statement_kind,
+)
 from repro.robustness import Budget, BuildReport, FaultInjector
 from repro.iunits.iunit import IUnit
 from repro.query.ast import (
@@ -70,6 +83,7 @@ class DBExplorer:
         faults: Optional[FaultInjector] = None,
         tracer: Optional[Tracer] = None,
         analyzer_limits: Optional[AnalyzerLimits] = None,
+        worklog: Optional[WorkLogWriter] = None,
     ):
         self.engine = QueryEngine()
         self.config = config
@@ -81,6 +95,11 @@ class DBExplorer:
         self.analyzer_limits = (
             analyzer_limits if analyzer_limits is not None
             else AnalyzerLimits()
+        )
+        # like faults: the REPRO_WORKLOG env var enables capture without
+        # code changes; an explicit writer (or NO_WORKLOG) overrides it
+        self.worklog = worklog if worklog is not None else (
+            WorkLogWriter.from_env() or NO_WORKLOG
         )
         self._views: Dict[str, CADView] = {}
         self._last_analysis: Optional[AnalysisReport] = None
@@ -119,8 +138,28 @@ class DBExplorer:
         (and, for CADVIEW builds, attached to the build report and the
         trace).  Plain ``EXPLAIN`` is exempt — describing a plan is safe
         and useful even for a statement the analyzer would reject.
+
+        When a workload log is attached (the ``worklog`` constructor
+        argument or ``REPRO_WORKLOG``), every call appends one record —
+        including statements rejected by the parser or the analyzer, so
+        a replayed session fails exactly where the original did.
         """
-        stmt = parse(sql)
+        start = time.perf_counter()
+        report_before = self._last_report
+        stmt = None
+        try:
+            stmt = parse(sql)
+            result = self._execute(stmt, sql)
+        except BaseException as exc:
+            self._log_statement(
+                sql, stmt, start, report_before, error=exc
+            )
+            raise
+        self._log_statement(sql, stmt, start, report_before, result=result)
+        return result
+
+    def _execute(self, stmt: Statement, sql: str) -> ExecuteResult:
+        """The analyzer gate and dispatch behind :meth:`execute`."""
         self._last_analysis = None
         plain_explain = (
             isinstance(stmt, ExplainStatement)
@@ -134,6 +173,63 @@ class DBExplorer:
             if isinstance(stmt, ExplainStatement) and stmt.check:
                 return report.render()
         return self._dispatch(stmt)
+
+    # -- workload logging ---------------------------------------------------
+
+    def _log_statement(
+        self,
+        sql: str,
+        stmt: Optional[Statement],
+        start_s: float,
+        report_before: Optional[BuildReport],
+        result: Optional[ExecuteResult] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Append one statement record to the attached workload log."""
+        if not self.worklog.enabled:
+            return
+        elapsed_ms = (time.perf_counter() - start_s) * 1e3
+        # only a build that ran during THIS statement contributes its
+        # phase timings/degradations (identity check: every build makes
+        # a fresh BuildReport)
+        report = self._last_report
+        if report is report_before:
+            report = None
+        phases_ms = rows_in = pivot = None
+        degradations: List[str] = []
+        if report is not None:
+            if report.profile is not None:
+                phases_ms = {
+                    "compare_attrs": report.profile.compare_attrs_s * 1e3,
+                    "iunits": report.profile.iunits_s * 1e3,
+                    "others": report.profile.others_s * 1e3,
+                }
+            degradations = [str(d) for d in report.degradations]
+            if report.trace is not None:
+                rows = report.trace.attrs.get("rows_in")
+                rows_in = int(rows) if rows is not None else None
+        if isinstance(stmt, CreateCadViewStatement):
+            pivot = stmt.pivot
+        warnings = (
+            [str(d) for d in self._last_analysis.warnings]
+            if self._last_analysis is not None else []
+        )
+        self.worklog.statement(
+            sql,
+            statement_kind(stmt),
+            _statement_status(error),
+            elapsed_ms,
+            rows_in=rows_in,
+            rows_out=_result_rows(result),
+            pivot=pivot,
+            phases_ms=phases_ms,
+            degradations=degradations,
+            analysis_warnings=warnings,
+            error=(
+                f"{type(error).__name__}: {error}"
+                if error is not None else None
+            ),
+        )
 
     def analyze(
         self, stmt_or_sql: Union[str, Statement], text: str = ""
@@ -335,6 +431,38 @@ class DBExplorer:
                 lines.append(f"  limit: {stmt.limit}")
             return lines
         return [f"execute: {type(stmt).__name__}"]
+
+
+def _statement_status(error: Optional[BaseException]) -> str:
+    """Map an execute() outcome onto the worklog status vocabulary.
+
+    The buckets mirror the CLI exit-code contract (0 ok / 1 usage /
+    2 build failed / 3 budget exhausted) with the two pre-execution
+    rejections split out, so a replayed log can be compared rung by
+    rung.
+    """
+    if error is None:
+        return "ok"
+    if isinstance(error, BudgetExceededError):
+        return "budget_exhausted"
+    if isinstance(error, AnalysisError):
+        return "analysis_error"
+    if isinstance(error, ParseError):
+        return "parse_error"
+    if isinstance(error, (CADViewError, ConvergenceError)):
+        return "build_failed"
+    return "error"
+
+
+def _result_rows(result: Optional[ExecuteResult]) -> Optional[int]:
+    """The result-set size of one statement, when it has one."""
+    if isinstance(result, Table):
+        return len(result)
+    if isinstance(result, CADView):
+        return len(result.pivot_values)
+    if isinstance(result, list):
+        return len(result)
+    return None
 
 
 def _sort_iunits(cad: CADView, keys: Tuple[OrderKey, ...]) -> CADView:

@@ -6,6 +6,11 @@ backs ``EXPLAIN ANALYZE``, the CLI's ``--trace`` Chrome-trace output,
 and the legacy three-bucket :class:`~repro.core.profile.BuildProfile`.
 Process-wide counters/gauges/histograms live in the default
 :func:`registry` and are dumped by ``--metrics``.
+
+The cross-run half: :mod:`repro.obs.worklog` captures every executed
+statement as a JSONL workload log (``--worklog`` / ``REPRO_WORKLOG``)
+and :mod:`repro.obs.replay` re-executes a captured log and reports the
+latency distribution per statement kind (``repro replay``).
 """
 
 from repro.obs.export import (
@@ -23,7 +28,17 @@ from repro.obs.metrics import (
     registry,
     set_registry,
 )
+from repro.obs.replay import ReplayReport, replay
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
+from repro.obs.worklog import (
+    NO_WORKLOG,
+    NullWorkLogWriter,
+    WORKLOG_VERSION,
+    WorkLogWriter,
+    iter_worklog,
+    read_worklog,
+    statement_kind,
+)
 
 __all__ = [
     "Tracer", "NullTracer", "NULL_TRACER", "Span", "SpanEvent",
@@ -31,4 +46,7 @@ __all__ = [
     "LATENCY_BUCKETS_S", "registry", "set_registry",
     "render_trace", "to_chrome_trace", "write_chrome_trace",
     "write_metrics",
+    "WorkLogWriter", "NullWorkLogWriter", "NO_WORKLOG",
+    "WORKLOG_VERSION", "iter_worklog", "read_worklog", "statement_kind",
+    "ReplayReport", "replay",
 ]

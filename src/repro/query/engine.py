@@ -6,6 +6,7 @@ named CAD Views (the ``CREATE CADVIEW name`` namespace).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -97,6 +98,7 @@ class QueryEngine:
 
         ``columns=None`` means ``*``; ``predicate=None`` means no WHERE.
         """
+        start = time.perf_counter()
         predicate = predicate or TruePred()
         result = table.filter(predicate.mask(table))
         if columns is not None:
@@ -107,17 +109,25 @@ class QueryEngine:
         reg.counter("query.select.calls").inc()
         reg.counter("query.rows_scanned").inc(len(table))
         reg.counter("query.rows_returned").inc(len(result))
+        reg.histogram("query.select.latency_s").observe(
+            time.perf_counter() - start
+        )
         return result
 
     @staticmethod
     def count(table: Table, predicate: Optional[Predicate] = None) -> int:
         """Number of rows matching ``predicate`` (no materialization)."""
+        start = time.perf_counter()
         reg = registry()
         reg.counter("query.count.calls").inc()
         reg.counter("query.rows_scanned").inc(len(table))
         if predicate is None or isinstance(predicate, TruePred):
             return len(table)
-        return int(np.count_nonzero(predicate.mask(table)))
+        n = int(np.count_nonzero(predicate.mask(table)))
+        reg.histogram("query.count.latency_s").observe(
+            time.perf_counter() - start
+        )
+        return n
 
     @staticmethod
     def group_count(
@@ -130,12 +140,17 @@ class QueryEngine:
         This is the primitive behind faceted digests: one call per
         attribute gives the whole facet panel.
         """
+        start = time.perf_counter()
         reg = registry()
         reg.counter("query.group_count.calls").inc()
         reg.counter("query.rows_scanned").inc(len(table))
         if predicate is not None and not isinstance(predicate, TruePred):
             table = table.filter(predicate.mask(table))
-        return table.value_counts(by)
+        counts = table.value_counts(by)
+        reg.histogram("query.group_count.latency_s").observe(
+            time.perf_counter() - start
+        )
+        return counts
 
     @staticmethod
     def order_by(

@@ -195,6 +195,134 @@ class TestObservabilityFlags:
         checker = _load_check_trace()
         assert checker.main(["--trace", str(bad)]) == 1
 
+    def test_worklog_written_through_cli(self, tmp_path, capsys):
+        worklog = tmp_path / "w.jsonl"
+        rc = main([
+            "cadview", "--rows", "2000",
+            "--sql",
+            "CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM data "
+            "WHERE BodyType = SUV IUNITS 2",
+            "--worklog", str(worklog),
+        ])
+        assert rc == EXIT_OK
+        checker = _load_check_trace()
+        assert checker.validate_worklog(str(worklog)) == []
+        lines = [
+            json.loads(line)
+            for line in worklog.read_text().splitlines()
+        ]
+        assert lines[0]["kind"] == "session"
+        assert lines[0]["command"] == "cadview"
+        assert lines[1]["statement_kind"] == "create_cadview"
+        assert lines[1]["status"] == "ok"
+
+    def test_artifacts_survive_analysis_gate_abort(self, tmp_path, capsys):
+        """The analyzer rejecting a statement must not lose artifacts.
+
+        A pre-execution AnalysisError aborts before any build span
+        opens; the trace, metrics snapshot and worklog must be written
+        anyway (with the failure recorded), and the exit code stays 1.
+        """
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        worklog = tmp_path / "w.jsonl"
+        rc = main([
+            "cadview", "--rows", "300",
+            # contradictory range: rejected by the gate, never executed
+            "--sql", "SELECT Price FROM data "
+                     "WHERE Price > 9000 AND Price < 5000",
+            "--trace", str(trace), "--metrics", str(metrics),
+            "--worklog", str(worklog),
+        ])
+        assert rc == EXIT_USAGE
+        assert "error" in capsys.readouterr().err
+        checker = _load_check_trace()
+        assert checker.validate_trace(str(trace)) == []
+        assert checker.validate_metrics(str(metrics)) == []
+        assert checker.validate_worklog(str(worklog)) == []
+        # the worklog names the failure
+        record = [
+            json.loads(line)
+            for line in worklog.read_text().splitlines()
+        ][-1]
+        assert record["status"] == "analysis_error"
+        assert "QA" in record["error"]
+        # the session span carries the error annotation
+        events = json.loads(trace.read_text())["traceEvents"]
+        notes = [e for e in events if e.get("cat") == "error"]
+        assert notes and "AnalysisError" in str(notes[0])
+
+    def test_worklog_written_when_table_load_fails(self, tmp_path, capsys):
+        worklog = tmp_path / "w.jsonl"
+        rc = main([
+            "cadview", "--csv", str(tmp_path / "missing.csv"),
+            "--sql", "SELECT Make FROM data LIMIT 1",
+            "--worklog", str(worklog),
+        ])
+        assert rc == EXIT_USAGE
+        # no statement ever ran, but the session header is on disk
+        lines = [
+            json.loads(line)
+            for line in worklog.read_text().splitlines()
+        ]
+        assert [r["kind"] for r in lines] == ["session"]
+
+
+class TestReplayCommand:
+    SESSION = str(
+        Path(__file__).parent.parent
+        / "examples" / "session_nba.worklog.jsonl"
+    )
+
+    def test_replay_canned_session_prints_percentiles(self, capsys):
+        rc = main([
+            "replay", self.SESSION, "--budget-ms", "0", "--rows", "2000",
+        ])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "create_cadview" in out
+        assert "analysis_error=1" in out
+
+    def test_replay_json_report(self, capsys):
+        rc = main([
+            "replay", self.SESSION, "--rows", "2000", "--json",
+        ])
+        assert rc == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["statements"] == 17
+        assert report["statuses"]["analysis_error"] == 1
+        assert "create_cadview" in report["by_kind"]
+
+    def test_replay_under_budget_degrades_not_dies(self, capsys):
+        rc = main([
+            "replay", self.SESSION, "--rows", "2000",
+            "--budget-ms", "1",
+        ])
+        # statement failures are measured, not raised: still exit 0
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "budget_exhausted" in out or "degradations:" in out
+
+    def test_replay_refuses_self_capture(self, tmp_path, capsys):
+        rc = main([
+            "replay", self.SESSION, "--rows", "2000",
+            "--worklog", self.SESSION,
+        ])
+        assert rc == EXIT_USAGE
+        assert "into itself" in capsys.readouterr().err
+
+    def test_replay_without_statements_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text(json.dumps(
+            {"kind": "session", "dataset": "usedcars", "rows": 100}
+        ) + "\n")
+        rc = main(["replay", str(empty)])
+        assert rc == EXIT_USAGE
+        assert "no statement records" in capsys.readouterr().err
+
 
 class TestShowVariants:
     def test_describe_through_cli(self, capsys):

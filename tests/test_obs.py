@@ -255,6 +255,106 @@ class TestMetrics:
         assert reg.counter("shared").value == total
         assert reg.histogram("lat").count == total
 
+    def test_snapshot_merge_under_concurrent_writers(self):
+        """Merging while writers hammer the source must stay consistent.
+
+        Snapshots taken mid-flight may be stale but never torn: every
+        merged histogram must satisfy count == sum(bucket counts), and
+        the final merge (after joining) must account for every single
+        observation.
+        """
+        src = MetricsRegistry()
+        dst = MetricsRegistry()
+        n_threads, per_thread = 4, 1000
+        stop = threading.Event()
+
+        def write():
+            hist = src.histogram("lat", (0.001, 0.01, 0.1))
+            counter = src.counter("ops")
+            for i in range(per_thread):
+                hist.observe(0.005 if i % 2 else 0.05)
+                counter.inc()
+
+        def merge_repeatedly():
+            while not stop.is_set():
+                probe = MetricsRegistry()
+                probe.merge(src.snapshot())
+                snap = probe.snapshot()
+                for dump in snap["histograms"].values():
+                    assert sum(dump["counts"]) == dump["count"]
+
+        writers = [
+            threading.Thread(target=write) for _ in range(n_threads)
+        ]
+        merger = threading.Thread(target=merge_repeatedly)
+        merger.start()
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        merger.join()
+        dst.merge(src.snapshot())
+        total = n_threads * per_thread
+        assert dst.counter("ops").value == total
+        assert dst.histogram("lat").count == total
+        assert sum(dst.histogram("lat").counts) == total
+
+    def test_percentiles_stable_under_concurrent_writers(self):
+        """Quantiles computed after a concurrent load match serial math.
+
+        All observations land in known buckets, so the bucket-bound
+        quantile is exactly predictable: 60% of samples at 5ms and 40%
+        at 50ms over bounds (1ms, 10ms, 100ms) put p50 at 10ms and p95
+        at 100ms regardless of write interleaving.
+        """
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 500
+
+        def work(tid):
+            hist = reg.histogram("lat", (0.001, 0.01, 0.1))
+            for i in range(per_thread):
+                hist.observe(0.005 if i % 5 < 3 else 0.05)
+
+        threads = [
+            threading.Thread(target=work, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        hist = reg.histogram("lat")
+        assert hist.count == n_threads * per_thread
+        assert hist.quantile(0.5) == 0.01
+        assert hist.quantile(0.95) == 0.1
+        # the mean is exact: sums are locked, not sampled
+        expected_mean = 0.6 * 0.005 + 0.4 * 0.05
+        assert hist.mean == pytest.approx(expected_mean)
+
+    def test_quantile_edges_and_merge_equivalence(self):
+        """quantile() edge cases + merge == serially observed histogram."""
+        empty = Histogram(bounds=(1.0, 2.0))
+        assert empty.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            empty.quantile(1.5)
+
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        serial = Histogram(bounds=(1.0, 2.0, 5.0))
+        for i, v in enumerate((0.5, 1.5, 3.0, 7.0, 1.2, 4.0)):
+            (a if i % 2 else b).histogram(
+                "h", (1.0, 2.0, 5.0)
+            ).observe(v)
+            serial.observe(v)
+        merged = MetricsRegistry()
+        merged.merge(a.snapshot())
+        merged.merge(b.snapshot())
+        h = merged.histogram("h")
+        assert h.counts == serial.counts
+        for q in (0.1, 0.5, 0.9, 1.0):
+            assert h.quantile(q) == serial.quantile(q)
+
     def test_clear_forgets_everything(self):
         reg = MetricsRegistry()
         reg.counter("c").inc()

@@ -1,0 +1,166 @@
+"""Unit tests for the benchmark regression gate (benchmarks/regress.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+
+def _load_regress():
+    """Import benchmarks/regress.py (not an installed package)."""
+    path = Path(__file__).parent.parent / "benchmarks" / "regress.py"
+    spec = importlib.util.spec_from_file_location("regress", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def regress():
+    return _load_regress()
+
+
+class TestLatencyLeaves:
+    def test_collects_nested_ms_scalars(self, regress):
+        payload = {
+            "total_ms": 10.0,
+            "n_states": 5,                       # not *_ms: ignored
+            "phase_totals_ms": {"iunits": 1.0},  # dict, not scalar leaf
+            "by_kind": {"select": {"p50_ms": 2.0}},
+            "series": [{"total_ms": 3.0}, {"total_ms": 4.0}],
+            "latencies_ms": [1.0, 2.0, 3.0],     # raw samples: ignored
+        }
+        leaves = dict(
+            (path, value)
+            for path, _key, value in regress.latency_leaves(payload)
+        )
+        assert leaves == {
+            "total_ms": 10.0,
+            "by_kind.select.p50_ms": 2.0,
+            "series[0].total_ms": 3.0,
+            "series[1].total_ms": 4.0,
+        }
+
+    def test_bools_are_not_latencies(self, regress):
+        assert list(regress.latency_leaves({"flag_ms": True})) == []
+
+    def test_quantized_key_detection(self, regress):
+        assert regress.is_quantized_key("p50_ms")
+        assert regress.is_quantized_key("p99_ms")
+        assert not regress.is_quantized_key("total_ms")
+        assert not regress.is_quantized_key("mean_ms")
+
+
+class TestComparePayloads:
+    def test_within_threshold_is_ok(self, regress):
+        records = regress.compare_payloads(
+            {"total_ms": 100.0}, {"total_ms": 160.0},
+        )
+        assert [r["status"] for r in records] == ["ok"]
+
+    def test_regression_past_threshold(self, regress):
+        # 100 * 1.75 + 25 = 200; 201 regresses
+        records = regress.compare_payloads(
+            {"total_ms": 100.0}, {"total_ms": 201.0},
+        )
+        assert [r["status"] for r in records] == ["regression"]
+
+    def test_quantized_leaf_gets_looser_threshold(self, regress):
+        # a one-bucket flip (2.5x) passes for p50_ms but would fail for
+        # a continuous leaf of the same magnitude
+        quantized = regress.compare_payloads(
+            {"p50_ms": 100.0}, {"p50_ms": 250.0},
+        )
+        assert [r["status"] for r in quantized] == ["ok"]
+        continuous = regress.compare_payloads(
+            {"mean_ms": 100.0}, {"mean_ms": 250.0},
+        )
+        assert [r["status"] for r in continuous] == ["regression"]
+
+    def test_abs_slack_forgives_tiny_phases(self, regress):
+        # 0.2ms -> 20ms is a 100x blowup but under the 25ms noise floor
+        records = regress.compare_payloads(
+            {"others_ms": 0.2}, {"others_ms": 20.0},
+        )
+        assert [r["status"] for r in records] == ["ok"]
+
+    def test_improvement_reported_not_failed(self, regress):
+        records = regress.compare_payloads(
+            {"total_ms": 500.0}, {"total_ms": 100.0},
+        )
+        assert [r["status"] for r in records] == ["improvement"]
+
+    def test_missing_leaf_reported(self, regress):
+        records = regress.compare_payloads(
+            {"total_ms": 100.0}, {"other_ms": 100.0},
+        )
+        by_status = {r["status"] for r in records}
+        assert by_status == {"missing"}
+
+
+class TestCompareDirs:
+    def _write(self, directory, name, payload):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+    def test_ok_verdict(self, regress, tmp_path):
+        self._write(tmp_path / "base", "x", {"total_ms": 100.0})
+        self._write(tmp_path / "cur", "x", {"total_ms": 110.0})
+        verdict = regress.compare_dirs(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert verdict["verdict"] == "ok"
+        assert verdict["counts"]["ok"] == 1
+
+    def test_regression_verdict(self, regress, tmp_path):
+        self._write(tmp_path / "base", "x", {"total_ms": 100.0})
+        self._write(tmp_path / "cur", "x", {"total_ms": 9_000.0})
+        verdict = regress.compare_dirs(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert verdict["verdict"] == "regression"
+
+    def test_missing_bench_file_is_error(self, regress, tmp_path):
+        self._write(tmp_path / "base", "x", {"total_ms": 100.0})
+        (tmp_path / "cur").mkdir()
+        verdict = regress.compare_dirs(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert verdict["verdict"] == "error"
+        assert verdict["problems"]
+
+    def test_main_exit_codes_and_verdict_file(self, regress, tmp_path):
+        self._write(tmp_path / "base", "x", {"total_ms": 100.0})
+        self._write(tmp_path / "cur", "x", {"total_ms": 110.0})
+        out = tmp_path / "verdict.json"
+        rc = regress.main([
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+            "--out", str(out),
+        ])
+        assert rc == 0
+        assert json.loads(out.read_text())["verdict"] == "ok"
+
+        self._write(tmp_path / "cur", "x", {"total_ms": 9_000.0})
+        assert regress.main([
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]) == 1
+        assert regress.main([
+            "--baseline", str(tmp_path / "nope"),
+            "--current", str(tmp_path / "cur"),
+        ]) == 2
+
+    def test_committed_baselines_have_leaves(self, regress):
+        baselines = Path(__file__).parent.parent \
+            / "benchmarks" / "baselines"
+        names = sorted(p.name for p in baselines.glob("BENCH_*.json"))
+        assert names == [
+            "BENCH_fig8_worst_case.json",
+            "BENCH_session_replay.json",
+            "BENCH_workload_latency.json",
+        ]
+        for name in names:
+            payload = json.loads((baselines / name).read_text())
+            assert list(regress.latency_leaves(payload)), name

@@ -249,6 +249,90 @@ class TestRL005DanglingSpan:
         assert findings == []
 
 
+OBS = "src/repro/obs/sample.py"
+
+
+class TestRL006WorklogLockDiscipline:
+    def test_flags_unlocked_fh_call(self):
+        findings, _ = lint_source("""
+            class Writer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._fh = open("log", "a")
+
+                def log(self, line):
+                    self._fh.write(line)
+                    self._fh.flush()
+        """, path=OBS, select={"RL006"})
+        assert [f.rule for f in findings] == ["RL006", "RL006"]
+        assert "write" in findings[0].message
+
+    def test_locked_fh_call_passes(self):
+        findings, _ = lint_source("""
+            class Writer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._fh = open("log", "a")
+
+                def log(self, line):
+                    with self._lock:
+                        if self._fh.tell() > 100:
+                            self._rotate()
+                        self._fh.write(line)
+                        self._fh.flush()
+        """, path=OBS, select={"RL006"})
+        assert findings == []
+
+    def test_init_is_exempt(self):
+        findings, _ = lint_source("""
+            class Writer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._fh = open("log", "a")
+                    self._fh.write("header")
+        """, path=OBS, select={"RL006"})
+        assert findings == []
+
+    def test_classes_without_fh_are_out_of_scope(self):
+        findings, _ = lint_source("""
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._value = 0
+
+                def items(self):
+                    return self._snapshots.items()
+        """, path=OBS, select={"RL006"})
+        assert findings == []
+
+    def test_outside_obs_is_out_of_scope(self):
+        findings, _ = lint_source("""
+            class Writer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._fh = open("log", "a")
+
+                def log(self, line):
+                    self._fh.write(line)
+        """, path="src/repro/core/sample.py", select={"RL006"})
+        assert findings == []
+
+    def test_helper_with_justified_suppression(self):
+        findings, suppressed = lint_source("""
+            class Writer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._fh = open("log", "a")
+
+                def _rotate(self):
+                    # lock held by the caller
+                    # repro-lint: ignore[RL006]
+                    self._fh.close()
+        """, path=OBS, select={"RL006"})
+        assert findings == []
+        assert suppressed == 1
+
+
 class TestSuppression:
     SOURCE = """
         import random

@@ -8,6 +8,7 @@ RL002  loops in hot modules cooperate with the budget via checkpoint()
 RL003  ``self._x`` mutation in ``repro/obs/`` happens under ``self._lock``
 RL004  blanket ``except Exception`` must re-raise or record the fault
 RL005  tracer spans are opened with ``with`` (never left dangling)
+RL006  worklog file-handle I/O happens under the writer's ``self._lock``
 ====== ==================================================================
 
 Every rule explains *why* in its docstring; suppress a justified
@@ -29,6 +30,7 @@ __all__ = [
     "UnlockedObsMutation",
     "SwallowedException",
     "DanglingTracerSpan",
+    "UnlockedWorklogWrite",
 ]
 
 # Reporting records that an isolated failure was handled, not swallowed.
@@ -315,6 +317,78 @@ class SwallowedException(Rule):
                     _call_name(sub) in _FAULT_REPORT_CALLS:
                 return True
         return False
+
+
+@register
+class UnlockedWorklogWrite(Rule):
+    """RL006: worklog file I/O stays under the writer's lock.
+
+    RL003 guards *assignments* to private obs state; the workload-log
+    writer's hazard is different — method calls on the shared file
+    handle (``self._fh.write/flush/tell/close``).  Two threads logging
+    through one writer must never interleave mid-line, and a write
+    racing a rotation can land in a just-closed handle.  So in
+    ``repro/obs/`` classes that own both a ``self._lock`` and a
+    ``self._fh``, every call on ``self._fh`` must sit lexically inside
+    ``with self._lock:``.  ``__init__`` is exempt (the handle is not
+    shared yet); a helper invoked with the lock already held documents
+    that with an ``ignore[RL006]`` suppression.
+    """
+
+    code = "RL006"
+    description = "worklog file-handle call outside `with self._lock`"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if "obs" not in Path(module.path).parts or module.is_test:
+            return
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not self._owns(cls, "_lock") or not self._owns(cls, "_fh"):
+                continue
+            for method in cls.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name == "__init__":
+                    continue
+                yield from self._check_body(module, method, locked=False)
+
+    @staticmethod
+    def _owns(cls: ast.ClassDef, attr: str) -> bool:
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Attribute) and node.attr == attr:
+                return True
+        return False
+
+    def _check_body(
+        self, module: ModuleInfo, node: ast.AST, locked: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            inside = locked
+            if isinstance(child, ast.With) and _uses_lock(child):
+                inside = True
+            if not inside and isinstance(child, ast.Call):
+                func = child.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Attribute)
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id == "self"
+                    and func.value.attr == "_fh"
+                ):
+                    yield self.finding(
+                        module, child,
+                        f"self._fh.{func.attr}() outside "
+                        f"`with self._lock:`",
+                    )
+            if not isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.Lambda),
+            ):
+                yield from self._check_body(module, child, inside)
 
 
 @register
