@@ -115,7 +115,7 @@ def validate_metrics(path: str) -> List[str]:
 WORKLOG_VERSION = 1
 WORKLOG_STATUSES = (
     "ok", "analysis_error", "parse_error", "build_failed",
-    "budget_exhausted", "error",
+    "budget_exhausted", "cancelled", "rejected", "error",
 )
 # phases are measured by perf_counter spans inside the statement's own
 # perf_counter window; 5% + 1ms absorbs float rounding on tiny builds

@@ -75,7 +75,13 @@ def _load_table(args) -> Table:
             else mushroom_schema()
         )
         try:
-            return Table.from_csv(args.csv, schema)
+            table = Table.from_csv(
+                args.csv, schema,
+                max_bad_rows=getattr(args, "max_bad_rows", 0),
+            )
+            for err in table.quarantined:
+                print(f"warning: skipped bad row: {err}", file=sys.stderr)
+            return table
         except OSError as exc:
             # a bad --csv path is a usage error, not a crash — and the
             # artifact flush guards only see ReproError
@@ -98,6 +104,11 @@ def _add_data_args(parser, default_dataset="usedcars") -> None:
     parser.add_argument("--seed", type=int, default=7, help="RNG seed")
     parser.add_argument("--csv", default=None,
                         help="load this CSV instead of generating")
+    parser.add_argument(
+        "--max-bad-rows", type=int, default=0, metavar="N",
+        help="quarantine (skip, with a warning) up to N malformed CSV "
+             "rows instead of failing on the first one",
+    )
 
 
 def _add_budget_args(parser) -> None:
@@ -314,15 +325,8 @@ def cmd_repl(args) -> int:
         _write_obs(args, tracer, worklog)
 
 
-def cmd_replay(args) -> int:
-    """``replay``: re-execute a captured workload log, report latency.
-
-    The session header of the log supplies the dataset/rows/seed/csv
-    defaults; explicit flags override them, so a 40k-row capture can be
-    replayed against 4k rows or under a tighter ``--budget-ms``.  A
-    ``--budget-ms`` of 0 (or less) means "no budget".
-    """
-    records = read_worklog(args.worklog_file)
+def _replay_defaults_from_header(args, records) -> None:
+    """Fill dataset/rows/seed/csv flags from the log's session header."""
     session = next(
         (r for r in records if r.get("kind") == "session"), {}
     )
@@ -340,6 +344,8 @@ def cmd_replay(args) -> int:
     if args.budget_ms is not None and args.budget_ms <= 0:
         args.budget_ms = None
 
+
+def _guard_self_replay(args) -> None:
     # guard before _session_worklog opens the file: opening in append
     # mode would stamp a session header onto the log being replayed
     if getattr(args, "worklog", None) and os.path.abspath(args.worklog) \
@@ -348,6 +354,28 @@ def cmd_replay(args) -> int:
             "refusing to replay a worklog into itself; pass a different "
             "--worklog path"
         )
+
+
+def cmd_replay(args) -> int:
+    """``replay``: re-execute a captured workload log, report latency.
+
+    The session header of the log supplies the dataset/rows/seed/csv
+    defaults; explicit flags override them, so a 40k-row capture can be
+    replayed against 4k rows or under a tighter ``--budget-ms``.  A
+    ``--budget-ms`` of 0 (or less) means "no budget".
+
+    ``--concurrency N`` switches to the dependency-aware concurrent
+    harness (:mod:`repro.serve.stress`) — even ``--concurrency 1`` uses
+    it, so serial and parallel replays share one code path and their
+    per-statement digests are comparable.  ``--verify-sequential`` then
+    replays once more at concurrency 1 against a fresh table and fails
+    (exit 2) on any digest mismatch: the zero-wrong-answers gate.
+    """
+    records = read_worklog(args.worklog_file)
+    _replay_defaults_from_header(args, records)
+    _guard_self_replay(args)
+    if args.concurrency is not None:
+        return _replay_concurrent_cmd(args, records)
     tracer = _session_tracer(args)
     worklog = _session_worklog(args)
     try:
@@ -371,6 +399,129 @@ def cmd_replay(args) -> int:
         print("error: no statement records in "
               f"{args.worklog_file}", file=sys.stderr)
         return EXIT_USAGE
+    return EXIT_OK
+
+
+def _fresh_replay_explorer(args, tracer=None, worklog=None):
+    """A configured explorer with the replay table freshly loaded."""
+    dbx = _explorer(
+        args, tracer, worklog if worklog is not None else NO_WORKLOG
+    )
+    dbx.register("data", _load_table(args))
+    return dbx
+
+
+def _replay_concurrent_cmd(args, records) -> int:
+    """The ``replay --concurrency N`` path: the DAG-scheduled harness."""
+    from repro.serve import replay_concurrent
+
+    if args.concurrency < 1:
+        raise ReproError(
+            f"--concurrency must be >= 1, got {args.concurrency}"
+        )
+    tracer = _session_tracer(args)
+    worklog = _session_worklog(args)
+    try:
+        dbx = _fresh_replay_explorer(args, tracer, worklog)
+        report = replay_concurrent(
+            records, dbx, concurrency=args.concurrency
+        )
+        if args.verify_sequential:
+            baseline = replay_concurrent(
+                records, _fresh_replay_explorer(args), concurrency=1
+            )
+            mismatches = baseline.mismatches(report)
+            if mismatches:
+                for index, seq, conc in mismatches:
+                    print(
+                        f"wrong answer at statement #{index}: "
+                        f"sequential={seq} concurrent={conc}",
+                        file=sys.stderr,
+                    )
+                return EXIT_BUILD_FAILED
+            print(f"verified: {len(report.results)} statement(s) "
+                  f"byte-identical to the sequential replay")
+        if args.json:
+            import json
+
+            print(json.dumps(report.as_dict(), indent=2))
+        else:
+            print(report.render())
+    finally:
+        _write_obs(args, tracer, worklog)
+    if not report.results:
+        print("error: no statement records in "
+              f"{args.worklog_file}", file=sys.stderr)
+        return EXIT_USAGE
+    return EXIT_OK
+
+
+def cmd_serve(args) -> int:
+    """``serve --stress``: hammer the serving core with a workload log.
+
+    Replays the log through the :class:`~repro.serve.SessionExecutor`
+    with admission control, the deadline watchdog and the per-dataset
+    circuit breakers all enabled — the opposite of the deterministic
+    ``replay --concurrency`` configuration.  Prints per-statement
+    outcomes, breaker states and executor load, and fails (exit 2) if
+    any statement ends without a terminal outcome (a silent drop).
+    """
+    from repro.robustness import Budget
+    from repro.serve import BreakerConfig, ServeConfig, replay_concurrent
+
+    if not args.stress:
+        raise ReproError(
+            "only stress mode is implemented; pass --stress"
+        )
+    records = read_worklog(args.worklog_file)
+    _replay_defaults_from_header(args, records)
+    _guard_self_replay(args)
+    try:
+        config = ServeConfig(
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            deadline_s=(
+                args.deadline_ms / 1e3
+                if args.deadline_ms is not None else None
+            ),
+            max_retries=args.max_retries,
+            breaker=BreakerConfig(
+                trip_after=args.trip_after,
+                cooldown_s=args.cooldown_ms / 1e3,
+            ),
+            open_budget=Budget(
+                deadline_s=0.25, max_rows=2000, retries=0
+            ),
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    tracer = _session_tracer(args)
+    worklog = _session_worklog(args)
+    try:
+        dbx = _fresh_replay_explorer(args, tracer, worklog)
+        report = replay_concurrent(
+            records, dbx, concurrency=args.workers, config=config
+        )
+        if args.json:
+            import json
+
+            print(json.dumps(report.as_dict(), indent=2))
+        else:
+            print(report.render())
+    finally:
+        _write_obs(args, tracer, worklog)
+    if not report.results:
+        print("error: no statement records in "
+              f"{args.worklog_file}", file=sys.stderr)
+        return EXIT_USAGE
+    dropped = [
+        res.index for res in report.results
+        if res.outcome not in ("ok", "degraded", "rejected", "failed")
+    ]
+    if dropped:
+        print(f"error: statements without a terminal outcome: {dropped}",
+              file=sys.stderr)
+        return EXIT_BUILD_FAILED
     return EXIT_OK
 
 
@@ -492,7 +643,58 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(p)
     p.add_argument("--json", action="store_true",
                    help="print the replay report as JSON")
+    p.add_argument(
+        "--concurrency", type=int, default=None, metavar="N",
+        help="replay through the serving executor with N workers "
+             "(dependency-aware scheduling; deterministic — breakers "
+             "and deadlines off)",
+    )
+    p.add_argument(
+        "--verify-sequential", action="store_true",
+        help="with --concurrency: also replay sequentially and fail "
+             "(exit 2) on any per-statement digest mismatch",
+    )
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "serve",
+        help="stress the concurrent serving core with a workload log",
+    )
+    p.add_argument("worklog_file",
+                   help="workload log (JSONL) captured with --worklog")
+    p.add_argument("--stress", action="store_true",
+                   help="run the stress driver (required; there is no "
+                        "network server)")
+    p.add_argument("--dataset", choices=("usedcars", "mushroom"),
+                   default=None,
+                   help="override the dataset recorded in the log")
+    p.add_argument("--rows", type=int, default=None,
+                   help="override the row count recorded in the log")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the RNG seed recorded in the log")
+    p.add_argument("--csv", default=None,
+                   help="load this CSV instead of generating")
+    p.add_argument("--workers", type=int, default=4,
+                   help="executor pool threads")
+    p.add_argument("--queue-limit", type=int, default=4,
+                   help="bounded admission queue depth (beyond that: "
+                        "explicit rejection with Retry-After)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-query wall-clock deadline enforced by the "
+                        "watchdog (default: none)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retries for transient faults, with backoff")
+    p.add_argument("--trip-after", type=int, default=3,
+                   help="consecutive failures that open a dataset's "
+                        "circuit breaker")
+    p.add_argument("--cooldown-ms", type=float, default=500.0,
+                   help="how long an open breaker short-circuits builds "
+                        "before the half-open probe")
+    _add_budget_args(p)
+    _add_obs_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="print the stress report as JSON")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("study", help="run the simulated user study")
     p.add_argument("--rows", type=int, default=None)

@@ -49,6 +49,7 @@ from repro.errors import (
     CADViewError,
     ConvergenceError,
     EmptyResultError,
+    QueryCancelledError,
     QueryError,
 )
 from repro.clustering.encoding import one_hot_encode
@@ -65,6 +66,7 @@ from repro.iunits.similarity import default_tau
 from repro.obs.metrics import registry
 from repro.obs.tracer import Tracer
 from repro.robustness.budget import Budget, BudgetClock
+from repro.robustness.cancel import CancelToken
 from repro.robustness.faults import NO_FAULTS, FaultInjector
 from repro.robustness.report import BuildReport
 
@@ -125,6 +127,7 @@ class CADViewBuilder:
         budget: Optional[Budget] = None,
         faults: Optional[FaultInjector] = None,
         tracer: Optional[Tracer] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> CADView:
         """Construct the CAD View for ``result`` and ``pivot``.
 
@@ -155,11 +158,16 @@ class CADViewBuilder:
             span tree under (``EXPLAIN ANALYZE`` and the CLI's
             ``--trace`` pass one); ``None`` creates a fresh tracer.
             Either way the build span lands on ``report.trace``.
+        cancel:
+            A :class:`~repro.robustness.CancelToken` checked at every
+            budget checkpoint; once tripped the build raises
+            :class:`~repro.errors.QueryCancelledError` promptly instead
+            of degrading (the serving watchdog's hook).
         """
         config = self.config
         budget = budget if budget is not None else self.budget
         faults = faults if faults is not None else self._default_faults()
-        clock = (budget or Budget()).begin()
+        clock = (budget or Budget()).begin(cancel)
         profile = BuildProfile()
         own_tracer = tracer is None
         tracer = tracer if tracer is not None else Tracer("cadview")
@@ -225,6 +233,9 @@ class CADViewBuilder:
         except BudgetExceededError:
             registry().counter("build.budget_exhausted").inc()
             raise
+        except QueryCancelledError:
+            registry().counter("build.cancelled").inc()
+            raise
         except CADViewError:
             registry().counter("build.failed").inc()
             raise
@@ -258,6 +269,7 @@ class CADViewBuilder:
         budget: Optional[Budget] = None,
         faults: Optional[FaultInjector] = None,
         tracer: Optional[Tracer] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> CADView:
         """Incrementally refine a view after the user narrows the query.
 
@@ -274,7 +286,7 @@ class CADViewBuilder:
         config = self.config
         budget = budget if budget is not None else self.budget
         faults = faults if faults is not None else self._default_faults()
-        clock = (budget or Budget()).begin()
+        clock = (budget or Budget()).begin(cancel)
         profile = BuildProfile()
         own_tracer = tracer is None
         tracer = tracer if tracer is not None else Tracer("cadview")
@@ -436,6 +448,8 @@ class CADViewBuilder:
             compare = list(dict.fromkeys(pinned))[:config.compare_limit]
         except QueryError:
             raise  # config/user errors (bad limit, bad pinned) propagate
+        except QueryCancelledError:
+            raise  # cancellation must stop the build, never degrade it
         # deliberate blanket: any selector crash downgrades to the entropy
         # ranking and is recorded as an incident, never swallowed silently
         # repro-lint: ignore[RL004]
@@ -541,6 +555,8 @@ class CADViewBuilder:
                     raise
                 self._truncate(values[i:], report)
                 break
+            except QueryCancelledError:
+                raise  # cancellation punches through per-pivot isolation
             # deliberate blanket: per-pivot isolation — the incident and
             # the dropped value are recorded on the build report
             # repro-lint: ignore[RL004]

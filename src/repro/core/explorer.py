@@ -17,7 +17,9 @@ in-view search statements against the named-view registry.
 
 from __future__ import annotations
 
+import threading
 import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -31,7 +33,9 @@ from repro.errors import (
     BudgetExceededError,
     CADViewError,
     ConvergenceError,
+    OverloadedError,
     ParseError,
+    QueryCancelledError,
     QueryError,
 )
 from repro.obs.export import render_trace
@@ -41,7 +45,13 @@ from repro.obs.worklog import (
     WorkLogWriter,
     statement_kind,
 )
-from repro.robustness import Budget, BuildReport, FaultInjector
+from repro.robustness import (
+    Budget,
+    BuildReport,
+    CancelToken,
+    FaultInjector,
+)
+from repro.serve.registry import ViewRegistry
 from repro.iunits.iunit import IUnit
 from repro.query.ast import (
     CreateCadViewStatement,
@@ -60,9 +70,41 @@ from repro.query.diagnostics import AnalysisReport
 from repro.query.engine import QueryEngine
 from repro.query.parser import parse
 
-__all__ = ["DBExplorer"]
+__all__ = ["DBExplorer", "Session"]
 
 ExecuteResult = Union[str, Table, CADView, List[Tuple[IUnitRef, float]]]
+
+DEFAULT_SESSION = "default"
+
+
+@dataclass
+class Session:
+    """Per-session execution state: what one logical user last did.
+
+    Tables and named views are shared across sessions (the catalog);
+    the *results of the most recent statement* — the build report and
+    the analyzer report — are per-session, so concurrent sessions never
+    clobber each other's ``last_report``.
+    """
+
+    name: str = DEFAULT_SESSION
+    last_report: Optional[BuildReport] = None
+    last_analysis: Optional[AnalysisReport] = None
+    statements: int = 0
+
+
+@dataclass
+class _ExecContext:
+    """Per-call overrides threaded through one ``execute()``."""
+
+    session: Session
+    cancel: Optional[CancelToken] = None
+    budget: Optional[Budget] = field(default=None)
+    faults: Optional[FaultInjector] = None
+    # sentinel handling: budget=None means "no override" (use the
+    # explorer default); an explicit Budget overrides it — the serving
+    # layer passes a degraded budget while a breaker is open
+    budget_set: bool = False
 
 
 class DBExplorer:
@@ -101,15 +143,35 @@ class DBExplorer:
         self.worklog = worklog if worklog is not None else (
             WorkLogWriter.from_env() or NO_WORKLOG
         )
-        self._views: Dict[str, CADView] = {}
-        self._last_analysis: Optional[AnalysisReport] = None
+        self._views = ViewRegistry()
+        self._sessions: Dict[str, Session] = {
+            DEFAULT_SESSION: Session(DEFAULT_SESSION)
+        }
+        self._sessions_lock = threading.Lock()
+
+    # -- sessions ----------------------------------------------------------
+
+    def session(self, name: str = DEFAULT_SESSION) -> Session:
+        """Get or create the named :class:`Session` (thread-safe)."""
+        with self._sessions_lock:
+            sess = self._sessions.get(name)
+            if sess is None:
+                sess = self._sessions[name] = Session(name)
+            return sess
+
+    def _resolve_session(
+        self, session: Optional[Union[str, Session]]
+    ) -> Session:
+        if session is None:
+            return self._sessions[DEFAULT_SESSION]
+        if isinstance(session, Session):
+            return session
+        return self.session(session)
 
     @property
     def last_report(self) -> Optional[BuildReport]:
-        """The :class:`BuildReport` of the most recent CADVIEW build."""
-        return self._last_report
-
-    _last_report: Optional[BuildReport] = None
+        """The most recent CADVIEW build report (default session)."""
+        return self._sessions[DEFAULT_SESSION].last_report
 
     # -- catalog -----------------------------------------------------------
 
@@ -119,16 +181,24 @@ class DBExplorer:
 
     def view(self, name: str) -> CADView:
         """Look up a named CAD View created earlier."""
-        try:
-            return self._views[name]
-        except KeyError:
-            raise CADViewError(
-                f"unknown CAD View {name!r}; have {sorted(self._views)}"
-            ) from None
+        return self._views.get_view(name)
+
+    @property
+    def views(self) -> ViewRegistry:
+        """The copy-on-write named-view catalog (shared by sessions)."""
+        return self._views
 
     # -- execution -------------------------------------------------------------
 
-    def execute(self, sql: str) -> ExecuteResult:
+    def execute(
+        self,
+        sql: str,
+        *,
+        session: Optional[Union[str, Session]] = None,
+        cancel: Optional[CancelToken] = None,
+        budget: Optional[Budget] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> ExecuteResult:
         """Parse, analyze and run one statement.
 
         The semantic analyzer (:mod:`repro.query.analyzer`) gates every
@@ -143,24 +213,50 @@ class DBExplorer:
         argument or ``REPRO_WORKLOG``), every call appends one record —
         including statements rejected by the parser or the analyzer, so
         a replayed session fails exactly where the original did.
+
+        The keyword-only arguments are the serving layer's hooks — all
+        optional and inert by default:
+
+        ``session``
+            The :class:`Session` (or its name) whose ``last_report`` /
+            ``last_analysis`` this statement updates; ``None`` uses the
+            shared default session (single-user behavior).
+        ``cancel``
+            A :class:`~repro.robustness.CancelToken` checked at every
+            budget checkpoint of a CADVIEW build.
+        ``budget`` / ``faults``
+            Per-call overrides of the explorer-level defaults (the
+            executor passes a degraded budget while a circuit breaker
+            is open, and a forked injector per admitted statement).
         """
+        sess = self._resolve_session(session)
+        ctx = _ExecContext(
+            sess, cancel=cancel, budget=budget, faults=faults,
+            budget_set=budget is not None,
+        )
         start = time.perf_counter()
-        report_before = self._last_report
+        report_before = sess.last_report
         stmt = None
         try:
             stmt = parse(sql)
-            result = self._execute(stmt, sql)
+            result = self._execute(stmt, sql, ctx)
         except BaseException as exc:
             self._log_statement(
-                sql, stmt, start, report_before, error=exc
+                sql, stmt, start, report_before, ctx, error=exc
             )
             raise
-        self._log_statement(sql, stmt, start, report_before, result=result)
+        self._log_statement(
+            sql, stmt, start, report_before, ctx, result=result
+        )
         return result
 
-    def _execute(self, stmt: Statement, sql: str) -> ExecuteResult:
+    def _execute(
+        self, stmt: Statement, sql: str, ctx: _ExecContext
+    ) -> ExecuteResult:
         """The analyzer gate and dispatch behind :meth:`execute`."""
-        self._last_analysis = None
+        sess = ctx.session
+        sess.last_analysis = None
+        sess.statements += 1
         plain_explain = (
             isinstance(stmt, ExplainStatement)
             and not stmt.analyze and not stmt.check
@@ -169,10 +265,10 @@ class DBExplorer:
             report = self.analyze(stmt, text=sql)
             if not report.ok:
                 raise AnalysisError(report)
-            self._last_analysis = report
+            sess.last_analysis = report
             if isinstance(stmt, ExplainStatement) and stmt.check:
                 return report.render()
-        return self._dispatch(stmt)
+        return self._dispatch(stmt, ctx)
 
     # -- workload logging ---------------------------------------------------
 
@@ -182,6 +278,7 @@ class DBExplorer:
         stmt: Optional[Statement],
         start_s: float,
         report_before: Optional[BuildReport],
+        ctx: _ExecContext,
         result: Optional[ExecuteResult] = None,
         error: Optional[BaseException] = None,
     ) -> None:
@@ -192,7 +289,7 @@ class DBExplorer:
         # only a build that ran during THIS statement contributes its
         # phase timings/degradations (identity check: every build makes
         # a fresh BuildReport)
-        report = self._last_report
+        report = ctx.session.last_report
         if report is report_before:
             report = None
         phases_ms = rows_in = pivot = None
@@ -210,9 +307,10 @@ class DBExplorer:
                 rows_in = int(rows) if rows is not None else None
         if isinstance(stmt, CreateCadViewStatement):
             pivot = stmt.pivot
+        analysis = ctx.session.last_analysis
         warnings = (
-            [str(d) for d in self._last_analysis.warnings]
-            if self._last_analysis is not None else []
+            [str(d) for d in analysis.warnings]
+            if analysis is not None else []
         )
         self.worklog.statement(
             sql,
@@ -229,6 +327,7 @@ class DBExplorer:
                 f"{type(error).__name__}: {error}"
                 if error is not None else None
             ),
+            session=ctx.session.name,
         )
 
     def analyze(
@@ -254,15 +353,20 @@ class DBExplorer:
     @property
     def last_analysis(self) -> Optional[AnalysisReport]:
         """The analyzer report of the most recent gated ``execute``."""
-        return self._last_analysis
+        return self._sessions[DEFAULT_SESSION].last_analysis
 
-    def _dispatch(self, stmt: Statement) -> ExecuteResult:
+    def _dispatch(
+        self, stmt: Statement, ctx: Optional[_ExecContext] = None
+    ) -> ExecuteResult:
+        ctx = ctx if ctx is not None else _ExecContext(
+            self._sessions[DEFAULT_SESSION]
+        )
         if isinstance(stmt, ExplainStatement):
-            return self._explain(stmt)
+            return self._explain(stmt, ctx)
         if isinstance(stmt, SelectStatement):
             return self._select(stmt)
         if isinstance(stmt, CreateCadViewStatement):
-            return self._create_cadview(stmt)
+            return self._create_cadview(stmt, ctx=ctx)
         if isinstance(stmt, HighlightSimilarStatement):
             view = self.view(stmt.view)
             return view.similar_iunits(
@@ -281,17 +385,15 @@ class DBExplorer:
                     reordered.view, reordered.config, reordered.profile,
                     reordered.candidates, reordered.report,
                 )
-            self._views[stmt.view] = reordered
+            self._views.set(stmt.view, reordered)
             return reordered
         if isinstance(stmt, DescribeStatement):
             return self._describe(stmt.table)
         if isinstance(stmt, ShowCadViewsStatement):
-            return sorted(self._views)
+            return sorted(self._views.snapshot())
         if isinstance(stmt, DropCadViewStatement):
-            if stmt.name not in self._views:
-                raise CADViewError(f"unknown CAD View {stmt.name!r}")
-            del self._views[stmt.name]
-            return sorted(self._views)
+            self._views.drop(stmt.name)
+            return sorted(self._views.snapshot())
         raise QueryError(f"cannot execute statement {stmt!r}")
 
     def render(self, view_name: str, **kwargs) -> str:
@@ -328,7 +430,11 @@ class DBExplorer:
         self,
         stmt: CreateCadViewStatement,
         tracer: Optional[Tracer] = None,
+        ctx: Optional[_ExecContext] = None,
     ) -> CADView:
+        ctx = ctx if ctx is not None else _ExecContext(
+            self._sessions[DEFAULT_SESSION]
+        )
         table = self.engine.table(stmt.table)
         result = self.engine.select(table, stmt.where)
         config = self.config
@@ -337,7 +443,9 @@ class DBExplorer:
         if stmt.iunits is not None:
             config = config.with_(iunits_k=stmt.iunits)
         builder = CADViewBuilder(
-            config, budget=self.budget, faults=self.faults
+            config,
+            budget=ctx.budget if ctx.budget_set else self.budget,
+            faults=ctx.faults if ctx.faults is not None else self.faults,
         )
         cad = builder.build(
             result,
@@ -345,19 +453,23 @@ class DBExplorer:
             pinned=stmt.select,
             name=stmt.name,
             tracer=tracer if tracer is not None else self.tracer,
+            cancel=ctx.cancel,
         )
-        self._last_report = cad.report
-        if cad.report is not None and self._last_analysis is not None:
-            for diag in self._last_analysis.warnings:
+        ctx.session.last_report = cad.report
+        analysis = ctx.session.last_analysis
+        if cad.report is not None and analysis is not None:
+            for diag in analysis.warnings:
                 cad.report.record_analysis_warning(str(diag))
         if stmt.order_by:
             cad = _sort_iunits(cad, stmt.order_by)
-        self._views[stmt.name] = cad
+        self._views.set(stmt.name, cad)
         return cad
 
     # -- EXPLAIN ------------------------------------------------------------
 
-    def _explain(self, stmt: ExplainStatement) -> str:
+    def _explain(
+        self, stmt: ExplainStatement, ctx: Optional[_ExecContext] = None
+    ) -> str:
         """``EXPLAIN`` renders the plan; ``EXPLAIN ANALYZE`` runs it.
 
         ANALYZE executes the inner statement under a dedicated
@@ -375,7 +487,7 @@ class DBExplorer:
             return "\n".join(self._plan_lines(stmt.inner))
         tracer = Tracer("explain")
         if isinstance(stmt.inner, CreateCadViewStatement):
-            cad = self._create_cadview(stmt.inner, tracer=tracer)
+            cad = self._create_cadview(stmt.inner, tracer=tracer, ctx=ctx)
             root = tracer.finish()
             build = root.find("cadview.build")
             top = build[0] if build else root
@@ -397,7 +509,7 @@ class DBExplorer:
                 lines.extend(cad.report.lines())
             return "\n".join(lines)
         with tracer.span("execute", statement=type(stmt.inner).__name__):
-            self._dispatch(stmt.inner)
+            self._dispatch(stmt.inner, ctx)
         return render_trace(tracer.finish())
 
     def _plan_lines(self, stmt: Statement) -> List[str]:
@@ -449,6 +561,10 @@ def _statement_status(error: Optional[BaseException]) -> str:
         return "analysis_error"
     if isinstance(error, ParseError):
         return "parse_error"
+    if isinstance(error, QueryCancelledError):
+        return "cancelled"
+    if isinstance(error, OverloadedError):
+        return "rejected"
     if isinstance(error, (CADViewError, ConvergenceError)):
         return "build_failed"
     return "error"

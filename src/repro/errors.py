@@ -90,8 +90,64 @@ class EmptyResultError(CADViewError):
     """The selection produced no tuples for a required pivot value."""
 
 
+class DataIngestError(SchemaError):
+    """A CSV row could not be coerced to the schema.
+
+    Carries the source file, the 1-based data-row number (the header
+    does not count) and the offending column, so a 400k-row load that
+    dies on row 217,345 is debuggable without bisecting the file.
+    """
+
+    def __init__(self, message: str, path: str = "", row: int = 0,
+                 column: str = ""):
+        self.path = path
+        self.row = row
+        self.column = column
+        where = ""
+        if path or row or column:
+            at_column = f", column {column!r}" if column else ""
+            where = f" ({path or '<buffer>'}: row {row}{at_column})"
+        super().__init__(f"{message}{where}")
+
+
 class ConvergenceError(ReproError):
     """An iterative numerical procedure failed to converge."""
+
+
+class ServeError(ReproError):
+    """A failure of the concurrent serving layer (:mod:`repro.serve`)."""
+
+
+class OverloadedError(ServeError):
+    """Admission control rejected a statement: the queue is full.
+
+    This is an explicit, *cheap* rejection — the serving core never
+    queues unboundedly.  ``retry_after_s`` is the executor's estimate
+    of when capacity will free up (the Retry-After hint a transport
+    layer would surface to the client).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        self.retry_after_s = max(0.0, float(retry_after_s))
+        super().__init__(
+            f"{message} (retry after {self.retry_after_s:.2f}s)"
+        )
+
+
+class QueryCancelledError(ServeError):
+    """A statement was cancelled before it completed.
+
+    Raised cooperatively: the serving watchdog trips a
+    :class:`~repro.robustness.CancelToken` and the next budget
+    checkpoint inside the build raises this.  Unlike
+    :class:`BudgetExceededError` it is *not* absorbed by the
+    degradation ladder — a cancelled query must stop promptly, not
+    produce a cheaper answer.
+    """
+
+    def __init__(self, reason: str = "cancelled"):
+        self.reason = reason
+        super().__init__(f"query cancelled: {reason}")
 
 
 class BudgetExceededError(ReproError):

@@ -20,10 +20,18 @@ Record schema (version :data:`WORKLOG_VERSION`):
     One line per ``execute()`` call with ``statement`` (text),
     ``statement_kind`` (``select`` / ``create_cadview`` / ...),
     ``status`` (``ok`` / ``analysis_error`` / ``build_failed`` /
-    ``budget_exhausted`` / ``parse_error`` / ``error``),
+    ``budget_exhausted`` / ``parse_error`` / ``cancelled`` /
+    ``rejected`` / ``error``),
     ``elapsed_ms``, ``rows_in`` / ``rows_out``, ``pivot``,
     ``phases_ms`` (the Figure-8 buckets from the span-fed build
-    profile), ``degradations``, ``analysis_warnings`` and ``error``.
+    profile), ``degradations``, ``analysis_warnings``, ``error`` and
+    ``session`` (which logical session ran the statement — ``default``
+    outside the serving layer).
+
+    ``cancelled`` (the serving watchdog tripped the statement's
+    :class:`~repro.robustness.CancelToken`) and ``rejected``
+    (admission control refused to queue it) come from
+    :mod:`repro.serve`; a single-user session never emits them.
 
 Every record also carries ``v`` (schema version), ``seq`` (strictly
 increasing per writer), ``ts`` (wall-clock epoch seconds, informative
@@ -34,7 +42,11 @@ step).
 The writer is thread-safe: ``seq`` assignment, rotation, and the file
 write happen under one lock, so records from concurrent sessions never
 interleave mid-line.  Rotation is size-based (``worklog.jsonl`` ->
-``worklog.jsonl.1`` -> ... up to ``max_files`` rotated generations).
+``worklog.jsonl.1`` -> ... up to ``max_files`` rotated generations) and
+*crash-safe*: each freshly rotated file starts with a copy of the
+session header, written via temp file + ``fsync`` + atomic
+``os.replace`` — a crash mid-rotation leaves either the old log or a
+new log whose header is complete, never a torn header line.
 
 Enable capture with the CLI's ``--worklog FILE`` flag or the
 ``REPRO_WORKLOG`` environment variable (the file path; unset/empty/
@@ -67,6 +79,8 @@ STATUS_ANALYSIS = "analysis_error"
 STATUS_PARSE = "parse_error"
 STATUS_BUILD_FAILED = "build_failed"
 STATUS_BUDGET = "budget_exhausted"
+STATUS_CANCELLED = "cancelled"   # serving watchdog tripped the token
+STATUS_REJECTED = "rejected"     # admission control refused to queue
 STATUS_ERROR = "error"
 
 # AST class name -> the stable statement_kind written to the log.
@@ -135,6 +149,7 @@ class WorkLogWriter:
         self._seq = 0
         self._t0 = time.perf_counter()
         self._closed = False
+        self._session_header: Optional[Dict[str, object]] = None
 
     @property
     def enabled(self) -> bool:
@@ -152,19 +167,35 @@ class WorkLogWriter:
         with self._lock:
             if self._closed:
                 raise ValueError(f"worklog writer for {self.path!r} is closed")
-            self._seq += 1
-            rec: Dict[str, object] = {
-                "v": WORKLOG_VERSION,
-                "seq": self._seq,
-                "ts": time.time(),
-                "t_rel_s": time.perf_counter() - self._t0,
-            }
-            rec.update(record)
+            if record.get("kind") == "session":
+                # remembered so every rotated generation can start with a
+                # copy of the header and stay self-describing
+                self._session_header = dict(record)
+            rec = self._stamp(record)
             line = json.dumps(rec, sort_keys=True, default=str) + "\n"
             if self._fh.tell() + len(line) > self.max_bytes:
+                # rotation may consume a seq for the re-written session
+                # header, so the triggering record re-stamps afterwards
+                # to keep seq strictly increasing within each file
                 self._rotate()
+                rec = self._stamp(record)
+                line = json.dumps(rec, sort_keys=True, default=str) + "\n"
             self._fh.write(line)
             self._fh.flush()
+        return rec
+
+    def _stamp(self, record: Mapping[str, object]) -> Dict[str, object]:
+        # call with self._lock held (log/_rotate): consumes the next
+        # seq; the lexical check cannot see through the call boundary
+        # repro-lint: ignore[RL003]
+        self._seq += 1
+        rec: Dict[str, object] = {
+            "v": WORKLOG_VERSION,
+            "seq": self._seq,
+            "ts": time.time(),
+            "t_rel_s": time.perf_counter() - self._t0,
+        }
+        rec.update(record)
         return rec
 
     def session(self, **attrs: object) -> Dict[str, object]:
@@ -186,6 +217,7 @@ class WorkLogWriter:
         degradations: Optional[List[str]] = None,
         analysis_warnings: Optional[List[str]] = None,
         error: Optional[str] = None,
+        session: Optional[str] = None,
     ) -> Dict[str, object]:
         """Append one statement record (the main entry point)."""
         return self.log({
@@ -201,6 +233,7 @@ class WorkLogWriter:
             "degradations": list(degradations or []),
             "analysis_warnings": list(analysis_warnings or []),
             "error": error,
+            "session": session,
         })
 
     def close(self) -> None:
@@ -224,6 +257,20 @@ class WorkLogWriter:
                 os.replace(src, f"{self.path}.{i + 1}")
         if os.path.exists(self.path):
             os.replace(self.path, f"{self.path}.1")
+        if self._session_header is not None:
+            # crash-safe header for the new generation: write it to a
+            # temp file, fsync, then atomically rename into place — a
+            # crash anywhere in between leaves either no new file or a
+            # new file whose header line is complete, never a torn one
+            header = self._stamp(self._session_header)
+            tmp = f"{self.path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(
+                    json.dumps(header, sort_keys=True, default=str) + "\n"
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
         # lock held by the caller (see above); the lexical check cannot
         # see through the call boundary
         # repro-lint: ignore[RL003]
@@ -266,6 +313,7 @@ class NullWorkLogWriter(WorkLogWriter):
         self._lock = threading.Lock()
         self._seq = 0
         self._closed = False
+        self._session_header: Optional[Dict[str, object]] = None
 
     @property
     def enabled(self) -> bool:

@@ -13,6 +13,7 @@ supplies the three pieces that make that a guarantee instead of a hope:
 """
 
 from repro.robustness.budget import Budget, BudgetClock
+from repro.robustness.cancel import CancelToken
 from repro.robustness.faults import NO_FAULTS, Fault, FaultInjector
 from repro.robustness.report import (
     BuildReport,
@@ -24,6 +25,7 @@ from repro.robustness.report import (
 __all__ = [
     "Budget",
     "BudgetClock",
+    "CancelToken",
     "BuildReport",
     "Incident",
     "Degradation",

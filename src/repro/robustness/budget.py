@@ -18,9 +18,12 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import BudgetExceededError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.cancel import CancelToken
 
 __all__ = ["Budget", "BudgetClock"]
 
@@ -80,18 +83,29 @@ class Budget:
             caps.append(self.max_cells // n_attributes)
         return min(caps) if caps else None
 
-    def begin(self) -> "BudgetClock":
-        """Start the wall clock; returns the running clock."""
-        return BudgetClock(self)
+    def begin(
+        self, cancel: Optional["CancelToken"] = None
+    ) -> "BudgetClock":
+        """Start the wall clock; returns the running clock.
+
+        ``cancel`` attaches a cancellation token: every checkpoint then
+        also raises :class:`~repro.errors.QueryCancelledError` once the
+        token trips, which is how the serving watchdog stops a build
+        without the build knowing about the serving layer.
+        """
+        return BudgetClock(self, cancel)
 
 
 class BudgetClock:
     """A started :class:`Budget`: the object the pipeline checks against."""
 
-    __slots__ = ("budget", "_start")
+    __slots__ = ("budget", "cancel", "_start")
 
-    def __init__(self, budget: Budget):
+    def __init__(
+        self, budget: Budget, cancel: Optional["CancelToken"] = None
+    ):
         self.budget = budget
+        self.cancel = cancel
         self._start = time.perf_counter()
 
     # -- time queries -----------------------------------------------------
@@ -123,7 +137,15 @@ class BudgetClock:
     # -- cooperative checkpoints ----------------------------------------------
 
     def check(self, phase: str) -> None:
-        """Raise :class:`BudgetExceededError` if the deadline has passed."""
+        """Raise at a checkpoint when the build must stop.
+
+        :class:`~repro.errors.QueryCancelledError` when the attached
+        cancel token has tripped (checked first — a cancelled query
+        must not be mistaken for a budget blowout and degraded), then
+        :class:`BudgetExceededError` once the deadline has passed.
+        """
+        if self.cancel is not None:
+            self.cancel.raise_if_cancelled()
         if self.budget.deadline_s is not None:
             elapsed = self.elapsed()
             if elapsed > self.budget.deadline_s:

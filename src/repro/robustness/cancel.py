@@ -1,0 +1,87 @@
+"""Cooperative cancellation for in-flight statements.
+
+A :class:`CancelToken` is the one-way flag the serving layer
+(:mod:`repro.serve`) uses to stop a running build: the per-query
+watchdog (or an impatient caller) calls :meth:`CancelToken.cancel`,
+and the next cooperative checkpoint inside the pipeline — the same
+``clock.check(phase)`` sites PR 1 placed in the k-means/k-modes/chi2/
+div-astar loops — raises :class:`~repro.errors.QueryCancelledError`.
+
+Cancellation is deliberately cooperative: Python threads cannot be
+killed, so the contract is "every loop that can run long checks the
+budget clock, and the budget clock checks the token".  A token can be
+cancelled from any thread, exactly once (later calls keep the first
+reason), and never un-cancelled.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.errors import QueryCancelledError
+
+__all__ = ["CancelToken"]
+
+
+class CancelToken:
+    """A thread-safe, one-shot cancellation flag.
+
+    >>> token = CancelToken()
+    >>> token.cancel("deadline")
+    True
+    >>> token.cancelled
+    True
+    >>> token.raise_if_cancelled()
+    Traceback (most recent call last):
+        ...
+    repro.errors.QueryCancelledError: query cancelled: deadline
+    """
+
+    __slots__ = ("_event", "_lock", "_reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Trip the token; returns True only for the first call.
+
+        The first caller's ``reason`` wins and is what the raised
+        :class:`~repro.errors.QueryCancelledError` reports.
+        """
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._reason = reason
+            self._event.set()
+            return True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> Optional[str]:
+        """The first cancellation reason (``None`` while live)."""
+        return self._reason
+
+    def raise_if_cancelled(self) -> None:
+        """Raise :class:`QueryCancelledError` once cancelled, else no-op.
+
+        This is the hook :meth:`BudgetClock.check
+        <repro.robustness.budget.BudgetClock.check>` calls at every
+        cooperative checkpoint.
+        """
+        if self._event.is_set():
+            raise QueryCancelledError(self._reason or "cancelled")
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until cancelled (or ``timeout``); True when cancelled."""
+        return self._event.wait(timeout)
+
+    def __repr__(self) -> str:
+        state = f"cancelled: {self._reason!r}" if self.cancelled else "live"
+        return f"CancelToken({state})"

@@ -19,6 +19,24 @@ code changes (used by the CI fault pass)::
     REPRO_FAULTS=1                                # enabled, empty plan
     REPRO_FAULTS="cluster:Jeep=convergence*2"     # fail Jeep twice
     REPRO_FAULTS="topk=sleep:0.05,cluster=crash"  # several sites
+
+The serving layer (:mod:`repro.serve`) adds concurrency fault points on
+top of the per-phase build sites:
+
+``serve.queue_full``
+    Consulted at admission; a planned error here forces the executor to
+    reject the statement as :class:`~repro.errors.OverloadedError` even
+    when the queue has room (exercises the rejection path end-to-end).
+``serve.slow_worker``
+    Consulted on the worker thread just before a statement executes; a
+    ``sleep`` fault simulates a stalled worker (pair with a serve
+    deadline to exercise the watchdog), an error fault simulates a
+    worker-side crash the retry machinery must absorb.
+
+Concurrent serving forks one injector per admitted statement
+(:meth:`FaultInjector.fork`), so the counting state of ``times``-style
+faults never races across worker threads — a given (plan, statement
+index) always fails the same way regardless of interleaving.
 """
 
 from __future__ import annotations
@@ -146,6 +164,18 @@ class FaultInjector:
         n = self._consulted.get(site, 0)
         self._consulted[site] = n + 1
         return fault.times is None or n < fault.times
+
+    def fork(self, index: int) -> "FaultInjector":
+        """A fresh injector with the same plan and a derived seed.
+
+        The fork starts with zeroed consultation counters, so its
+        counting faults fire deterministically within one statement's
+        execution no matter how statements interleave across worker
+        threads.  ``index`` (the statement's position in its stream)
+        perturbs the per-site RNG seed so probabilistic plans do not
+        fire identically for every statement.
+        """
+        return FaultInjector(self.plan, seed=self.seed + index)
 
     # -- construction helpers ---------------------------------------------
 

@@ -1,0 +1,43 @@
+"""Concurrent serving core: sessions, admission control, breakers.
+
+DBExplorer answers one statement at a time; this package turns it into
+a multi-session server without touching the algorithms underneath:
+
+* :class:`ViewRegistry` — the named CAD View catalog as copy-on-write
+  snapshots, so concurrent ``CREATE CADVIEW``/``DROP`` never corrupt
+  in-flight readers;
+* :class:`CircuitBreaker` — a per-dataset closed/open/half-open state
+  machine that short-circuits builds to the degradation ladder while a
+  dataset is misbehaving, instead of burning pool threads on it;
+* :class:`SessionExecutor` — a thread-pool executor with a *bounded*
+  admission queue (explicit :class:`~repro.errors.OverloadedError`
+  with a Retry-After hint, never unbounded queuing), a per-query
+  watchdog that trips a :class:`~repro.robustness.CancelToken` checked
+  at the existing budget checkpoints, and retry-with-backoff-and-jitter
+  for transient faults;
+* :mod:`repro.serve.stress` — dependency-aware concurrent replay of a
+  captured workload log (``repro replay --concurrency N``) and the
+  ``repro serve --stress`` driver.
+"""
+
+from repro.serve.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.serve.executor import (
+    ServeConfig,
+    SessionExecutor,
+    StatementTicket,
+)
+from repro.serve.registry import ViewRegistry
+from repro.serve.stress import (
+    ConcurrentReplayReport,
+    StatementResult,
+    replay_concurrent,
+    statement_scopes,
+)
+
+__all__ = [
+    "ViewRegistry",
+    "BreakerConfig", "BreakerState", "CircuitBreaker",
+    "ServeConfig", "SessionExecutor", "StatementTicket",
+    "ConcurrentReplayReport", "StatementResult",
+    "replay_concurrent", "statement_scopes",
+]

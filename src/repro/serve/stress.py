@@ -1,0 +1,443 @@
+"""Dependency-aware concurrent replay and the stress driver.
+
+``repro replay --concurrency N`` re-executes a captured workload log
+through a :class:`~repro.serve.executor.SessionExecutor` pool — and the
+point of the exercise is that *concurrency must not change answers*.
+To keep that property checkable the harness is deterministic by
+construction:
+
+* Statements form a **read/write dependency DAG on view names**
+  (:func:`statement_scopes`): ``CREATE CADVIEW`` / ``DROP`` /
+  ``REORDER`` write a view, ``HIGHLIGHT`` / ``REORDER`` read one,
+  ``SHOW CADVIEWS`` reads the whole catalog.  A statement is submitted
+  only after every earlier statement it conflicts with has completed —
+  the scheduling happens on the **driver thread**, never by blocking a
+  pool worker on another ticket (that would deadlock a full pool).
+* Each statement runs in its **own session** (``s<i>``) so
+  ``last_report`` / ``last_analysis`` never race, and with its **own
+  forked fault injector** (:meth:`~repro.robustness.faults.
+  FaultInjector.fork`) so counting faults fire identically no matter
+  how worker threads interleave.
+* In deterministic mode the queue is sized to never reject, deadlines
+  are off, and **circuit breakers are disabled** — breaker state
+  depends on cross-statement completion order, which is exactly the
+  nondeterminism replay must exclude.  ``repro serve --stress`` flips
+  all three back on to exercise rejections, the watchdog and the
+  breakers under load.
+
+Each statement's terminal state is captured as a :class:`StatementResult`
+whose ``digest`` hashes the things the paper's user sees — status,
+degradation rungs, and the full IUnit contents of a built view — and
+deliberately nothing wall-clock.  Two replays of the same log at any
+two concurrency levels must produce identical digest sequences; the
+``--verify-sequential`` CI gate and the tier-1 determinism test both
+reduce to comparing those lists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import OverloadedError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.query.ast import (
+    CreateCadViewStatement,
+    DropCadViewStatement,
+    ExplainStatement,
+    HighlightSimilarStatement,
+    ReorderRowsStatement,
+    ShowCadViewsStatement,
+)
+from repro.obs.worklog import statement_kind
+from repro.query.parser import parse
+from repro.serve.executor import (
+    ServeConfig,
+    SessionExecutor,
+    StatementTicket,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids serve<->core cycle
+    from repro.core.explorer import DBExplorer
+
+__all__ = [
+    "StatementResult",
+    "ConcurrentReplayReport",
+    "replay_concurrent",
+    "statement_scopes",
+]
+
+ALL_VIEWS = "*"
+"""Scope marker: the statement touches the entire view catalog."""
+
+
+def statement_scopes(sql: str) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """``(reads, writes)`` over view names for one statement.
+
+    The scopes drive the replay scheduler's conflict edges (two
+    statements conflict when either writes a view the other touches).
+    :data:`ALL_VIEWS` in a set means "the whole catalog" (``SHOW
+    CADVIEWS``).  Unparsable statements get empty scopes — they fail
+    identically wherever they run, so they need no ordering.
+
+    ``EXPLAIN`` conservatively inherits its inner statement's scopes:
+    ``EXPLAIN ANALYZE CREATE CADVIEW`` really does build and register
+    the view, and even a plain ``EXPLAIN`` is cheap enough that the
+    lost parallelism from over-ordering it does not matter.
+    """
+    try:
+        stmt = parse(sql)
+    except ReproError:
+        return frozenset(), frozenset()
+    return _scopes_of(stmt)
+
+
+def _scopes_of(stmt: object) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    if isinstance(stmt, ExplainStatement):
+        return _scopes_of(stmt.inner)
+    if isinstance(stmt, CreateCadViewStatement):
+        return frozenset(), frozenset({stmt.name})
+    if isinstance(stmt, DropCadViewStatement):
+        # DROP returns the remaining catalog listing, so besides
+        # removing one view it *reads* all of them
+        return frozenset({ALL_VIEWS}), frozenset({stmt.name})
+    if isinstance(stmt, ReorderRowsStatement):
+        return frozenset({stmt.view}), frozenset({stmt.view})
+    if isinstance(stmt, HighlightSimilarStatement):
+        return frozenset({stmt.view}), frozenset()
+    if isinstance(stmt, ShowCadViewsStatement):
+        return frozenset({ALL_VIEWS}), frozenset()
+    return frozenset(), frozenset()  # SELECT / DESCRIBE: no view deps
+
+
+def _intersects(a: FrozenSet[str], b: FrozenSet[str]) -> bool:
+    if not a or not b:
+        return False
+    if ALL_VIEWS in a or ALL_VIEWS in b:
+        return True
+    return not a.isdisjoint(b)
+
+
+def _dependency_edges(
+    scopes: List[Tuple[FrozenSet[str], FrozenSet[str]]],
+) -> List[List[int]]:
+    """``deps[i]`` = earlier statement indices ``i`` must wait for.
+
+    Edges cover all three hazards on view names — read-after-write,
+    write-after-write and write-after-read — so the replayed catalog
+    passes through exactly the states the sequential session saw.
+    """
+    deps: List[List[int]] = [[] for _ in scopes]
+    for i, (reads_i, writes_i) in enumerate(scopes):
+        for j in range(i):
+            reads_j, writes_j = scopes[j]
+            if (
+                _intersects(writes_j, reads_i)
+                or _intersects(writes_j, writes_i)
+                or _intersects(reads_j, writes_i)
+            ):
+                deps[i].append(j)
+    return deps
+
+
+@dataclass
+class StatementResult:
+    """The terminal state of one replayed statement."""
+
+    index: int
+    statement: str
+    kind: str
+    session: str
+    status: str
+    outcome: str
+    digest: str
+    degradations: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+    attempts: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly dump (statement text omitted: it is an input)."""
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "status": self.status,
+            "outcome": self.outcome,
+            "digest": self.digest,
+            "degradations": list(self.degradations),
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class ConcurrentReplayReport:
+    """Everything one concurrent replay produced."""
+
+    concurrency: int
+    results: List[StatementResult] = field(default_factory=list)
+    wall_s: float = 0.0
+    breaker_states: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def outcomes(self) -> Dict[str, int]:
+        """Outcome -> count over all statements."""
+        counts: Dict[str, int] = {}
+        for res in self.results:
+            counts[res.outcome] = counts.get(res.outcome, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def statuses(self) -> Dict[str, int]:
+        """Worklog status -> count over all statements."""
+        counts: Dict[str, int] = {}
+        for res in self.results:
+            counts[res.status] = counts.get(res.status, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def digests(self) -> List[str]:
+        """Per-statement digests, in statement order."""
+        return [res.digest for res in self.results]
+
+    def mismatches(
+        self, other: "ConcurrentReplayReport"
+    ) -> List[Tuple[int, str, str]]:
+        """``(index, ours, theirs)`` where the digests disagree."""
+        out = []
+        for mine, theirs in zip(self.results, other.results):
+            if mine.digest != theirs.digest:
+                out.append((mine.index, mine.digest, theirs.digest))
+        if len(self.results) != len(other.results):
+            out.append((-1, str(len(self.results)),
+                        str(len(other.results))))
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly dump (what ``--json`` and the CI gate emit)."""
+        return {
+            "concurrency": self.concurrency,
+            "statements": len(self.results),
+            "wall_s": self.wall_s,
+            "outcomes": self.outcomes,
+            "statuses": self.statuses,
+            "breaker_states": dict(sorted(self.breaker_states.items())),
+            "results": [res.as_dict() for res in self.results],
+        }
+
+    def render(self) -> str:
+        """The human-readable report printed by the CLI."""
+        outcome_text = "  ".join(
+            f"{k}={v}" for k, v in self.outcomes.items()
+        )
+        lines = [
+            f"== concurrent replay: {len(self.results)} statement(s) "
+            f"at concurrency {self.concurrency} in {self.wall_s:.2f}s ==",
+            f"outcomes: {outcome_text or '(none)'}",
+        ]
+        if self.breaker_states:
+            lines.append("breakers: " + "  ".join(
+                f"{k}={v}"
+                for k, v in sorted(self.breaker_states.items())
+            ))
+        for res in self.results:
+            lines.append(
+                f"#{res.index:<3} {res.status:<16} {res.outcome:<9} "
+                f"{res.digest}  {res.kind}"
+            )
+        return "\n".join(lines)
+
+
+def replay_concurrent(
+    records: Iterable[Dict[str, object]],
+    dbx: "DBExplorer",
+    concurrency: int = 1,
+    config: Optional[ServeConfig] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ConcurrentReplayReport:
+    """Replay a workload log through a worker pool, deterministically.
+
+    ``records`` is :func:`~repro.obs.worklog.read_worklog` output;
+    session headers and malformed records are skipped.  Without an
+    explicit ``config`` the executor is configured for determinism:
+    ``concurrency`` workers, a queue that never rejects, no deadline,
+    breakers off.  Passing a ``config`` (the stress driver does) keeps
+    the DAG scheduling but lets admission control, the watchdog and the
+    breakers all bite — rejected statements are recorded with outcome
+    ``rejected`` and their writes simply never happen, exactly like a
+    client that got a 503.
+
+    Returns a :class:`ConcurrentReplayReport` whose per-statement
+    digests are comparable across concurrency levels.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    sqls = [
+        str(rec["statement"]) for rec in records
+        if rec.get("kind") == "statement"
+        and isinstance(rec.get("statement"), str)
+        and str(rec["statement"]).strip()
+    ]
+    n = len(sqls)
+    report = ConcurrentReplayReport(concurrency=concurrency)
+    if n == 0:
+        return report
+    scopes = [statement_scopes(sql) for sql in sqls]
+    deps = _dependency_edges(scopes)
+    dependents: List[List[int]] = [[] for _ in range(n)]
+    unmet = [0] * n
+    for i, dep_list in enumerate(deps):
+        unmet[i] = len(dep_list)
+        for j in dep_list:
+            dependents[j].append(i)
+
+    if config is None:
+        config = ServeConfig(
+            workers=concurrency,
+            queue_limit=n + 1,   # deterministic replay never rejects
+            deadline_s=None,
+            breaker=None,        # state depends on completion order
+        )
+    base_faults = dbx.faults
+    results: List[Optional[StatementResult]] = [None] * n
+    finished: "queue.Queue[Tuple[int, Optional[StatementTicket]]]" = (
+        queue.Queue()
+    )
+    rejections: Dict[int, OverloadedError] = {}
+
+    executor = SessionExecutor(dbx, config, metrics=metrics)
+    t0 = time.perf_counter()
+    try:
+        def _submit(i: int) -> None:
+            forked = (
+                base_faults.fork(i) if base_faults is not None else None
+            )
+            try:
+                ticket = executor.submit(
+                    sqls[i], session=f"s{i}", faults=forked
+                )
+            except OverloadedError as exc:
+                rejections[i] = exc
+                finished.put((i, None))
+                return
+            ticket.add_done_callback(
+                lambda t, i=i: finished.put((i, t))
+            )
+
+        for i in range(n):
+            if unmet[i] == 0:
+                _submit(i)
+        done = 0
+        while done < n:
+            i, ticket = finished.get()
+            results[i] = _result_of(i, sqls[i], ticket, rejections, dbx)
+            done += 1
+            for j in dependents[i]:
+                unmet[j] -= 1
+                if unmet[j] == 0:
+                    _submit(j)
+        report.breaker_states = executor.breaker_states()
+    finally:
+        executor.close()
+    report.wall_s = time.perf_counter() - t0
+    report.results = [res for res in results if res is not None]
+    return report
+
+
+def _result_of(
+    index: int,
+    sql: str,
+    ticket: Optional[StatementTicket],
+    rejections: Dict[int, OverloadedError],
+    dbx: "DBExplorer",
+) -> StatementResult:
+    if ticket is None:
+        error = rejections.get(index)
+        try:
+            kind = statement_kind(parse(sql))
+        except ReproError:
+            kind = "invalid"
+        return StatementResult(
+            index=index, statement=sql, kind=kind,
+            session=f"s{index}", status="rejected", outcome="rejected",
+            digest=_digest("rejected", [], None),
+            error=f"{type(error).__name__}: {error}"
+            if error is not None else None,
+        )
+    session = dbx.session(ticket.session)
+    report = session.last_report
+    degradations = (
+        [str(d) for d in report.degradations]
+        if report is not None else []
+    )
+    return StatementResult(
+        index=index,
+        statement=sql,
+        kind=ticket.kind or "invalid",
+        session=ticket.session,
+        status=ticket.status or "error",
+        outcome=ticket.outcome or "failed",
+        digest=_digest(
+            ticket.status or "error", degradations, ticket.result
+        ),
+        degradations=degradations,
+        error=(
+            f"{type(ticket.error).__name__}: {ticket.error}"
+            if ticket.error is not None else None
+        ),
+        attempts=ticket.attempts,
+    )
+
+
+def _digest(
+    status: str, degradations: List[str], result: Optional[object]
+) -> str:
+    """Hash what the user would see; deliberately no wall-clock fields.
+
+    Error *messages* are excluded too: ``BudgetExceededError`` embeds
+    elapsed milliseconds, which would break digest comparisons between
+    runs that fail identically.
+    """
+    payload = {
+        "status": status,
+        "degradations": list(degradations),
+        "result": _result_payload(result),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _result_payload(result: Optional[object]) -> object:
+    # lazy imports: repro.core imports repro.serve at module load; the
+    # reverse edge must stay runtime-only
+    from repro.core.cadview import CADView
+    from repro.core.serialize import to_dict
+    from repro.dataset.table import Table
+
+    if result is None:
+        return None
+    if isinstance(result, CADView):
+        return to_dict(result)
+    if isinstance(result, Table):
+        return {
+            "rows": len(result),
+            "attributes": [a.name for a in result.schema],
+            "data": [list(map(str, row)) for row in result.iter_rows()],
+        }
+    if isinstance(result, list):
+        return [str(item) for item in result]
+    if isinstance(result, str):
+        # rendered text (EXPLAIN ANALYZE traces, analyzer reports)
+        # embeds wall-clock timings — only its presence is hashed
+        return "<rendered text>"
+    return str(result)

@@ -323,6 +323,106 @@ class TestReplayCommand:
         assert rc == EXIT_USAGE
         assert "no statement records" in capsys.readouterr().err
 
+    def test_concurrent_replay_verifies_against_sequential(self, capsys):
+        rc = main([
+            "replay", self.SESSION, "--rows", "1000",
+            "--concurrency", "4", "--verify-sequential",
+        ])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+
+    def test_concurrent_replay_json_report(self, capsys):
+        rc = main([
+            "replay", self.SESSION, "--rows", "1000",
+            "--concurrency", "2", "--json",
+        ])
+        assert rc == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["concurrency"] == 2
+        assert report["statements"] == 17
+        assert set(report["outcomes"]) <= {
+            "ok", "degraded", "rejected", "failed"
+        }
+
+    def test_concurrent_replay_rejects_bad_concurrency(self, capsys):
+        rc = main([
+            "replay", self.SESSION, "--rows", "1000",
+            "--concurrency", "0",
+        ])
+        assert rc == EXIT_USAGE
+
+
+class TestServeCommand:
+    SESSION = TestReplayCommand.SESSION
+
+    def test_serve_requires_stress(self, capsys):
+        rc = main(["serve", self.SESSION, "--rows", "500"])
+        assert rc == EXIT_USAGE
+        assert "stress" in capsys.readouterr().err
+
+    def test_stress_run_reports_outcomes(self, capsys):
+        rc = main([
+            "serve", self.SESSION, "--stress", "--rows", "500",
+            "--workers", "2", "--queue-limit", "2",
+        ])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "concurrent replay" in out
+        assert "outcomes:" in out
+
+    def test_stress_under_faults_never_wrong_answers(
+        self, tmp_path, capsys
+    ):
+        metrics = tmp_path / "m.json"
+        rc = main([
+            "serve", self.SESSION, "--stress", "--rows", "500",
+            "--workers", "2", "--deadline-ms", "2000",
+            "--faults", "cluster=convergence*1,serve.slow_worker=crash*1",
+            "--metrics", str(metrics),
+        ])
+        assert rc == EXIT_OK
+        report = json.loads(
+            metrics.read_text()
+        )
+        assert report["counters"]["serve.admitted"] >= 17
+
+
+class TestMaxBadRows:
+    HEADER = (
+        "Make,Model,BodyType,Price,Mileage,Year,Engine,Drivetrain,"
+        "Transmission,Color,FuelEconomy"
+    )
+    GOOD = "Ford,F-150,Truck,30000,40000,2015,V6,AWD,Automatic,Red,20"
+    BAD = "Ford,F-150,Truck,30000,40000,cheap,V6,AWD,Automatic,Red,20"
+
+    def _write(self, tmp_path, *rows):
+        path = tmp_path / "cars.csv"
+        path.write_text("\n".join((self.HEADER,) + rows) + "\n")
+        return str(path)
+
+    def test_bad_row_fails_with_location(self, tmp_path, capsys):
+        csv = self._write(tmp_path, self.GOOD, self.BAD)
+        rc = main([
+            "cadview", "--dataset", "usedcars", "--csv", csv,
+            "--sql", "SELECT Make FROM data LIMIT 1",
+        ])
+        assert rc == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "row 2" in err and "Year" in err
+
+    def test_max_bad_rows_quarantines_and_warns(self, tmp_path, capsys):
+        csv = self._write(tmp_path, self.GOOD, self.BAD, self.GOOD)
+        rc = main([
+            "cadview", "--dataset", "usedcars", "--csv", csv,
+            "--max-bad-rows", "1",
+            "--sql", "SELECT Make FROM data LIMIT 5",
+        ])
+        assert rc == EXIT_OK
+        captured = capsys.readouterr()
+        assert "skipped bad row" in captured.err
+        assert "row 2" in captured.err
+
 
 class TestShowVariants:
     def test_describe_through_cli(self, capsys):

@@ -333,6 +333,88 @@ class TestRL006WorklogLockDiscipline:
         assert suppressed == 1
 
 
+SERVE = "src/repro/serve/sample.py"
+
+
+class TestRL007ServeLockDiscipline:
+    def test_flags_unlocked_mutation(self):
+        findings, _ = lint_source("""
+            class Executor:
+                def __init__(self):
+                    self._queued = 0
+                    self._lock = threading.Lock()
+
+                def admit(self):
+                    self._queued += 1
+        """, path=SERVE, select={"RL007"})
+        assert [f.rule for f in findings] == ["RL007"]
+        assert "_queued" in findings[0].message
+
+    def test_locked_mutation_passes(self):
+        findings, _ = lint_source("""
+            class Executor:
+                def __init__(self):
+                    self._queued = 0
+                    self._lock = threading.Lock()
+
+                def admit(self):
+                    with self._lock:
+                        self._queued += 1
+        """, path=SERVE, select={"RL007"})
+        assert findings == []
+
+    def test_snapshot_swap_under_lock_passes(self):
+        # the registry's copy-on-write idiom: copy, mutate the copy,
+        # swap the reference — all inside the lock
+        findings, _ = lint_source("""
+            class Registry:
+                def __init__(self):
+                    self._views = {}
+                    self._lock = threading.Lock()
+
+                def set(self, name, view):
+                    with self._lock:
+                        views = dict(self._views)
+                        views[name] = view
+                        self._views = views
+        """, path=SERVE, select={"RL007"})
+        assert findings == []
+
+    def test_lockless_classes_are_out_of_scope(self):
+        findings, _ = lint_source("""
+            class Ticket:
+                def finish(self, outcome):
+                    self._outcome = outcome
+        """, path=SERVE, select={"RL007"})
+        assert findings == []
+
+    def test_outside_serve_is_out_of_scope(self):
+        findings, _ = lint_source("""
+            class Executor:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def admit(self):
+                    self._queued = 1
+        """, path="src/repro/core/sample.py", select={"RL007"})
+        assert findings == []
+
+    def test_helper_with_justified_suppression(self):
+        findings, suppressed = lint_source("""
+            class Breaker:
+                def __init__(self):
+                    self._state = "closed"
+                    self._lock = threading.Lock()
+
+                def _transition(self, to):
+                    # lock held by the caller
+                    # repro-lint: ignore[RL007]
+                    self._state = to
+        """, path=SERVE, select={"RL007"})
+        assert findings == []
+        assert suppressed == 1
+
+
 class TestSuppression:
     SOURCE = """
         import random

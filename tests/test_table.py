@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.dataset import AttrKind, Attribute, Schema, Table
-from repro.errors import SchemaError, UnknownAttributeError
+from repro.errors import (
+    DataIngestError,
+    SchemaError,
+    UnknownAttributeError,
+)
 
 
 class TestConstruction:
@@ -156,3 +160,68 @@ class TestCSV:
         path = str(tmp_path / "t.csv")
         toy_table.to_csv(path)
         assert Table.from_csv(path, toy_schema) == toy_table
+
+
+class TestIngestion:
+    """Bad CSV rows fail with context — or are quarantined on request."""
+
+    HEADER = "city,stars,price,amenity"
+
+    def _csv(self, *rows):
+        return io.StringIO("\n".join((self.HEADER,) + rows) + "\n")
+
+    def test_non_numeric_value_raises_with_context(self, toy_schema):
+        buf = self._csv("Paris,5,400.0,spa", "Lyon,cheap,80.0,gym")
+        with pytest.raises(DataIngestError) as excinfo:
+            Table.from_csv(buf, toy_schema)
+        err = excinfo.value
+        assert err.row == 2           # 1-based, header not counted
+        assert err.column == "stars"
+        assert "'cheap'" in str(err)
+        assert "row 2" in str(err)
+
+    def test_path_lands_in_the_error(self, tmp_path, toy_schema):
+        path = tmp_path / "hotels.csv"
+        path.write_text(self.HEADER + "\nParis,oops,400.0,spa\n")
+        with pytest.raises(DataIngestError, match="hotels.csv"):
+            Table.from_csv(str(path), toy_schema)
+
+    def test_short_row_raises_with_context(self, toy_schema):
+        with pytest.raises(DataIngestError, match="row 1") as excinfo:
+            Table.from_csv(self._csv("Paris,5"), toy_schema)
+        assert "2 field" in str(excinfo.value)
+
+    def test_ingest_error_is_a_schema_error(self, toy_schema):
+        # existing `except SchemaError` call sites keep working
+        with pytest.raises(SchemaError):
+            Table.from_csv(self._csv("Paris,bad,1.0,spa"), toy_schema)
+
+    def test_max_bad_rows_quarantines(self, toy_schema):
+        buf = self._csv(
+            "Paris,5,400.0,spa",
+            "Lyon,cheap,80.0,gym",     # bad: non-numeric stars
+            "Nice,3,x,pool",           # bad: non-numeric price
+            "Paris,4,250.0,gym",
+        )
+        table = Table.from_csv(buf, toy_schema, max_bad_rows=2)
+        assert len(table) == 2
+        assert [e.row for e in table.quarantined] == [2, 3]
+        assert [e.column for e in table.quarantined] == ["stars", "price"]
+
+    def test_one_bad_row_past_the_limit_raises(self, toy_schema):
+        buf = self._csv("Lyon,cheap,80.0,gym", "Nice,3,x,pool")
+        with pytest.raises(DataIngestError) as excinfo:
+            Table.from_csv(buf, toy_schema, max_bad_rows=1)
+        assert excinfo.value.row == 2  # the second bad row blew the cap
+
+    def test_clean_load_has_empty_quarantine(self, toy_schema, toy_table):
+        back = Table.from_csv(
+            io.StringIO(toy_table.to_csv_string()), toy_schema,
+            max_bad_rows=5,
+        )
+        assert back.quarantined == ()
+        assert back == toy_table
+
+    def test_negative_limit_rejected(self, toy_schema):
+        with pytest.raises(ValueError, match="max_bad_rows"):
+            Table.from_csv(self._csv(), toy_schema, max_bad_rows=-1)

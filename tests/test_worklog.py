@@ -103,6 +103,45 @@ class TestWorkLogWriter:
             for line in (tmp_path / gen).read_text().splitlines():
                 assert json.loads(line)["v"] == WORKLOG_VERSION
 
+    def test_rotated_generations_start_with_the_session_header(
+        self, tmp_path
+    ):
+        path = tmp_path / "w.jsonl"
+        writer = WorkLogWriter(str(path), max_bytes=600, max_files=3)
+        writer.session(dataset="usedcars", rows=123, seed=7)
+        for i in range(40):
+            writer.statement(f"SELECT c{i} FROM data", "select", "ok", 0.1)
+        writer.close()
+        rotated = sorted(
+            p for p in tmp_path.iterdir() if p.name != "w.jsonl"
+        )
+        assert rotated, "the log never rotated"
+        for gen in [path] + rotated:
+            records = read_worklog(str(gen))
+            header = records[0]
+            # each generation is self-describing: replay can reconstruct
+            # the dataset from any surviving file
+            assert header["kind"] == "session"
+            assert header["dataset"] == "usedcars"
+            assert header["rows"] == 123
+            # seq stays strictly increasing within the file even though
+            # the re-written header consumed one mid-rotation
+            seqs = [r["seq"] for r in records]
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)
+        # no temp file survives a clean rotation
+        assert not (tmp_path / "w.jsonl.tmp").exists()
+
+    def test_rotation_without_header_stays_headerless(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        writer = WorkLogWriter(str(path), max_bytes=400, max_files=2)
+        for i in range(30):
+            writer.statement(f"SELECT c{i} FROM data", "select", "ok", 0.1)
+        writer.close()
+        for gen in tmp_path.iterdir():
+            for record in read_worklog(str(gen)):
+                assert record["kind"] == "statement"
+
     def test_concurrent_writers_never_interleave(self, tmp_path):
         path = str(tmp_path / "w.jsonl")
         writer = WorkLogWriter(path)

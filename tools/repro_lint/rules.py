@@ -9,6 +9,7 @@ RL003  ``self._x`` mutation in ``repro/obs/`` happens under ``self._lock``
 RL004  blanket ``except Exception`` must re-raise or record the fault
 RL005  tracer spans are opened with ``with`` (never left dangling)
 RL006  worklog file-handle I/O happens under the writer's ``self._lock``
+RL007  ``self._x`` mutation in ``repro/serve/`` happens under ``self._lock``
 ====== ==================================================================
 
 Every rule explains *why* in its docstring; suppress a justified
@@ -31,6 +32,7 @@ __all__ = [
     "SwallowedException",
     "DanglingTracerSpan",
     "UnlockedWorklogWrite",
+    "UnlockedServeMutation",
 ]
 
 # Reporting records that an isolated failure was handled, not swallowed.
@@ -197,9 +199,10 @@ class UnlockedObsMutation(Rule):
 
     code = "RL003"
     description = "obs private-state mutation outside `with self._lock`"
+    package = "obs"
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
-        if "obs" not in Path(module.path).parts or module.is_test:
+        if self.package not in Path(module.path).parts or module.is_test:
             return
         for cls in ast.walk(module.tree):
             if not isinstance(cls, ast.ClassDef):
@@ -253,6 +256,28 @@ class UnlockedObsMutation(Rule):
                  ast.Lambda),
             ):
                 yield from self._check_method(module, child, inside)
+
+
+@register
+class UnlockedServeMutation(UnlockedObsMutation):
+    """RL007: serving-core shared state mutates only under its lock.
+
+    The classes in ``repro/serve/`` (executor, breakers, the CoW view
+    registry) are the most concurrently hammered objects in the repo:
+    every worker thread, the watchdog, and the admission path touch
+    them at once.  The concurrency model (DESIGN.md Sec. 10) allows
+    exactly two idioms — mutate under ``with self._lock:``, or the
+    registry's snapshot swap, which copies and swaps the reference
+    *inside* its lock and therefore satisfies the same lexical check.
+    Any other mutation of a lock-owning class's private state is a
+    "forgot the lock" bug that would only surface as a flake under
+    load; helpers documented as called-with-lock-held carry an
+    ``ignore[RL007]`` suppression with the justification inline.
+    """
+
+    code = "RL007"
+    description = "serve shared-state mutation outside `with self._lock`"
+    package = "serve"
 
 
 def _is_blanket(handler: ast.ExceptHandler) -> bool:
