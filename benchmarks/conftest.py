@@ -7,12 +7,12 @@ runs once and is shared by the three study-figure benches.
 
 from __future__ import annotations
 
-import json
 import os
 
 import pytest
 
 from repro.dataset.generators import generate_mushroom, generate_usedcars
+from repro.obs.atomic import atomic_write_json
 from repro.study import run_study
 
 
@@ -52,9 +52,9 @@ def bench_emit():
             return None
         os.makedirs(out_dir, exist_ok=True)
         path = os.path.join(out_dir, f"BENCH_{name}.json")
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=1, sort_keys=True)
-            fh.write("\n")
+        # atomic: a bench killed mid-write must not leave a torn JSON
+        # baseline for the regression gate to choke on
+        atomic_write_json(path, payload, indent=1)
         return path
 
     return emit

@@ -53,6 +53,28 @@ DEFAULT_QUANTIZED_THRESHOLD = 2.6
 _QUANTIZED_KEY = re.compile(r"^p\d+_ms$")
 
 
+def _atomic_write_json(path: str, payload) -> None:
+    """tmp + fsync + ``os.replace``, inlined to stay stdlib-only.
+
+    (Mirrors :func:`repro.obs.atomic.atomic_write_json`; this script
+    must run in CI without the package installed.)
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = os.path.join(
+        directory, f".{os.path.basename(path)}.tmp.{os.getpid()}"
+    )
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
 def is_quantized_key(key: str) -> bool:
     """True for histogram-quantile leaves (``p50_ms``, ``p99_ms``...)."""
     return bool(_QUANTIZED_KEY.match(key))
@@ -243,9 +265,7 @@ def main(argv=None) -> int:
         quantized_threshold=args.quantized_threshold,
     )
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump(verdict, fh, indent=1, sort_keys=True)
-            fh.write("\n")
+        _atomic_write_json(args.out, verdict)
     print(render(verdict))
     if verdict["verdict"] == "ok":
         return 0

@@ -11,6 +11,7 @@ Usage (``python -m repro <command> ...``)::
     python -m repro repl --dataset usedcars --rows 20000 \
         --worklog session.worklog.jsonl
     python -m repro replay session.worklog.jsonl --budget-ms 200
+    python -m repro serve session.worklog.jsonl --stress --procs 2 --chaos
     python -m repro study --rows 8124
     python -m repro profile --rows 40000
     python -m repro deps --dataset usedcars
@@ -345,6 +346,34 @@ def _replay_defaults_from_header(args, records) -> None:
         args.budget_ms = None
 
 
+def _read_workload(args):
+    """Read the workload log, honoring ``--strict``.
+
+    Returns ``(records, corrupt_count)``.  Tolerant mode (the default)
+    skips undecodable lines with a warning — a writer killed mid-write
+    leaves a truncated trailing line, and a crash-recovery replay must
+    not choke on the very record whose statement caused the crash.
+    ``--strict`` turns any such line into a usage error instead.
+    """
+    corrupt: list = []
+    strict = bool(getattr(args, "strict", False))
+    try:
+        records = read_worklog(
+            args.worklog_file, strict=strict, corrupt_lines=corrupt
+        )
+    except (ValueError, OSError) as exc:
+        raise ReproError(
+            f"cannot read worklog {args.worklog_file!r}: {exc}"
+        ) from exc
+    for lineno in corrupt:
+        print(
+            f"warning: {args.worklog_file}:{lineno}: corrupt worklog "
+            "line skipped (pass --strict to fail instead)",
+            file=sys.stderr,
+        )
+    return records, len(corrupt)
+
+
 def _guard_self_replay(args) -> None:
     # guard before _session_worklog opens the file: opening in append
     # mode would stamp a session header onto the log being replayed
@@ -371,11 +400,11 @@ def cmd_replay(args) -> int:
     replays once more at concurrency 1 against a fresh table and fails
     (exit 2) on any digest mismatch: the zero-wrong-answers gate.
     """
-    records = read_worklog(args.worklog_file)
+    records, corrupt = _read_workload(args)
     _replay_defaults_from_header(args, records)
     _guard_self_replay(args)
     if args.concurrency is not None:
-        return _replay_concurrent_cmd(args, records)
+        return _replay_concurrent_cmd(args, records, corrupt)
     tracer = _session_tracer(args)
     worklog = _session_worklog(args)
     try:
@@ -387,6 +416,7 @@ def cmd_replay(args) -> int:
         )
         dbx.register("data", _load_table(args))
         report = replay(records, dbx)
+        report.corrupt_lines = corrupt
         if args.json:
             import json
 
@@ -411,7 +441,7 @@ def _fresh_replay_explorer(args, tracer=None, worklog=None):
     return dbx
 
 
-def _replay_concurrent_cmd(args, records) -> int:
+def _replay_concurrent_cmd(args, records, corrupt: int = 0) -> int:
     """The ``replay --concurrency N`` path: the DAG-scheduled harness."""
     from repro.serve import replay_concurrent
 
@@ -426,6 +456,7 @@ def _replay_concurrent_cmd(args, records) -> int:
         report = replay_concurrent(
             records, dbx, concurrency=args.concurrency
         )
+        report.corrupt_lines = corrupt
         if args.verify_sequential:
             baseline = replay_concurrent(
                 records, _fresh_replay_explorer(args), concurrency=1
@@ -465,6 +496,13 @@ def cmd_serve(args) -> int:
     ``replay --concurrency`` configuration.  Prints per-statement
     outcomes, breaker states and executor load, and fails (exit 2) if
     any statement ends without a terminal outcome (a silent drop).
+
+    ``--procs N`` swaps the thread pool for N supervised worker
+    subprocesses (:mod:`repro.serve.proc`); ``--chaos`` then injects
+    worker crash/hang/pipe-drop faults mid-run and asserts the
+    supervision tree recovered: every statement terminal, restarts
+    within the backoff bounds, and — with ``--verify-sequential`` —
+    digests byte-identical to an in-process sequential replay.
     """
     from repro.robustness import Budget
     from repro.serve import BreakerConfig, ServeConfig, replay_concurrent
@@ -473,9 +511,19 @@ def cmd_serve(args) -> int:
         raise ReproError(
             "only stress mode is implemented; pass --stress"
         )
-    records = read_worklog(args.worklog_file)
+    if args.chaos and args.procs is None:
+        raise ReproError("--chaos requires --procs")
+    if args.verify_sequential and args.procs is None:
+        raise ReproError(
+            "--verify-sequential under serve requires --procs "
+            "(thread-mode stress is deliberately nondeterministic; "
+            "use 'replay --concurrency N --verify-sequential' instead)"
+        )
+    records, corrupt = _read_workload(args)
     _replay_defaults_from_header(args, records)
     _guard_self_replay(args)
+    if args.procs is not None:
+        return _serve_procs(args, records, corrupt)
     try:
         config = ServeConfig(
             workers=args.workers,
@@ -502,6 +550,7 @@ def cmd_serve(args) -> int:
         report = replay_concurrent(
             records, dbx, concurrency=args.workers, config=config
         )
+        report.corrupt_lines = corrupt
         if args.json:
             import json
 
@@ -521,6 +570,242 @@ def cmd_serve(args) -> int:
     if dropped:
         print(f"error: statements without a terminal outcome: {dropped}",
               file=sys.stderr)
+        return EXIT_BUILD_FAILED
+    return EXIT_OK
+
+
+def _chaos_plan(n: int) -> str:
+    """An index-narrowed chaos plan over an ``n``-statement workload.
+
+    Counting faults (never probabilistic) at fixed statement indices,
+    so the same workload always produces the same chaos schedule — the
+    precondition for ``--chaos --verify-sequential`` byte-identity.
+    One crash early, one hang mid-run, one pipe drop late; short
+    workloads get however many distinct indices they can hold.
+    """
+    sites = []
+    crash = n // 4
+    sites.append(f"proc.worker_crash:{crash}=crash*1")
+    hang = max(crash + 1, n // 2)
+    if hang < n:
+        # the sleep must outlive the supervisor's heartbeat timeout so
+        # the missed-heartbeat detector (not the pipe) catches it
+        sites.append(f"proc.worker_hang:{hang}=sleep:2.0*1")
+    drop = max(hang + 1, (3 * n) // 4)
+    if drop < n:
+        sites.append(f"proc.pipe_drop:{drop}=crash*1")
+    return ",".join(sites)
+
+
+def _serve_procs(args, records, corrupt: int) -> int:
+    """The ``serve --stress --procs N`` path: supervised subprocesses.
+
+    Builds a :class:`~repro.serve.proc.ProcSupervisor` over ``N``
+    dataset-sharded workers, replays the workload through it with the
+    same DAG harness the thread path uses, then drains gracefully.  A
+    SIGTERM mid-run turns into :meth:`begin_drain` — admission stops,
+    in-flight statements finish or cancel, workers exit 0, artifacts
+    flush — and the command still exits 0: that is the graceful-drain
+    contract the chaos tests pin down.
+    """
+    import signal
+
+    from repro.robustness import Budget
+    from repro.serve import BreakerConfig, replay_concurrent
+    from repro.serve.proc import (
+        ProcServeConfig,
+        ProcSupervisor,
+        WorkerSpec,
+    )
+
+    if args.procs < 1:
+        raise ReproError(f"--procs must be >= 1, got {args.procs}")
+    n = sum(
+        1 for rec in records
+        if rec.get("kind") == "statement"
+        and isinstance(rec.get("statement"), str)
+        and str(rec["statement"]).strip()
+    )
+    faults_spec = args.faults
+    if args.chaos:
+        chaos_spec = _chaos_plan(n)
+        faults_spec = (
+            f"{faults_spec},{chaos_spec}" if faults_spec else chaos_spec
+        )
+        print(f"chaos plan: {chaos_spec}", file=sys.stderr)
+        # the sequential baseline must run the same build-site faults;
+        # proc.* sites are never consulted in-process, so sharing the
+        # combined spec keeps the two runs digest-comparable
+        args.faults = faults_spec
+    try:
+        budget = None
+        if args.budget_ms is not None or args.max_rows is not None:
+            budget = Budget(
+                deadline_s=(
+                    args.budget_ms / 1e3
+                    if args.budget_ms is not None else None
+                ),
+                max_rows=args.max_rows,
+            )
+        spec = WorkerSpec(
+            dataset=args.dataset,
+            rows=args.rows,
+            seed=args.seed,
+            csv=args.csv,
+            faults_spec=faults_spec,
+            budget=budget,
+            max_retries=args.max_retries,
+        )
+        if args.chaos:
+            # deterministic chaos: breakers and deadlines off (their
+            # state depends on wall-clock completion order), admission
+            # wide open, and a fast heartbeat so injected hangs are
+            # detected in test time, not operator time
+            config = ProcServeConfig(
+                shards=args.procs,
+                queue_limit=n + 1,
+                deadline_s=None,
+                max_retries=args.max_retries,
+                breaker=None,
+                heartbeat_interval_s=0.05,
+                heartbeat_timeout_s=0.5,
+                restart_backoff_base_s=0.05,
+                restart_backoff_cap_s=0.5,
+                drain_grace_s=args.drain_grace_ms / 1e3,
+            )
+        else:
+            config = ProcServeConfig(
+                shards=args.procs,
+                queue_limit=args.queue_limit,
+                deadline_s=(
+                    args.deadline_ms / 1e3
+                    if args.deadline_ms is not None else None
+                ),
+                max_retries=args.max_retries,
+                breaker=BreakerConfig(
+                    trip_after=args.trip_after,
+                    cooldown_s=args.cooldown_ms / 1e3,
+                ),
+                drain_grace_s=args.drain_grace_ms / 1e3,
+            )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    tracer = _session_tracer(args)
+    worklog = _session_worklog(args)
+    supervisor = None
+    old_handler = None
+    # the handler must be live *before* the workers boot: a SIGTERM
+    # that lands while shards are still building their tables has to
+    # drain gracefully too, not kill the process with the default
+    # action.  CPython delivers signals on the main thread, so the
+    # cell needs no lock.
+    sigterm_state = {"supervisor": None, "drain": False}
+
+    def _on_sigterm(signum, frame):
+        # stop admission only: the DAG loop sees rejections, the
+        # replay returns, and the drain below still runs to
+        # completion on the main thread — handler-safe by design
+        sup = sigterm_state["supervisor"]
+        if sup is not None:
+            sup.begin_drain()
+        else:
+            sigterm_state["drain"] = True  # apply once it exists
+
+    try:
+        try:
+            old_handler = signal.signal(signal.SIGTERM, _on_sigterm)
+        except ValueError:
+            old_handler = None  # not the main thread (embedded use)
+        supervisor = ProcSupervisor(spec, config, worklog=worklog)
+        sigterm_state["supervisor"] = supervisor
+        if sigterm_state["drain"]:
+            supervisor.begin_drain()
+        if not supervisor.wait_ready(timeout=120.0):
+            raise ReproError(
+                "workers failed to become ready within 120s"
+            )
+        report = replay_concurrent(
+            records, executor=supervisor, concurrency=args.procs
+        )
+        report.corrupt_lines = corrupt
+        drain_report = supervisor.drain()
+        chaos = supervisor.chaos_stats()
+        if args.json:
+            import json
+
+            payload = report.as_dict()
+            payload["drain"] = drain_report
+            payload["chaos"] = chaos
+            print(json.dumps(payload, indent=2, default=str))
+        else:
+            print(report.render())
+            print(
+                f"drain: cancelled={drain_report['cancelled']} "
+                f"clean={drain_report['clean']} "
+                f"exitcodes={drain_report['exitcodes']}"
+            )
+            print(
+                f"chaos: deaths={chaos['deaths']} "
+                f"resubmits={chaos['resubmits']} "
+                f"max_restart_delay={chaos['max_restart_delay_s']:.3f}s "
+                f"wedged={chaos['wedged']}"
+            )
+    finally:
+        if old_handler is not None:
+            signal.signal(signal.SIGTERM, old_handler)
+        if supervisor is not None:
+            supervisor.close(wait=False)
+        _write_obs(args, tracer, worklog)
+    if not report.results:
+        print("error: no statement records in "
+              f"{args.worklog_file}", file=sys.stderr)
+        return EXIT_USAGE
+    failures = []
+    if chaos["wedged"]:
+        failures.append(f"{chaos['wedged']} ticket(s) never resolved")
+    if chaos["max_restart_delay_s"] > chaos["backoff_cap_s"] + 1e-9:
+        failures.append(
+            f"restart delay {chaos['max_restart_delay_s']:.3f}s "
+            f"exceeded the backoff cap {chaos['backoff_cap_s']:.3f}s"
+        )
+    if args.chaos and chaos["total_deaths"] == 0 and n >= 1:
+        failures.append(
+            "chaos run injected no worker deaths (vacuous pass)"
+        )
+    dropped = [
+        res.index for res in report.results
+        if res.outcome not in ("ok", "degraded", "rejected", "failed")
+    ]
+    if dropped:
+        failures.append(
+            f"statements without a terminal outcome: {dropped}"
+        )
+    if args.verify_sequential:
+        baseline = replay_concurrent(
+            records, _fresh_replay_explorer(args), concurrency=1
+        )
+        mismatches = baseline.mismatches(report)
+        if mismatches:
+            for index, seq, conc in mismatches:
+                print(
+                    f"wrong answer at statement #{index}: "
+                    f"sequential={seq} procs={conc}",
+                    file=sys.stderr,
+                )
+            failures.append(
+                f"{len(mismatches)} digest mismatch(es) vs the "
+                "sequential replay"
+            )
+        else:
+            print(
+                f"verified: {len(report.results)} statement(s) "
+                "byte-identical to the sequential replay",
+                # keep --json stdout machine-parseable
+                file=sys.stderr if args.json else sys.stdout,
+            )
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
         return EXIT_BUILD_FAILED
     return EXIT_OK
 
@@ -654,6 +939,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --concurrency: also replay sequentially and fail "
              "(exit 2) on any per-statement digest mismatch",
     )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="fail on corrupt/truncated worklog lines instead of "
+             "skipping them with a warning",
+    )
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
@@ -690,6 +980,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cooldown-ms", type=float, default=500.0,
                    help="how long an open breaker short-circuits builds "
                         "before the half-open probe")
+    p.add_argument("--procs", type=int, default=None, metavar="N",
+                   help="serve through N supervised worker subprocesses "
+                        "(dataset-sharded, crash-recovering) instead of "
+                        "the in-process thread pool")
+    p.add_argument("--chaos", action="store_true",
+                   help="with --procs: inject worker crash/hang/"
+                        "pipe-drop faults mid-run and fail (exit 2) "
+                        "unless the supervisor fully recovers")
+    p.add_argument("--verify-sequential", action="store_true",
+                   help="with --procs: also replay sequentially "
+                        "in-process and fail (exit 2) on any "
+                        "per-statement digest mismatch")
+    p.add_argument("--drain-grace-ms", type=float, default=5000.0,
+                   help="how long a graceful drain waits for in-flight "
+                        "statements before cancelling them")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on corrupt/truncated worklog lines "
+                        "instead of skipping them with a warning")
     _add_budget_args(p)
     _add_obs_args(p)
     p.add_argument("--json", action="store_true",

@@ -134,6 +134,34 @@ class OverloadedError(ServeError):
         )
 
 
+class WorkerCrashError(ServeError):
+    """A worker subprocess died (or went silent) mid-statement.
+
+    Raised supervisor-side for every in-flight request of a dead worker
+    — the process exited with a nonzero code, was SIGKILLed after
+    missing heartbeats, or tore its pipe.  It is a *transient* fault:
+    the supervisor resubmits the statement to the restarted worker up
+    to its retry budget, and only then does the ticket fail with this
+    error.  ``shard`` and ``incarnation`` identify the worker that
+    died; ``cause`` is ``crash`` / ``hang`` / ``pipe_drop``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: int = -1,
+        incarnation: int = 0,
+        cause: str = "crash",
+    ):
+        self.shard = shard
+        self.incarnation = incarnation
+        self.cause = cause
+        super().__init__(
+            f"{message} (shard {shard}, incarnation {incarnation}, "
+            f"cause {cause})"
+        )
+
+
 class QueryCancelledError(ServeError):
     """A statement was cancelled before it completed.
 

@@ -1,0 +1,57 @@
+"""Crash-safe artifact writes: tmp file + fsync + atomic rename.
+
+Every file artifact this repository emits for later consumption —
+benchmark baselines (``BENCH_*.json``), Chrome trace exports, metrics
+snapshots, the worklog's rotated-generation headers — must never be
+observable half-written: a crash (or an injected ``proc.worker_crash``
+taking the whole process group down) mid-``write`` would otherwise
+leave a torn JSON file that poisons the next run's comparison instead
+of failing it cleanly.
+
+The cure is the standard POSIX dance, in one place instead of four:
+write the full content to a sibling temp file, ``fsync`` it so the
+bytes are durable before the rename, then ``os.replace`` onto the
+destination — which is atomic on the same filesystem, so readers see
+either the complete old file or the complete new one, never a mix.
+The temp file lives in the destination's directory (same filesystem,
+or the rename would silently degrade to copy+delete).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` so a crash never leaves a torn file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = os.path.join(
+        directory, f".{os.path.basename(path)}.tmp.{os.getpid()}"
+    )
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        # os.replace consumed the temp file on success; anything still
+        # there is debris from a failure above
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def atomic_write_json(
+    path: str, payload: object, indent: Optional[int] = 2,
+    sort_keys: bool = True,
+) -> None:
+    """Serialize ``payload`` and write it atomically (trailing newline)."""
+    atomic_write_text(
+        path,
+        json.dumps(payload, indent=indent, sort_keys=sort_keys,
+                   default=str) + "\n",
+    )

@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
+from repro.obs.atomic import atomic_write_text
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span
 
@@ -79,10 +80,15 @@ def to_chrome_trace(
 
 
 def write_chrome_trace(root: Span, path: str) -> None:
-    """Write :func:`to_chrome_trace` output to ``path``."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(to_chrome_trace(root), fh, indent=1)
-        fh.write("\n")
+    """Write :func:`to_chrome_trace` output to ``path`` atomically.
+
+    Trace exports happen at the end of runs that may be dying (the
+    crash path flushes observability artifacts); the atomic write
+    guarantees a half-exported trace never shadows a good one.
+    """
+    atomic_write_text(
+        path, json.dumps(to_chrome_trace(root), indent=1) + "\n"
+    )
 
 
 def _fmt_value(value: object) -> str:
@@ -143,7 +149,8 @@ def render_trace(
 
 
 def write_metrics(reg: MetricsRegistry, path: str) -> None:
-    """Write a registry snapshot to ``path`` as JSON."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(reg.snapshot(), fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    """Write a registry snapshot to ``path`` as JSON, atomically."""
+    atomic_write_text(
+        path,
+        json.dumps(reg.snapshot(), indent=1, sort_keys=True) + "\n",
+    )

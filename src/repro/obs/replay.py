@@ -37,6 +37,7 @@ class ReplayReport:
     statements: int = 0
     errors: int = 0
     skipped: int = 0
+    corrupt_lines: int = 0
     wall_s: float = 0.0
     degradations: int = 0
     by_kind: Dict[str, Dict[str, float]] = field(default_factory=dict)
@@ -55,6 +56,7 @@ class ReplayReport:
             "statements": self.statements,
             "errors": self.errors,
             "skipped": self.skipped,
+            "corrupt_lines": self.corrupt_lines,
             "wall_s": self.wall_s,
             "throughput_stmt_s": self.throughput_stmt_s,
             "degradations": self.degradations,
@@ -73,6 +75,11 @@ class ReplayReport:
             f"{self.wall_s:.2f}s ({self.throughput_stmt_s:.1f} stmt/s, "
             f"{self.errors} error(s), {self.skipped} skipped) =="
         ]
+        if self.corrupt_lines:
+            lines.append(
+                f"warning: {self.corrupt_lines} corrupt worklog line(s) "
+                "skipped (rerun with --strict to fail on them)"
+            )
         header = (
             f"{'kind':<18} {'count':>5} {'errors':>6} "
             f"{'p50':>10} {'p95':>10} {'p99':>10} {'mean':>10}"

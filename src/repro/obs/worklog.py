@@ -218,9 +218,18 @@ class WorkLogWriter:
         analysis_warnings: Optional[List[str]] = None,
         error: Optional[str] = None,
         session: Optional[str] = None,
+        proc: Optional[Mapping[str, object]] = None,
     ) -> Dict[str, object]:
-        """Append one statement record (the main entry point)."""
-        return self.log({
+        """Append one statement record (the main entry point).
+
+        ``proc`` is the multi-process serving provenance, present only
+        for statements served by :mod:`repro.serve.proc`: which shard
+        and worker incarnation executed it, how many times it was
+        resubmitted after a worker death (``proc_attempts``), and — for
+        statements that ultimately failed because their worker kept
+        dying — the crash ``cause``.
+        """
+        record: Dict[str, object] = {
             "kind": "statement",
             "statement": statement,
             "statement_kind": kind,
@@ -234,7 +243,10 @@ class WorkLogWriter:
             "analysis_warnings": list(analysis_warnings or []),
             "error": error,
             "session": session,
-        })
+        }
+        if proc is not None:
+            record["proc"] = dict(proc)
+        return self.log(record)
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
@@ -258,19 +270,17 @@ class WorkLogWriter:
         if os.path.exists(self.path):
             os.replace(self.path, f"{self.path}.1")
         if self._session_header is not None:
-            # crash-safe header for the new generation: write it to a
-            # temp file, fsync, then atomically rename into place — a
-            # crash anywhere in between leaves either no new file or a
-            # new file whose header line is complete, never a torn one
+            # crash-safe header for the new generation: the shared
+            # tmp + fsync + os.replace path means a crash anywhere in
+            # between leaves either no new file or a new file whose
+            # header line is complete, never a torn one
+            from repro.obs.atomic import atomic_write_text
+
             header = self._stamp(self._session_header)
-            tmp = f"{self.path}.tmp"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                fh.write(
-                    json.dumps(header, sort_keys=True, default=str) + "\n"
-                )
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self.path)
+            atomic_write_text(
+                self.path,
+                json.dumps(header, sort_keys=True, default=str) + "\n",
+            )
         # lock held by the caller (see above); the lexical check cannot
         # see through the call boundary
         # repro-lint: ignore[RL003]
@@ -334,8 +344,22 @@ NO_WORKLOG = NullWorkLogWriter()
 # -- reading ---------------------------------------------------------------
 
 
-def iter_worklog(path: str) -> Iterator[Dict[str, object]]:
-    """Yield records from a worklog file, with line-accurate errors."""
+def iter_worklog(
+    path: str,
+    strict: bool = True,
+    corrupt_lines: Optional[List[int]] = None,
+) -> Iterator[Dict[str, object]]:
+    """Yield records from a worklog file, with line-accurate errors.
+
+    With ``strict=True`` (the default) any undecodable line raises
+    ``ValueError`` naming the file and line.  With ``strict=False``
+    such lines are *skipped* — a process killed mid-``write`` leaves a
+    truncated trailing line, and a crash-recovery replay must not choke
+    on the very record whose statement caused the crash.  Each skipped
+    line's 1-based number is appended to ``corrupt_lines`` when the
+    caller provides a list, so replay reports can say how much was
+    dropped instead of dropping it silently.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -343,17 +367,27 @@ def iter_worklog(path: str) -> Iterator[Dict[str, object]]:
                 continue
             try:
                 record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
             except ValueError as exc:
-                raise ValueError(
-                    f"{path}:{lineno}: not valid JSON: {exc}"
-                ) from exc
-            if not isinstance(record, dict):
-                raise ValueError(
-                    f"{path}:{lineno}: record is not an object"
-                )
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: not valid JSON: {exc}"
+                    ) from exc
+                if corrupt_lines is not None:
+                    corrupt_lines.append(lineno)
+                continue
             yield record
 
 
-def read_worklog(path: str) -> List[Dict[str, object]]:
-    """Every record in a worklog file, in order."""
-    return list(iter_worklog(path))
+def read_worklog(
+    path: str,
+    strict: bool = True,
+    corrupt_lines: Optional[List[int]] = None,
+) -> List[Dict[str, object]]:
+    """Every record in a worklog file, in order.
+
+    ``strict`` / ``corrupt_lines`` behave as in :func:`iter_worklog`.
+    """
+    return list(iter_worklog(path, strict=strict,
+                             corrupt_lines=corrupt_lines))

@@ -33,6 +33,28 @@ top of the per-phase build sites:
     deadline to exercise the watchdog), an error fault simulates a
     worker-side crash the retry machinery must absorb.
 
+The multi-process layer (:mod:`repro.serve.proc`) adds three sites
+consulted inside the worker *subprocess*, narrowed by the statement
+index (``proc.worker_crash:3`` targets statement #3 only):
+
+``proc.worker_crash``
+    The worker calls ``os._exit`` with a nonzero code — a segfault/OOM
+    stand-in the supervisor must detect, restart, and retry around.
+``proc.worker_hang``
+    A ``sleep`` fault here stalls the worker with its *heartbeat
+    suppressed*, so the supervisor's missed-heartbeat detector (not a
+    pipe event) is what catches it and SIGKILLs the process.
+``proc.pipe_drop``
+    The worker closes its end of the control pipe and exits, so the
+    supervisor sees a torn/EOF pipe instead of a clean response.
+
+Because a restarted worker rebuilds its injector from the plan spec,
+the supervisor forwards the statement's *proc attempt number* and the
+worker calls :meth:`FaultInjector.advance` to burn the consultations a
+previous incarnation already made — a counting ``crash*1`` fault kills
+the worker exactly once per statement no matter how many times the
+statement is resubmitted.
+
 Concurrent serving forks one injector per admitted statement
 (:meth:`FaultInjector.fork`), so the counting state of ``times``-style
 faults never races across worker threads — a given (plan, statement
@@ -138,6 +160,29 @@ class FaultInjector:
     def fired(self, site: str) -> int:
         """How many times the fault at ``site`` actually fired."""
         return self._fired.get(site, 0)
+
+    def advance(
+        self, phase: str, n: int, pivot_value: Optional[str] = None
+    ) -> None:
+        """Consume ``n`` consultations of a site without acting on them.
+
+        The multi-process serving layer uses this to make faults
+        *incarnation-proof*: a restarted worker rebuilds its injector
+        from the plan spec with zeroed counters, so before re-executing
+        a resubmitted statement it advances each ``proc.*`` site by the
+        number of attempts previous incarnations already made.  Counting
+        faults burn their ``times`` budget; probabilistic faults redraw
+        (and discard) the same RNG sequence — either way, attempt ``k``
+        of a statement behaves identically whether it runs in the first
+        worker incarnation or the fifth.
+        """
+        for _ in range(n):
+            for site in self._keys(phase, pivot_value):
+                fault = self.plan.get(site)
+                if fault is None:
+                    continue
+                if self._due(site, fault):
+                    break  # fire() would have acted here and stopped
 
     @property
     def enabled(self) -> bool:

@@ -134,6 +134,24 @@ class CircuitBreaker:
             elif self._state is BreakerState.CLOSED:
                 self._failures = 0
 
+    def on_cancelled(self, probe: bool = False) -> None:
+        """Record a build cancelled for reasons unrelated to its health.
+
+        A client disconnect or a drain cancels the build before it can
+        prove anything, so the breaker must treat the attempt as
+        *inconclusive*: no failure is counted, and — the half-open race
+        this fixes — a cancelled probe releases the probe slot and the
+        breaker **stays half-open** instead of latching back to open
+        with a fresh cooldown.  The next arrival becomes the new probe.
+        (Deadline-triggered cancellations do not come here; the
+        executor routes them to :meth:`on_failure` — blowing the
+        serving deadline is precisely the unhealth the breaker exists
+        to detect.)
+        """
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN and probe:
+                self._probe_in_flight = False
+
     def on_failure(self, probe: bool = False) -> None:
         """Record a failed or deadline-blown build."""
         with self._lock:

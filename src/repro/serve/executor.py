@@ -195,6 +195,14 @@ class StatementTicket:
         self.error: Optional[BaseException] = None
         self.status: Optional[str] = None
         self.outcome: Optional[str] = None
+        # set by the multi-process supervisor, whose workers reduce
+        # results to JSON digest payloads before they cross the pipe
+        # (the thread executor leaves these unset and callers fall back
+        # to ``result`` / the session's last report)
+        self.degradations: Optional[List[str]] = None
+        self.result_payload: object = None
+        self.has_result_payload = False
+        self.proc_attempts = 0                # resubmits after worker deaths
         self._done = threading.Event()
         self._callbacks: List[Callable[["StatementTicket"], None]] = []
 
@@ -309,13 +317,18 @@ class SessionExecutor:
         sql: str,
         session: str = "default",
         faults: Optional[FaultInjector] = None,
+        fault_index: Optional[int] = None,
     ) -> StatementTicket:
         """Admit one statement, or raise :class:`OverloadedError`.
 
         ``session`` names the logical session whose state the statement
         updates; ``faults`` overrides the per-statement injector
-        (default: the explorer's injector forked by statement index, so
-        counting faults never race across worker threads).
+        (default: the explorer's injector forked by ``fault_index``,
+        falling back to the ticket index, so counting faults never race
+        across worker threads).  ``fault_index`` exists for replay
+        harnesses that submit out of submission order but need fault
+        forking keyed to the *statement's* position in its log — the
+        multi-process supervisor honors the same parameter.
 
         Raises :class:`OverloadedError` on a full queue (with a
         Retry-After estimate) and :class:`ServeError` after
@@ -331,7 +344,9 @@ class SessionExecutor:
         if faults is not None:
             injector = faults
         elif self.dbx.faults is not None:
-            injector = self.dbx.faults.fork(index)
+            injector = self.dbx.faults.fork(
+                fault_index if fault_index is not None else index
+            )
         else:
             injector = NO_FAULTS
         deadline_at = (
@@ -528,10 +543,15 @@ class SessionExecutor:
 
         if breaker is not None:
             # a degraded answer still counts as success — the ladder did
-            # its job; cancellations and budget blowouts count against
-            # the dataset like any other failure
+            # its job; deadline blowouts and other failures count
+            # against the dataset; a cancellation for any *other* reason
+            # (client went away, drain) says nothing about the build's
+            # health, so it must not latch a half-open breaker back open
             if error is None:
                 breaker.on_success(probe=probe)
+            elif isinstance(error, QueryCancelledError) and \
+                    "deadline" not in (ticket.cancel.reason or ""):
+                breaker.on_cancelled(probe=probe)
             else:
                 breaker.on_failure(probe=probe)
 

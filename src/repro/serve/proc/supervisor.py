@@ -1,0 +1,1179 @@
+"""The supervisor: sharded worker subprocesses behind the ticket API.
+
+:class:`ProcSupervisor` is the process-model sibling of
+:class:`~repro.serve.executor.SessionExecutor`: same ``submit() ->
+StatementTicket`` surface, same terminal outcomes, same workload-log
+records — but statements execute in dataset-sharded **worker
+subprocesses** (stdlib ``multiprocessing``, spawn context), so a
+segfault, OOM kill, or hung build takes down one worker incarnation,
+never the serving process.
+
+The supervision tree::
+
+    ProcSupervisor (parent process)
+      ├── monitor thread      heartbeat staleness, restart backoff,
+      │                       deadline watchdog
+      ├── reader thread ×N    one per live worker, consuming frames
+      └── worker process ×N   one per shard (repro.serve.proc.worker)
+
+Failure handling, per cause:
+
+* **crash** — the process exits nonzero (or is SIGKILLed from
+  outside).  The reader sees EOF, the monitor sees ``is_alive() ==
+  False``; whichever notices first runs the one-shot death path.
+* **hang** — the process is alive but its heartbeat went stale (an
+  injected ``proc.worker_hang``, a native-code spin).  The monitor
+  SIGKILLs it: cancellation is cooperative and a hung worker by
+  definition no longer cooperates.
+* **pipe_drop** — the connection tears mid-frame
+  (:class:`~repro.serve.proc.protocol.ProtocolError`) or closes
+  without a bye.  Indistinguishable from a crash for recovery
+  purposes; tracked separately for the chaos stats.
+
+In every case the dead worker's in-flight requests become *retryable
+failures*: each is resubmitted to the next incarnation with
+``proc_attempt + 1`` (the worker advances the ``proc.*`` fault sites by
+that count, keeping chaos deterministic) until ``proc_retries`` is
+exhausted, at which point the ticket fails with
+:class:`~repro.errors.WorkerCrashError`.  The shard restarts under
+exponential backoff (``restart_backoff_base_s`` doubling up to
+``restart_backoff_cap_s``), and each new incarnation first replays the
+shard's **catalog journal** — the ordered catalog-mutating statements
+previous incarnations completed — so the rebuilt view catalog is
+bit-identical (builds are seeded) before traffic resumes.
+
+Circuit breakers are keyed on ``dataset@s<shard>.g<incarnation>``: a
+restarted worker starts with a fresh breaker, because the failure
+history of a dead incarnation says nothing about its replacement.
+
+Graceful drain: :meth:`begin_drain` (safe to call from a SIGTERM
+handler) stops admission; :meth:`drain` then waits out a grace period,
+cancels what is left via the normal CancelToken path, sends each worker
+a drain frame (finish current statement, exit 0), and reaps every
+child — no orphans, every ticket terminal.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    OverloadedError,
+    ParseError,
+    QueryCancelledError,
+    ReproError,
+    ServeError,
+    WorkerCrashError,
+)
+from repro.obs.metrics import MetricsRegistry, registry
+from repro.obs.worklog import NO_WORKLOG, WorkLogWriter, statement_kind
+from repro.query.ast import (
+    CreateCadViewStatement,
+    DescribeStatement,
+    DropCadViewStatement,
+    ExplainStatement,
+    HighlightSimilarStatement,
+    ReorderRowsStatement,
+    SelectStatement,
+    ShowCadViewsStatement,
+)
+from repro.query.parser import parse
+from repro.robustness.budget import Budget
+from repro.robustness.faults import NO_FAULTS, FaultInjector
+from repro.serve.breaker import BreakerBoard, BreakerConfig
+from repro.serve.executor import (
+    StatementTicket,
+    _breaker_key,
+    _default_open_budget,
+)
+from repro.serve.proc.protocol import (
+    FRAME_BYE,
+    FRAME_CANCEL,
+    FRAME_DRAIN,
+    FRAME_HEARTBEAT,
+    FRAME_READY,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.serve.proc.worker import (
+    PIPE_DROP_EXIT,
+    WORKER_CRASH_EXIT,
+    WorkerSpec,
+    worker_main,
+)
+
+__all__ = ["ProcServeConfig", "ProcSupervisor", "RemoteStatementError"]
+
+
+class RemoteStatementError(ServeError):
+    """A statement failed inside a worker; this is the wire-level echo.
+
+    Exceptions cannot cross the JSON pipe as live objects, so the
+    worker sends ``"TypeName: message"`` and the supervisor wraps it in
+    this class.  ``remote`` preserves the original rendering (it is
+    what the worklog record carries, keeping parity with thread mode).
+    """
+
+    def __init__(self, remote: str, status: str = "error"):
+        self.remote = remote
+        self.status = status
+        super().__init__(remote)
+
+
+@dataclass(frozen=True)
+class ProcServeConfig:
+    """Tuning knobs of one :class:`ProcSupervisor`.
+
+    shards:
+        Worker subprocesses (the unit of fault isolation).
+    queue_limit:
+        Tickets allowed to wait beyond one-per-shard in flight; past
+        that, submits are rejected with
+        :class:`~repro.errors.OverloadedError`.
+    deadline_s:
+        Per-statement wall-clock deadline from admission; the monitor
+        trips the ticket's CancelToken and forwards a cancel frame.
+    max_retries / backoff_base_s / backoff_cap_s / retry_jitter_seed:
+        The **in-band** transient-retry policy, executed *inside* the
+        worker with semantics identical to the thread executor (same
+        jitter formula), so fault plans expire the same way in either
+        serving mode.
+    proc_retries:
+        How many times a statement is resubmitted after its worker
+        died mid-execution before the ticket fails with
+        :class:`~repro.errors.WorkerCrashError`.
+    restart_backoff_base_s / restart_backoff_cap_s:
+        Exponential backoff between worker restarts: consecutive death
+        ``n`` waits ``min(cap, base * 2**(n-1))``; any completed
+        response resets the count.
+    heartbeat_interval_s / heartbeat_timeout_s:
+        Worker beat cadence, and how stale a beat may go before the
+        monitor declares the worker hung and SIGKILLs it.
+    ready_timeout_s:
+        How long a fresh incarnation may spend building its table and
+        replaying the journal before it counts as hung.
+    monitor_interval_s:
+        Monitor scan cadence (heartbeats, restarts, deadlines).
+    breaker / open_budget:
+        Per-``dataset@shard.incarnation`` circuit-breaker policy and
+        the short-circuit budget; ``None`` disables breakers
+        (deterministic replay does).
+    drain_grace_s:
+        How long :meth:`ProcSupervisor.drain` lets in-flight work
+        finish before cancelling it.
+    """
+
+    shards: int = 1
+    queue_limit: int = 16
+    deadline_s: Optional[float] = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.02
+    backoff_cap_s: float = 0.5
+    retry_jitter_seed: int = 0
+    proc_retries: int = 3
+    restart_backoff_base_s: float = 0.05
+    restart_backoff_cap_s: float = 2.0
+    heartbeat_interval_s: float = 0.25
+    heartbeat_timeout_s: float = 2.0
+    ready_timeout_s: float = 60.0
+    monitor_interval_s: float = 0.02
+    breaker: Optional[BreakerConfig] = field(default_factory=BreakerConfig)
+    open_budget: Budget = field(default_factory=_default_open_budget)
+    drain_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.queue_limit < 0:
+            raise ValueError(
+                f"queue_limit must be >= 0, got {self.queue_limit}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
+        if self.max_retries < 0 or self.proc_retries < 0:
+            raise ValueError("retry counts must be >= 0")
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s"
+            )
+        if self.monitor_interval_s <= 0:
+            raise ValueError(
+                f"monitor_interval_s must be > 0, "
+                f"got {self.monitor_interval_s}"
+            )
+
+
+class _Request:
+    """One unit of work bound for one shard (a ticket part)."""
+
+    __slots__ = (
+        "state", "shard", "sql", "session", "part", "req_id",
+        "fault_index", "proc_attempt", "probe", "short_circuited",
+        "breaker", "journal", "primary", "incarnation",
+    )
+
+    def __init__(self, state, shard, sql, session, part, req_id,
+                 fault_index, journal, primary):
+        self.state = state
+        self.shard = shard
+        self.sql = sql
+        self.session = session
+        self.part = part
+        self.req_id = req_id
+        self.fault_index = fault_index
+        self.proc_attempt = 0
+        self.probe = False
+        self.short_circuited = False
+        self.breaker = None
+        self.journal = journal
+        self.primary = primary
+        self.incarnation = -1
+
+    def reset_dispatch(self) -> None:
+        """Clear per-dispatch state before a resubmission."""
+        self.probe = False
+        self.short_circuited = False
+        self.breaker = None
+        self.incarnation = -1
+
+
+class _TicketState:
+    """A ticket plus its (possibly fanned-out) shard requests."""
+
+    __slots__ = ("ticket", "requests", "responses", "parts",
+                 "primary_part")
+
+    def __init__(self, ticket: StatementTicket):
+        self.ticket = ticket
+        self.requests: List[_Request] = []
+        self.responses: Dict[int, Dict[str, object]] = {}
+        self.parts = 0
+        self.primary_part = 0
+
+
+class _Shard:
+    """Everything the supervisor tracks about one shard slot."""
+
+    __slots__ = ("index", "handle", "pending", "journal", "failures",
+                 "restart_at", "next_incarnation")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.handle: Optional[_WorkerHandle] = None
+        self.pending: Deque[_Request] = deque()
+        self.journal: List[Tuple[str, str]] = []
+        self.failures = 0          # consecutive deaths since last response
+        self.restart_at = 0.0
+        self.next_incarnation = 0
+
+
+class _WorkerHandle:
+    """One live (or dying) worker incarnation."""
+
+    __slots__ = ("shard", "incarnation", "process", "conn", "spawned_at",
+                 "last_beat", "ready", "down", "saw_bye", "inflight")
+
+    def __init__(self, shard, incarnation, process, conn, spawned_at):
+        self.shard = shard
+        self.incarnation = incarnation
+        self.process = process
+        self.conn = conn
+        self.spawned_at = spawned_at
+        self.last_beat = spawned_at
+        self.ready = False
+        self.down = False
+        self.saw_bye = False
+        self.inflight: Dict[str, _Request] = {}
+
+
+class ProcSupervisor:
+    """Dataset-sharded worker subprocesses behind the SessionExecutor API.
+
+    >>> spec = WorkerSpec(dataset="usedcars", rows=2000, seed=7)
+    >>> with ProcSupervisor(spec, ProcServeConfig(shards=2)) as sup:
+    ...     ticket = sup.submit(
+    ...         "CREATE CADVIEW v AS SELECT * FROM data PIVOT ON Make"
+    ...     )
+    ...     ticket.wait()
+
+    ``now`` is injectable for deterministic tests of the backoff and
+    deadline machinery (the workers themselves always run on the real
+    clock — they are separate processes).
+    """
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        config: Optional[ProcServeConfig] = None,
+        worklog: Optional[WorkLogWriter] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        now: Callable[[], float] = time.monotonic,
+    ):
+        self.spec = spec
+        self.config = config if config is not None else ProcServeConfig()
+        self._worklog = worklog if worklog is not None else NO_WORKLOG
+        self._metrics = metrics if metrics is not None else registry()
+        self._now = now
+        self._ctx = get_context("spawn")
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._shards = [_Shard(i) for i in range(self.config.shards)]
+        self._tickets: Dict[int, _TicketState] = {}
+        self._view_shard: Dict[str, int] = {}
+        self._submitted = 0
+        self._requests_made = 0
+        self._resubmits = 0
+        self._deaths: Dict[str, int] = {}
+        self._restart_delays: List[float] = []
+        self._closed = False
+        self._draining = False
+        self._drain_report: Optional[Dict[str, object]] = None
+        self._faults = (
+            FaultInjector.parse(spec.faults_spec, seed=spec.fault_seed)
+            if spec.faults_spec else None
+        )
+        self._breakers: Optional[BreakerBoard] = (
+            BreakerBoard(self.config.breaker, now=now, metrics=metrics)
+            if self.config.breaker is not None else None
+        )
+        self._stop = threading.Event()
+        for shard in self._shards:
+            self._spawn(shard.index)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-proc-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        session: str = "default",
+        faults: Optional[FaultInjector] = None,
+        fault_index: Optional[int] = None,
+    ) -> StatementTicket:
+        """Admit one statement, or raise :class:`OverloadedError`.
+
+        ``faults`` only drives the *parent-side* sites
+        (``serve.queue_full``); worker-side sites run off the spec's
+        fault plan, forked by ``fault_index`` (default: the ticket
+        index) inside the worker — the plan cannot cross the process
+        boundary as a live object, but forking by the same index from
+        the same spec makes it behave as if it had.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServeError("supervisor is closed")
+            if self._draining:
+                raise ServeError("supervisor is draining")
+            index = self._submitted
+            self._submitted += 1
+        fidx = fault_index if fault_index is not None else index
+        if faults is not None:
+            injector = faults
+        elif self._faults is not None:
+            injector = self._faults.fork(fidx)
+        else:
+            injector = NO_FAULTS
+        deadline_at = (
+            self._now() + self.config.deadline_s
+            if self.config.deadline_s is not None else None
+        )
+        ticket = StatementTicket(index, sql, session, injector, deadline_at)
+
+        # parent-side parity with the thread executor's admission sites
+        try:
+            injector.fire("serve.queue_full")
+        # _reject always raises OverloadedError (with this fault as
+        # context), so nothing is swallowed here
+        # repro-lint: ignore[RL004]
+        except Exception as exc:
+            self._reject(ticket, f"injected overload: {exc}")
+
+        with self._lock:
+            capacity = len(self._shards) + self.config.queue_limit
+            rejected = len(self._tickets) >= capacity
+            outstanding = len(self._tickets)
+        if rejected:
+            self._reject(
+                ticket,
+                f"admission queue full "
+                f"({self.config.queue_limit} waiting)",
+                max(0.05, 0.1 * outstanding / len(self._shards)),
+            )
+        self._metrics.counter("serve.admitted").inc()
+
+        # parse on the caller thread: a statement that cannot parse
+        # fails here without ever crossing a pipe (the analyzer gate
+        # itself lives worker-side — only workers hold the tables)
+        try:
+            stmt = parse(sql)
+        except ParseError as exc:
+            ticket.kind = "invalid"
+            self._log_ticket_record(
+                ticket, "parse_error", 0.0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self._metrics.counter("serve.outcome.failed").inc()
+            ticket._finish("failed", "parse_error", error=exc)
+            return ticket
+        ticket.kind = statement_kind(stmt)
+        ticket.dataset = _breaker_key(stmt)
+
+        state = _TicketState(ticket)
+        parts = self._route(stmt, sql, session)
+        with self._lock:
+            for part, (shard_idx, part_sql, primary, journal) in \
+                    enumerate(parts):
+                req = _Request(
+                    state, shard_idx, part_sql, session, part,
+                    f"r{index}.{part}", fidx, journal, primary,
+                )
+                if primary:
+                    state.primary_part = part
+                state.requests.append(req)
+                self._shards[shard_idx].pending.append(req)
+            state.parts = len(state.requests)
+            self._tickets[index] = state
+            self._metrics.gauge("serve.queue_depth").set(
+                float(sum(len(s.pending) for s in self._shards))
+            )
+        self._pump()
+        return ticket
+
+    def run(
+        self,
+        sql: str,
+        session: str = "default",
+        timeout: Optional[float] = None,
+    ) -> StatementTicket:
+        """Submit and wait: the one-call convenience wrapper."""
+        ticket = self.submit(sql, session=session)
+        ticket.wait(timeout)
+        return ticket
+
+    def _reject(
+        self,
+        ticket: StatementTicket,
+        reason: str,
+        retry_after_s: float = 0.1,
+    ) -> None:
+        error = OverloadedError(reason, retry_after_s=retry_after_s)
+        self._metrics.counter("serve.rejected").inc()
+        try:
+            ticket.kind = statement_kind(parse(ticket.sql))
+        except ReproError:
+            ticket.kind = "invalid"
+        self._log_ticket_record(
+            ticket, "rejected", 0.0,
+            error=f"{type(error).__name__}: {error}",
+        )
+        ticket._finish("rejected", "rejected", error=error)
+        raise error
+
+    # -- routing -----------------------------------------------------------
+
+    def _shard_of(self, name: str) -> int:
+        # crc32, not hash(): python hashes are salted per process and
+        # the same view must land on the same shard across runs
+        return zlib.crc32(str(name).encode("utf-8")) % len(self._shards)
+
+    def _route(
+        self, stmt: object, sql: str, session: str
+    ) -> List[Tuple[int, str, bool, bool]]:
+        """``[(shard, sql, primary, journal)]`` for one statement.
+
+        Most statements are one part routed by the table (builds,
+        selects) or the owning view (highlight/reorder).  Catalog
+        listings fan out: ``SHOW CADVIEWS`` runs on every shard and the
+        sorted union of the per-shard catalogs is the answer; ``DROP``
+        runs on the owner (primary) while the other shards contribute
+        their catalog via a synthetic ``SHOW`` part.
+        """
+        nshards = len(self._shards)
+        inner = stmt.inner if isinstance(stmt, ExplainStatement) else stmt
+        writes = isinstance(
+            inner,
+            (CreateCadViewStatement, DropCadViewStatement,
+             ReorderRowsStatement),
+        )
+        if isinstance(inner, CreateCadViewStatement):
+            shard = self._shard_of(inner.table)
+            with self._lock:
+                self._view_shard[inner.name] = shard
+            return [(shard, sql, True, True)]
+        if isinstance(inner, (SelectStatement, DescribeStatement)):
+            return [(self._shard_of(inner.table), sql, True, False)]
+        if isinstance(inner, (HighlightSimilarStatement,
+                              ReorderRowsStatement)):
+            view = inner.view
+            with self._lock:
+                shard = self._view_shard.get(view, self._shard_of(view))
+            return [(shard, sql, True, writes)]
+        if isinstance(inner, DropCadViewStatement):
+            with self._lock:
+                owner = self._view_shard.pop(
+                    inner.name, self._shard_of(inner.name)
+                )
+            parts = [(owner, sql, True, True)]
+            parts += [
+                (s, "SHOW CADVIEWS", False, False)
+                for s in range(nshards) if s != owner
+            ]
+            return parts
+        if isinstance(inner, ShowCadViewsStatement) and not isinstance(
+            stmt, ExplainStatement
+        ):
+            return [(s, sql, s == 0, False) for s in range(nshards)]
+        # EXPLAIN SHOW CADVIEWS (rendered text cannot merge) and any
+        # future statement kind: one part on shard 0
+        return [(0, sql, True, False)]
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Push pending requests onto idle ready workers."""
+        while True:
+            sends: List[Tuple[_WorkerHandle, _Request]] = []
+            synth: List[_Request] = []
+            with self._lock:
+                for shard in self._shards:
+                    handle = shard.handle
+                    if handle is None or handle.down or not handle.ready:
+                        # even with no worker, cancelled pending parts
+                        # must still resolve (drain depends on it)
+                        for req in [r for r in shard.pending
+                                    if r.state.ticket.cancel.cancelled]:
+                            shard.pending.remove(req)
+                            synth.append(req)
+                        continue
+                    while shard.pending and not handle.inflight:
+                        req = shard.pending.popleft()
+                        if req.state.ticket.cancel.cancelled:
+                            synth.append(req)
+                            continue
+                        self._gate_request(req, shard, handle)
+                        handle.inflight[req.req_id] = req
+                        sends.append((handle, req))
+            if not sends and not synth:
+                return
+            for handle, req in sends:
+                payload: Dict[str, object] = {
+                    "id": req.req_id,
+                    "sql": req.sql,
+                    "session": req.session,
+                    "fault_index": req.fault_index,
+                    "proc_attempt": req.proc_attempt,
+                    "budget": (
+                        _budget_dict(self.config.open_budget)
+                        if req.short_circuited else None
+                    ),
+                }
+                try:
+                    send_frame(handle.conn, FRAME_REQUEST, payload)
+                except (OSError, ValueError):
+                    self._worker_down(handle, "pipe_drop")
+            for req in synth:
+                reason = req.state.ticket.cancel.reason or "cancelled"
+                self._finish_part(req, _cancelled_response(reason))
+
+    def _gate_request(
+        self, req: _Request, shard: _Shard, handle: _WorkerHandle
+    ) -> None:
+        """Breaker-gate one dispatch (call with ``self._lock`` held)."""
+        req.incarnation = handle.incarnation
+        if (
+            self._breakers is None
+            or req.state.ticket.dataset is None
+            or not req.primary
+        ):
+            return
+        key = (
+            f"{req.state.ticket.dataset}"
+            f"@s{shard.index}.g{handle.incarnation}"
+        )
+        breaker = self._breakers.breaker(key)
+        full_pipeline, probe = breaker.allow()
+        req.breaker = breaker
+        req.probe = probe
+        req.state.ticket.probe = probe
+        if not full_pipeline:
+            req.short_circuited = True
+            self._metrics.counter("serve.breaker.short_circuit").inc()
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn(self, shard_idx: int) -> None:
+        with self._lock:
+            shard = self._shards[shard_idx]
+            if shard.handle is not None or self._closed:
+                return
+            incarnation = shard.next_incarnation
+            shard.next_incarnation += 1
+            journal = list(shard.journal)
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                self.spec.as_dict(), child_conn, shard_idx, incarnation,
+                journal, self.config.heartbeat_interval_s,
+            ),
+            name=f"repro-worker-s{shard_idx}g{incarnation}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(
+            shard_idx, incarnation, process, parent_conn, self._now()
+        )
+        with self._lock:
+            shard.handle = handle
+        self._metrics.counter("proc.spawns").inc()
+        if incarnation > 0:
+            self._metrics.counter("proc.restarts").inc()
+        threading.Thread(
+            target=self._reader_loop, args=(handle,),
+            name=f"repro-proc-reader-s{shard_idx}g{incarnation}",
+            daemon=True,
+        ).start()
+
+    def _reader_loop(self, handle: _WorkerHandle) -> None:
+        while True:
+            try:
+                kind, payload = recv_frame(handle.conn)
+            except ProtocolError:
+                self._worker_down(handle, "pipe_drop")
+                return
+            except (EOFError, OSError):
+                self._worker_down(handle, self._infer_cause(handle))
+                return
+            with self._lock:
+                handle.last_beat = self._now()
+                if kind == FRAME_READY:
+                    handle.ready = True
+                elif kind == FRAME_BYE:
+                    handle.saw_bye = True
+            if kind == FRAME_READY:
+                self._metrics.gauge(
+                    f"proc.s{handle.shard}.journal_replayed"
+                ).set(float(payload.get("journal_replayed") or 0))
+                self._pump()
+            elif kind == FRAME_RESPONSE:
+                self._on_response(handle, payload)
+            elif kind == FRAME_HEARTBEAT:
+                self._metrics.counter("proc.heartbeats").inc()
+
+    def _infer_cause(self, handle: _WorkerHandle) -> str:
+        handle.process.join(timeout=0.5)
+        code = handle.process.exitcode
+        if code == PIPE_DROP_EXIT:
+            return "pipe_drop"
+        if code == 0 and handle.saw_bye:
+            return "drain"
+        return "crash"
+
+    def _worker_down(self, handle: _WorkerHandle, cause: str) -> None:
+        """The one-shot death path for a worker incarnation."""
+        with self._lock:
+            if handle.down:
+                return
+            handle.down = True
+            shard = self._shards[handle.shard]
+            if shard.handle is handle:
+                shard.handle = None
+            inflight = list(handle.inflight.values())
+            handle.inflight.clear()
+            draining = self._draining or self._closed
+            if cause != "drain":
+                shard.failures += 1
+                delay = min(
+                    self.config.restart_backoff_cap_s,
+                    self.config.restart_backoff_base_s
+                    * (2.0 ** (shard.failures - 1)),
+                )
+                shard.restart_at = self._now() + delay
+                self._restart_delays.append(delay)
+                self._deaths[cause] = self._deaths.get(cause, 0) + 1
+        if cause != "drain":
+            self._metrics.counter("proc.deaths").inc()
+            self._metrics.counter(f"proc.deaths.{cause}").inc()
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(timeout=2.0)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass  # already closed by the tear that got us here
+        for req in inflight:
+            if req.breaker is not None:
+                # a worker death counts against its (dead) incarnation's
+                # breaker; the restarted incarnation starts fresh
+                req.breaker.on_failure(probe=req.probe)
+            if not draining and req.proc_attempt < self.config.proc_retries:
+                req.proc_attempt += 1
+                req.reset_dispatch()
+                with self._lock:
+                    self._shards[req.shard].pending.appendleft(req)
+                    self._resubmits += 1
+                    req.state.ticket.proc_attempts = max(
+                        getattr(req.state.ticket, "proc_attempts", 0),
+                        req.proc_attempt,
+                    )
+                self._metrics.counter("proc.resubmits").inc()
+            else:
+                error = WorkerCrashError(
+                    f"worker died executing {req.req_id}",
+                    shard=handle.shard, incarnation=handle.incarnation,
+                    cause=cause,
+                )
+                self._finish_part(req, {
+                    "status": "error",
+                    "degradations": [],
+                    "result_payload": None,
+                    "attempts": req.proc_attempt + 1,
+                    "elapsed_ms": 0.0,
+                    "error": f"{type(error).__name__}: {error}",
+                    "proc_cause": cause,
+                    "_exception": error,
+                })
+        self._pump()
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.config.monitor_interval_s):
+            self._tick()
+
+    def _tick(self) -> None:
+        now = self._now()
+        kills: List[Tuple[_WorkerHandle, str]] = []
+        spawns: List[int] = []
+        expired: List[_TicketState] = []
+        with self._lock:
+            for shard in self._shards:
+                handle = shard.handle
+                if handle is not None and not handle.down:
+                    if not handle.process.is_alive():
+                        kills.append((handle, ""))  # cause from exitcode
+                    elif handle.ready and (
+                        now - handle.last_beat
+                        > self.config.heartbeat_timeout_s
+                    ):
+                        kills.append((handle, "hang"))
+                    elif not handle.ready and (
+                        now - handle.spawned_at
+                        > self.config.ready_timeout_s
+                    ):
+                        kills.append((handle, "hang"))
+                elif (
+                    handle is None
+                    and not self._draining
+                    and not self._closed
+                    and now >= shard.restart_at
+                ):
+                    spawns.append(shard.index)
+            if self.config.deadline_s is not None:
+                expired = [
+                    ts for ts in self._tickets.values()
+                    if ts.ticket.deadline_at is not None
+                    and now >= ts.ticket.deadline_at
+                    and not ts.ticket.cancel.cancelled
+                ]
+        for handle, cause in kills:
+            self._worker_down(handle, cause or self._infer_cause(handle))
+        for shard_idx in spawns:
+            self._spawn(shard_idx)
+        for ts in expired:
+            self._metrics.counter("serve.deadline_tripped").inc()
+            self._cancel_ticket(
+                ts,
+                f"deadline of {self.config.deadline_s:.3f}s exceeded",
+            )
+
+    # -- completion --------------------------------------------------------
+
+    def _on_response(
+        self, handle: _WorkerHandle, payload: Dict[str, object]
+    ) -> None:
+        req_id = str(payload.get("id"))
+        with self._lock:
+            req = handle.inflight.pop(req_id, None)
+            if req is not None:
+                # a completed statement is proof of health: restart
+                # backoff starts over
+                self._shards[handle.shard].failures = 0
+        if req is None:
+            return  # late echo of a request already resolved elsewhere
+        if req.breaker is not None:
+            status = str(payload.get("status") or "error")
+            if status == "ok":
+                req.breaker.on_success(probe=req.probe)
+            elif status == "cancelled":
+                reason = str(payload.get("cancel_reason") or "")
+                if "deadline" in reason:
+                    req.breaker.on_failure(probe=req.probe)
+                else:
+                    # cancelled-not-failed: the build's health is
+                    # unknown, so the probe slot frees without latching
+                    # the breaker open (the half-open race fix)
+                    req.breaker.on_cancelled(probe=req.probe)
+            else:
+                req.breaker.on_failure(probe=req.probe)
+        self._finish_part(req, payload)
+        self._pump()
+
+    def _finish_part(
+        self, req: _Request, response: Dict[str, object]
+    ) -> None:
+        state = req.state
+        finalize = False
+        with self._lock:
+            if req.part in state.responses:
+                return  # already resolved (cancel raced a response)
+            state.responses[req.part] = response
+            if (
+                req.journal
+                and response.get("status") == "ok"
+            ):
+                self._shards[req.shard].journal.append(
+                    (req.sql, req.session)
+                )
+            if len(state.responses) == state.parts:
+                self._tickets.pop(state.ticket.index, None)
+                finalize = True
+                self._idle.notify_all()
+        if finalize:
+            self._finalize(state)
+
+    def _finalize(self, state: _TicketState) -> None:
+        ticket = state.ticket
+        primary = state.responses.get(state.primary_part)
+        if primary is None:  # defensive: primary part always responds
+            primary = next(iter(state.responses.values()))
+        status = str(primary.get("status") or "error")
+        payload, rows_out = self._merge_payload(state, primary)
+        degradations = [
+            str(d) for d in (primary.get("degradations") or [])
+        ]
+        short_circuited = any(r.short_circuited for r in state.requests)
+        ticket.short_circuited = short_circuited
+        ticket.attempts = int(primary.get("attempts") or 1)
+        if ticket.attempts > 1:
+            self._metrics.counter("serve.retries").inc(
+                ticket.attempts - 1
+            )
+        ticket.degradations = degradations
+        ticket.result_payload = payload
+        ticket.has_result_payload = True
+        if status == "ok":
+            degraded = short_circuited or bool(primary.get("degraded"))
+            outcome = "degraded" if degraded else "ok"
+            error: Optional[BaseException] = None
+        else:
+            outcome = "failed"
+            exc = primary.get("_exception")
+            if isinstance(exc, BaseException):
+                error = exc
+            elif status == "cancelled":
+                error = QueryCancelledError(
+                    str(
+                        primary.get("cancel_reason")
+                        or ticket.cancel.reason or "cancelled"
+                    )
+                )
+                self._metrics.counter("serve.cancelled").inc()
+            else:
+                error = RemoteStatementError(
+                    str(primary.get("error") or status), status=status
+                )
+        self._metrics.counter(f"serve.outcome.{outcome}").inc()
+        self._log_ticket_record(
+            ticket, status, float(primary.get("elapsed_ms") or 0.0),
+            rows_out=rows_out,
+            pivot=primary.get("pivot"),
+            phases_ms=primary.get("phases_ms"),
+            degradations=degradations,
+            error=primary.get("error"),
+            proc={
+                "shard": state.requests[state.primary_part].shard,
+                "incarnation": state.requests[
+                    state.primary_part
+                ].incarnation,
+                "proc_attempts": getattr(ticket, "proc_attempts", 0),
+                "cause": primary.get("proc_cause"),
+            },
+        )
+        ticket._finish(outcome, status, result=None, error=error)
+
+    def _merge_payload(
+        self, state: _TicketState, primary: Dict[str, object]
+    ) -> Tuple[object, Optional[int]]:
+        if state.parts == 1:
+            rows = primary.get("rows_out")
+            return (
+                primary.get("result_payload"),
+                int(rows) if rows is not None else None,
+            )
+        payloads = [
+            state.responses[p].get("result_payload")
+            for p in sorted(state.responses)
+        ]
+        if all(isinstance(p, list) for p in payloads):
+            merged = sorted({str(x) for p in payloads for x in p})
+            return merged, len(merged)
+        rows = primary.get("rows_out")
+        return (
+            primary.get("result_payload"),
+            int(rows) if rows is not None else None,
+        )
+
+    def _log_ticket_record(
+        self,
+        ticket: StatementTicket,
+        status: str,
+        elapsed_ms: float,
+        rows_out: Optional[int] = None,
+        pivot: Optional[object] = None,
+        phases_ms: Optional[object] = None,
+        degradations: Optional[List[str]] = None,
+        error: Optional[object] = None,
+        proc: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if not self._worklog.enabled:
+            return
+        self._worklog.statement(
+            ticket.sql,
+            ticket.kind or "invalid",
+            status,
+            elapsed_ms,
+            rows_out=rows_out,
+            pivot=str(pivot) if pivot is not None else None,
+            phases_ms=phases_ms if isinstance(phases_ms, dict) else None,
+            degradations=degradations,
+            error=str(error) if error is not None else None,
+            session=ticket.session,
+            proc=proc,
+        )
+
+    # -- cancellation ------------------------------------------------------
+
+    def _cancel_ticket(self, state: _TicketState, reason: str) -> None:
+        state.ticket.cancel.cancel(reason)
+        synth: List[_Request] = []
+        sends: List[Tuple[_WorkerHandle, str]] = []
+        with self._lock:
+            for shard in self._shards:
+                if shard.pending:
+                    mine = [r for r in shard.pending if r.state is state]
+                    for req in mine:
+                        shard.pending.remove(req)
+                    synth.extend(mine)
+                handle = shard.handle
+                if handle is not None and not handle.down:
+                    sends.extend(
+                        (handle, rid)
+                        for rid, r in handle.inflight.items()
+                        if r.state is state
+                    )
+        for handle, rid in sends:
+            try:
+                send_frame(
+                    handle.conn, FRAME_CANCEL,
+                    {"id": rid, "reason": reason},
+                )
+            except (OSError, ValueError):
+                self._worker_down(handle, "pipe_drop")
+        for req in synth:
+            self._finish_part(req, _cancelled_response(reason))
+        self._pump()
+
+    # -- drain / shutdown --------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admission.  Safe to call from a SIGTERM handler."""
+        with self._lock:
+            self._draining = True
+
+    def drain(self, grace_s: Optional[float] = None) -> Dict[str, object]:
+        """Graceful shutdown: finish or cancel in-flight, reap workers.
+
+        Waits up to ``grace_s`` (default: the config's) for in-flight
+        tickets to finish, cancels the rest through the normal
+        CancelToken path, sends every worker a drain frame (finish the
+        current statement, exit 0), and joins every child process —
+        SIGKILLing stragglers so nothing is orphaned.  Returns a report
+        with per-shard exit codes; idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return dict(self._drain_report or {})
+            self._draining = True
+        grace = (
+            self.config.drain_grace_s if grace_s is None
+            else max(0.0, grace_s)
+        )
+        deadline = self._now() + grace
+        with self._idle:
+            while self._tickets and self._now() < deadline:
+                self._idle.wait(0.05)
+            leftovers = list(self._tickets.values())
+        for ts in leftovers:
+            self._cancel_ticket(ts, "drain")
+        # cancelled builds stop at their next budget checkpoint; give
+        # them a bounded window to come back with status=cancelled
+        settle = self._now() + 2.0
+        with self._idle:
+            while self._tickets and self._now() < settle:
+                self._idle.wait(0.05)
+        with self._lock:
+            stuck = [
+                s.handle for s in self._shards
+                if s.handle is not None and not s.handle.down
+                and s.handle.inflight
+            ]
+        for handle in stuck:
+            # a worker that ignores cancellation for this long is hung;
+            # killing it resolves its tickets (no resubmit while
+            # draining), which is what "every ticket terminal" needs
+            self._worker_down(handle, "hang")
+        with self._lock:
+            handles = [
+                s.handle for s in self._shards
+                if s.handle is not None and not s.handle.down
+            ]
+        for handle in handles:
+            try:
+                send_frame(handle.conn, FRAME_DRAIN, {})
+            except (OSError, ValueError):
+                self._worker_down(handle, "pipe_drop")
+        exitcodes: Dict[str, Optional[int]] = {}
+        for handle in handles:
+            handle.process.join(timeout=3.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=3.0)
+            exitcodes[f"s{handle.shard}"] = handle.process.exitcode
+            try:
+                handle.conn.close()
+            except OSError:
+                pass  # peer already tore it down
+        self._stop.set()
+        if threading.current_thread() is not self._monitor:
+            self._monitor.join(timeout=2.0)
+        report: Dict[str, object] = {
+            "cancelled": len(leftovers),
+            "exitcodes": exitcodes,
+            "clean": all(code == 0 for code in exitcodes.values()),
+        }
+        with self._lock:
+            self._closed = True
+            self._drain_report = report
+        return dict(report)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut down promptly (a short-grace :meth:`drain`)."""
+        self.drain(grace_s=1.0 if wait else 0.0)
+
+    def __enter__(self) -> "ProcSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+
+    def wait_ready(self, timeout: float = 30.0) -> bool:
+        """Block until every shard has a ready worker (False on timeout)."""
+        deadline = self._now() + timeout
+        while self._now() < deadline:
+            with self._lock:
+                ready = all(
+                    s.handle is not None and s.handle.ready
+                    and not s.handle.down
+                    for s in self._shards
+                )
+            if ready:
+                return True
+            time.sleep(0.01)
+        return False
+
+    def breaker_states(self) -> Dict[str, str]:
+        """Breaker key -> state name (empty when disabled)."""
+        if self._breakers is None:
+            return {}
+        return self._breakers.states()
+
+    def stats(self) -> Dict[str, object]:
+        """A point-in-time snapshot of the supervision tree."""
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "outstanding": len(self._tickets),
+                "pending": sum(len(s.pending) for s in self._shards),
+                "resubmits": self._resubmits,
+                "deaths": dict(sorted(self._deaths.items())),
+                "restart_delays": list(self._restart_delays),
+                "shards": [
+                    {
+                        "shard": s.index,
+                        "incarnation": (
+                            s.handle.incarnation
+                            if s.handle is not None else None
+                        ),
+                        "ready": (
+                            bool(s.handle.ready)
+                            if s.handle is not None else False
+                        ),
+                        "failures": s.failures,
+                        "journal": len(s.journal),
+                    }
+                    for s in self._shards
+                ],
+            }
+
+    def chaos_stats(self) -> Dict[str, object]:
+        """What the chaos harness asserts on after a run."""
+        with self._lock:
+            delays = list(self._restart_delays)
+            return {
+                "deaths": dict(sorted(self._deaths.items())),
+                "total_deaths": sum(self._deaths.values()),
+                "resubmits": self._resubmits,
+                "restart_delays": delays,
+                "max_restart_delay_s": max(delays, default=0.0),
+                "backoff_cap_s": self.config.restart_backoff_cap_s,
+                "wedged": len(self._tickets),
+            }
+
+
+def _cancelled_response(reason: str) -> Dict[str, object]:
+    return {
+        "status": "cancelled",
+        "degradations": [],
+        "result_payload": None,
+        "attempts": 0,
+        "elapsed_ms": 0.0,
+        "error": f"QueryCancelledError: query cancelled: {reason}",
+        "cancel_reason": reason,
+    }
+
+
+def _budget_dict(budget: Budget) -> Dict[str, object]:
+    return {
+        "deadline_s": budget.deadline_s,
+        "max_rows": budget.max_rows,
+        "max_cells": budget.max_cells,
+        "retries": budget.retries,
+        "degrade_at": budget.degrade_at,
+    }

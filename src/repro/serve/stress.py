@@ -51,7 +51,7 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import OverloadedError, ReproError
+from repro.errors import ReproError, ServeError
 from repro.obs.metrics import MetricsRegistry
 from repro.query.ast import (
     CreateCadViewStatement,
@@ -77,6 +77,7 @@ __all__ = [
     "ConcurrentReplayReport",
     "replay_concurrent",
     "statement_scopes",
+    "result_payload",
 ]
 
 ALL_VIEWS = "*"
@@ -189,6 +190,9 @@ class ConcurrentReplayReport:
     results: List[StatementResult] = field(default_factory=list)
     wall_s: float = 0.0
     breaker_states: Dict[str, str] = field(default_factory=dict)
+    # corrupt worklog lines skipped while reading the input (the CLI
+    # stamps this in; the harness itself never sees raw lines)
+    corrupt_lines: int = 0
 
     @property
     def outcomes(self) -> Dict[str, int]:
@@ -228,6 +232,7 @@ class ConcurrentReplayReport:
         return {
             "concurrency": self.concurrency,
             "statements": len(self.results),
+            "corrupt_lines": self.corrupt_lines,
             "wall_s": self.wall_s,
             "outcomes": self.outcomes,
             "statuses": self.statuses,
@@ -245,6 +250,11 @@ class ConcurrentReplayReport:
             f"at concurrency {self.concurrency} in {self.wall_s:.2f}s ==",
             f"outcomes: {outcome_text or '(none)'}",
         ]
+        if self.corrupt_lines:
+            lines.append(
+                f"warning: {self.corrupt_lines} corrupt worklog line(s) "
+                "skipped (rerun with --strict to fail on them)"
+            )
         if self.breaker_states:
             lines.append("breakers: " + "  ".join(
                 f"{k}={v}"
@@ -260,10 +270,11 @@ class ConcurrentReplayReport:
 
 def replay_concurrent(
     records: Iterable[Dict[str, object]],
-    dbx: "DBExplorer",
+    dbx: Optional["DBExplorer"] = None,
     concurrency: int = 1,
     config: Optional[ServeConfig] = None,
     metrics: Optional[MetricsRegistry] = None,
+    executor: Optional[object] = None,
 ) -> ConcurrentReplayReport:
     """Replay a workload log through a worker pool, deterministically.
 
@@ -277,11 +288,23 @@ def replay_concurrent(
     ``rejected`` and their writes simply never happen, exactly like a
     client that got a 503.
 
+    ``executor`` plugs in an external ticket source instead of a
+    freshly built :class:`SessionExecutor` — anything with the
+    ``submit(sql, session=..., faults=..., fault_index=...)`` /
+    ``breaker_states()`` surface, in practice a
+    :class:`~repro.serve.proc.supervisor.ProcSupervisor`.  An external
+    executor is *not* closed here (the caller owns its lifecycle, e.g.
+    to drain it gracefully afterwards), and ``dbx`` may then be
+    ``None``: proc tickets carry their own digest payloads.
+
     Returns a :class:`ConcurrentReplayReport` whose per-statement
-    digests are comparable across concurrency levels.
+    digests are comparable across concurrency levels — and across
+    serving modes: thread pool and process shards hash identically.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if executor is None and dbx is None:
+        raise ValueError("need a dbx to build an executor around")
     sqls = [
         str(rec["statement"]) for rec in records
         if rec.get("kind") == "statement"
@@ -308,14 +331,16 @@ def replay_concurrent(
             deadline_s=None,
             breaker=None,        # state depends on completion order
         )
-    base_faults = dbx.faults
+    base_faults = dbx.faults if dbx is not None else None
     results: List[Optional[StatementResult]] = [None] * n
     finished: "queue.Queue[Tuple[int, Optional[StatementTicket]]]" = (
         queue.Queue()
     )
-    rejections: Dict[int, OverloadedError] = {}
+    rejections: Dict[int, ServeError] = {}
 
-    executor = SessionExecutor(dbx, config, metrics=metrics)
+    own_executor = executor is None
+    if executor is None:
+        executor = SessionExecutor(dbx, config, metrics=metrics)
     t0 = time.perf_counter()
     try:
         def _submit(i: int) -> None:
@@ -324,9 +349,13 @@ def replay_concurrent(
             )
             try:
                 ticket = executor.submit(
-                    sqls[i], session=f"s{i}", faults=forked
+                    sqls[i], session=f"s{i}", faults=forked,
+                    fault_index=i,
                 )
-            except OverloadedError as exc:
+            # an overloaded queue and a draining supervisor both say
+            # "not now"; either way the statement is a clean rejection,
+            # never a wedge
+            except ServeError as exc:
                 rejections[i] = exc
                 finished.put((i, None))
                 return
@@ -348,7 +377,8 @@ def replay_concurrent(
                     _submit(j)
         report.breaker_states = executor.breaker_states()
     finally:
-        executor.close()
+        if own_executor:
+            executor.close()
     report.wall_s = time.perf_counter() - t0
     report.results = [res for res in results if res is not None]
     return report
@@ -358,8 +388,8 @@ def _result_of(
     index: int,
     sql: str,
     ticket: Optional[StatementTicket],
-    rejections: Dict[int, OverloadedError],
-    dbx: "DBExplorer",
+    rejections: Dict[int, ServeError],
+    dbx: Optional["DBExplorer"],
 ) -> StatementResult:
     if ticket is None:
         error = rejections.get(index)
@@ -374,12 +404,21 @@ def _result_of(
             error=f"{type(error).__name__}: {error}"
             if error is not None else None,
         )
-    session = dbx.session(ticket.session)
-    report = session.last_report
-    degradations = (
-        [str(d) for d in report.degradations]
-        if report is not None else []
-    )
+    if getattr(ticket, "has_result_payload", False):
+        # a proc-mode ticket: the worker already reduced its result to
+        # the digest payload before it crossed the pipe, and the
+        # degradations travelled with it (the worker's session state is
+        # in another process)
+        degradations = list(ticket.degradations or [])
+        payload = ticket.result_payload
+    else:
+        session = dbx.session(ticket.session) if dbx is not None else None
+        report = session.last_report if session is not None else None
+        degradations = (
+            [str(d) for d in report.degradations]
+            if report is not None else []
+        )
+        payload = result_payload(ticket.result)
     return StatementResult(
         index=index,
         statement=sql,
@@ -387,8 +426,8 @@ def _result_of(
         session=ticket.session,
         status=ticket.status or "error",
         outcome=ticket.outcome or "failed",
-        digest=_digest(
-            ticket.status or "error", degradations, ticket.result
+        digest=_digest_payload(
+            ticket.status or "error", degradations, payload
         ),
         degradations=degradations,
         error=(
@@ -402,19 +441,41 @@ def _result_of(
 def _digest(
     status: str, degradations: List[str], result: Optional[object]
 ) -> str:
+    return _digest_payload(status, degradations, result_payload(result))
+
+
+def _digest_payload(
+    status: str, degradations: List[str], payload: object
+) -> str:
     """Hash what the user would see; deliberately no wall-clock fields.
 
     Error *messages* are excluded too: ``BudgetExceededError`` embeds
     elapsed milliseconds, which would break digest comparisons between
-    runs that fail identically.
+    runs that fail identically.  ``payload`` is already in
+    :func:`result_payload` form — either computed here (thread mode) or
+    worker-side before it crossed the pipe (proc mode); hashing the
+    payload rather than the live object is what makes the two modes
+    byte-comparable.
     """
-    payload = {
+    payload_dict = {
         "status": status,
         "degradations": list(degradations),
-        "result": _result_payload(result),
+        "result": payload,
     }
-    blob = json.dumps(payload, sort_keys=True, default=str)
+    blob = json.dumps(payload_dict, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def result_payload(result: Optional[object]) -> object:
+    """Reduce a statement result to its JSON-able digest form.
+
+    This is the canonical "what the user saw" projection: CAD Views
+    serialize fully (every IUnit), tables dump rows, catalog listings
+    become string lists, rendered text collapses to a marker (it embeds
+    wall-clock timings).  Both serving modes digest exactly this form —
+    the proc workers compute it *before* the result crosses the pipe.
+    """
+    return _result_payload(result)
 
 
 def _result_payload(result: Optional[object]) -> object:

@@ -1,0 +1,155 @@
+"""The supervisor<->worker frame protocol, byte by byte.
+
+Every validation branch of :mod:`repro.serve.proc.protocol` — torn
+frames, bad magic, wrong version, unknown kinds, non-JSON payloads —
+plus the happy path over a real ``multiprocessing`` pipe, the same
+transport the supervision tree uses.
+"""
+
+from __future__ import annotations
+
+import json
+from multiprocessing import get_context
+
+import pytest
+
+from repro.serve.proc.protocol import (
+    FRAME_BYE,
+    FRAME_CANCEL,
+    FRAME_DRAIN,
+    FRAME_HEARTBEAT,
+    FRAME_READY,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+ALL_KINDS = (
+    FRAME_REQUEST, FRAME_CANCEL, FRAME_DRAIN,
+    FRAME_READY, FRAME_HEARTBEAT, FRAME_RESPONSE, FRAME_BYE,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_every_kind_round_trips(self, kind):
+        payload = {"id": "r-1", "sql": "SELECT Make FROM data", "n": 3}
+        got_kind, got = decode_frame(encode_frame(kind, payload))
+        assert got_kind == kind
+        assert got == payload
+
+    def test_empty_payload_round_trips(self):
+        kind, payload = decode_frame(encode_frame(FRAME_DRAIN, {}))
+        assert kind == FRAME_DRAIN
+        assert payload == {}
+
+    def test_unicode_payload_round_trips(self):
+        payload = {"error": "résultat ≠ attendu", "reason": "drain"}
+        _, got = decode_frame(encode_frame(FRAME_RESPONSE, payload))
+        assert got == payload
+
+    def test_non_json_values_are_stringified_not_fatal(self):
+        # default=str in the encoder: an exotic value degrades to its
+        # str() instead of killing the worker with a TypeError mid-send
+        _, got = decode_frame(
+            encode_frame(FRAME_RESPONSE, {"x": frozenset([1])})
+        )
+        assert got == {"x": str(frozenset([1]))}
+
+
+class TestValidation:
+    def test_unknown_kind_rejected_at_encode(self):
+        with pytest.raises(ProtocolError, match="unknown frame kind"):
+            encode_frame(99, {})
+
+    def test_unknown_kind_rejected_at_decode(self):
+        frame = bytearray(encode_frame(FRAME_READY, {}))
+        frame[3] = 99  # the kind byte
+        with pytest.raises(ProtocolError, match="unknown frame kind"):
+            decode_frame(bytes(frame))
+
+    def test_short_frame(self):
+        with pytest.raises(ProtocolError, match="short frame"):
+            decode_frame(b"RP\x01")
+
+    def test_bad_magic(self):
+        frame = bytearray(encode_frame(FRAME_READY, {}))
+        frame[0:2] = b"XX"
+        with pytest.raises(ProtocolError, match="bad frame magic"):
+            decode_frame(bytes(frame))
+
+    def test_version_mismatch(self):
+        frame = bytearray(encode_frame(FRAME_READY, {}))
+        frame[2] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="protocol version"):
+            decode_frame(bytes(frame))
+
+    def test_torn_frame_truncated_payload(self):
+        # a worker that died mid-send leaves fewer payload bytes than
+        # the header declares — must be detected, never half-decoded
+        frame = encode_frame(FRAME_RESPONSE, {"id": "r-1", "status": "ok"})
+        with pytest.raises(ProtocolError, match="torn frame"):
+            decode_frame(frame[:-5])
+
+    def test_torn_frame_extra_bytes(self):
+        frame = encode_frame(FRAME_RESPONSE, {"id": "r-1"})
+        with pytest.raises(ProtocolError, match="torn frame"):
+            decode_frame(frame + b"garbage")
+
+    def test_payload_must_be_json(self):
+        body = b"not json at all"
+        import struct
+
+        header = struct.pack(
+            ">2sBBI", b"RP", PROTOCOL_VERSION, FRAME_READY, len(body)
+        )
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_frame(header + body)
+
+    def test_payload_must_be_an_object(self):
+        body = json.dumps([1, 2, 3]).encode()
+        import struct
+
+        header = struct.pack(
+            ">2sBBI", b"RP", PROTOCOL_VERSION, FRAME_READY, len(body)
+        )
+        with pytest.raises(ProtocolError, match="not a JSON object"):
+            decode_frame(header + body)
+
+    def test_protocol_error_is_a_serve_error(self):
+        # the supervisor funnels torn frames into the same worker-death
+        # path as ServeError-based failures
+        from repro.errors import ServeError
+
+        assert issubclass(ProtocolError, ServeError)
+
+
+class TestOverPipe:
+    def test_send_and_recv_over_a_spawn_context_pipe(self):
+        parent, child = get_context("spawn").Pipe()
+        try:
+            send_frame(parent, FRAME_REQUEST, {"id": "r-7", "sql": "x"})
+            kind, payload = recv_frame(child)
+            assert kind == FRAME_REQUEST
+            assert payload == {"id": "r-7", "sql": "x"}
+            send_frame(child, FRAME_RESPONSE, {"id": "r-7", "status": "ok"})
+            kind, payload = recv_frame(parent)
+            assert kind == FRAME_RESPONSE
+            assert payload["status"] == "ok"
+        finally:
+            parent.close()
+            child.close()
+
+    def test_recv_after_peer_close_raises_eoferror(self):
+        parent, child = get_context("spawn").Pipe()
+        parent.close()
+        try:
+            with pytest.raises(EOFError):
+                recv_frame(child)
+        finally:
+            child.close()

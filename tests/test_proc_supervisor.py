@@ -1,0 +1,331 @@
+"""The supervision tree under fire: crash, hang, backoff, drain, chaos.
+
+These tests spawn real worker subprocesses (spawn context), so each one
+keeps the dataset tiny and the heartbeat fast.  The property test at
+the bottom is the chaos harness in miniature: random fault schedules
+over the three ``proc.*`` sites, with one invariant — every submitted
+statement reaches a terminal state, no matter which workers die when.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryCancelledError, ServeError, WorkerCrashError
+from repro.serve.proc import (
+    PIPE_DROP_EXIT,
+    ProcServeConfig,
+    ProcSupervisor,
+    WorkerSpec,
+    WORKER_CRASH_EXIT,
+)
+
+ROWS = 400  # enough structure to build tiny CAD Views, fast to generate
+
+
+def _spec(**kwargs) -> WorkerSpec:
+    kwargs.setdefault("dataset", "usedcars")
+    kwargs.setdefault("rows", ROWS)
+    kwargs.setdefault("seed", 7)
+    return WorkerSpec(**kwargs)
+
+
+def _config(**kwargs) -> ProcServeConfig:
+    kwargs.setdefault("shards", 1)
+    kwargs.setdefault("breaker", None)
+    kwargs.setdefault("heartbeat_interval_s", 0.05)
+    kwargs.setdefault("heartbeat_timeout_s", 0.5)
+    kwargs.setdefault("restart_backoff_base_s", 0.02)
+    kwargs.setdefault("restart_backoff_cap_s", 0.3)
+    return ProcServeConfig(**kwargs)
+
+
+CREATE = (
+    "CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM data "
+    "LIMIT COLUMNS 3 IUNITS 2"
+)
+
+
+class TestHappyPath:
+    def test_statements_execute_and_drain_clean(self):
+        with ProcSupervisor(_spec(), _config(shards=2)) as sup:
+            assert sup.wait_ready(60)
+            tickets = [
+                sup.submit("SELECT Make FROM data", session="s0"),
+                sup.submit(CREATE, session="s1"),
+                sup.submit("SHOW CADVIEWS", session="s2"),
+            ]
+            for ticket in tickets:
+                ticket.wait(60)
+                assert ticket.outcome == "ok", ticket.error
+            assert tickets[2].result_payload == ["v"]
+        report = sup.drain()  # idempotent after close()
+        assert report["clean"]
+        assert all(code == 0 for code in report["exitcodes"].values())
+
+    def test_submit_after_drain_rejected(self):
+        sup = ProcSupervisor(_spec(), _config())
+        try:
+            assert sup.wait_ready(60)
+            sup.begin_drain()
+            with pytest.raises(ServeError):
+                sup.submit("SELECT Make FROM data")
+        finally:
+            sup.close(wait=False)
+
+
+class TestCrashRecovery:
+    def test_crash_during_build_recovers(self):
+        """An injected worker crash mid-statement must be invisible to
+        the client: the supervisor restarts the shard and resubmits."""
+        spec = _spec(faults_spec="proc.worker_crash:0=crash*1")
+        with ProcSupervisor(spec, _config()) as sup:
+            assert sup.wait_ready(60)
+            ticket = sup.submit(CREATE, session="s0", fault_index=0)
+            ticket.wait(120)
+            assert ticket.outcome == "ok", ticket.error
+            assert ticket.proc_attempts == 1
+            chaos = sup.chaos_stats()
+            assert chaos["deaths"] == {"crash": 1}
+            assert chaos["resubmits"] == 1
+            assert chaos["wedged"] == 0
+
+    def test_pipe_drop_recovers(self):
+        spec = _spec(faults_spec="proc.pipe_drop:0=crash*1")
+        with ProcSupervisor(spec, _config()) as sup:
+            assert sup.wait_ready(60)
+            ticket = sup.submit(
+                "SELECT Price FROM data", session="s0", fault_index=0
+            )
+            ticket.wait(120)
+            assert ticket.outcome == "ok", ticket.error
+            assert sup.chaos_stats()["deaths"] == {"pipe_drop": 1}
+
+    def test_exhausted_proc_retries_fail_the_ticket(self):
+        """A statement that kills every incarnation it touches must end
+        as a terminal failure carrying WorkerCrashError, not a wedge."""
+        spec = _spec(faults_spec="proc.worker_crash:0=crash*10")
+        config = _config(proc_retries=2)
+        with ProcSupervisor(spec, config) as sup:
+            assert sup.wait_ready(60)
+            ticket = sup.submit(
+                "SELECT Make FROM data", session="s0", fault_index=0
+            )
+            ticket.wait(120)
+            assert ticket.outcome == "failed"
+            assert isinstance(ticket.error, WorkerCrashError)
+            assert sup.chaos_stats()["wedged"] == 0
+
+    def test_catalog_journal_survives_the_crash(self):
+        """Views created before a crash must exist after the restart:
+        the journal replays on the fresh incarnation, fault-free."""
+        spec = _spec(faults_spec="proc.worker_crash:1=crash*1")
+        with ProcSupervisor(spec, _config()) as sup:
+            assert sup.wait_ready(60)
+            created = sup.submit(CREATE, session="s0", fault_index=0)
+            created.wait(60)
+            assert created.outcome == "ok", created.error
+            crashed = sup.submit(
+                "SELECT Make FROM data", session="s1", fault_index=1
+            )
+            crashed.wait(120)
+            assert crashed.outcome == "ok", crashed.error
+            listing = sup.submit(
+                "SHOW CADVIEWS", session="s2", fault_index=2
+            )
+            listing.wait(60)
+            assert listing.outcome == "ok", listing.error
+            assert listing.result_payload == ["v"]
+
+
+class TestHangDetection:
+    def test_hang_detected_by_heartbeat(self):
+        """A worker sleeping with its heartbeat suppressed is caught by
+        the missed-beat detector, SIGKILLed, and its statement retried
+        on the fresh incarnation."""
+        spec = _spec(faults_spec="proc.worker_hang:0=sleep:5.0*1")
+        with ProcSupervisor(spec, _config()) as sup:
+            assert sup.wait_ready(60)
+            ticket = sup.submit(
+                "SELECT Make FROM data", session="s0", fault_index=0
+            )
+            ticket.wait(120)
+            assert ticket.outcome == "ok", ticket.error
+            chaos = sup.chaos_stats()
+            assert chaos["deaths"] == {"hang": 1}
+            assert chaos["resubmits"] == 1
+
+
+class TestRestartBackoff:
+    def test_consecutive_deaths_grow_the_delay_to_the_cap(self):
+        """Three deaths with no intervening success: delays follow
+        base * 2^k, clamped at the cap, never beyond it."""
+        spec = _spec(faults_spec="proc.worker_crash:0=crash*3")
+        config = _config(
+            proc_retries=5,
+            restart_backoff_base_s=0.05,
+            restart_backoff_cap_s=0.12,
+        )
+        with ProcSupervisor(spec, config) as sup:
+            assert sup.wait_ready(60)
+            ticket = sup.submit(
+                "SELECT Make FROM data", session="s0", fault_index=0
+            )
+            ticket.wait(120)
+            assert ticket.outcome == "ok", ticket.error
+            chaos = sup.chaos_stats()
+            delays = chaos["restart_delays"]
+            assert delays == [0.05, 0.1, 0.12]
+            assert chaos["max_restart_delay_s"] <= 0.12
+
+
+class TestDrain:
+    def test_drain_with_in_flight_statement(self):
+        """Drain during a long build: the statement is cancelled through
+        the CancelToken path, every worker exits 0, nothing is orphaned."""
+        spec = _spec(
+            rows=2_000,
+            faults_spec="proc.worker_hang:0=sleep:3.0*1",
+        )
+        # hang detection off: the sleep stands in for a long build the
+        # drain has to cancel, not a hang the monitor should kill
+        config = _config(heartbeat_timeout_s=60.0, drain_grace_s=0.2)
+        sup = ProcSupervisor(spec, config)
+        try:
+            assert sup.wait_ready(60)
+            ticket = sup.submit(CREATE, session="s0", fault_index=0)
+            report = sup.drain(grace_s=0.2)
+            ticket.wait(30)
+            assert ticket.outcome in ("failed", "ok")
+            if ticket.outcome == "failed":
+                assert isinstance(
+                    ticket.error, (QueryCancelledError, WorkerCrashError)
+                )
+            # no orphans: every child process is reaped
+            assert sup.chaos_stats()["wedged"] == 0
+            procs = [
+                s.handle.process
+                for s in sup._shards if s.handle is not None
+            ]
+            assert all(not p.is_alive() for p in procs)
+            assert report["cancelled"] in (0, 1)
+        finally:
+            sup.close(wait=False)
+
+    def test_drain_flushes_the_worklog(self, tmp_path):
+        """Per-ticket worklog records (with the proc= envelope) land on
+        disk before drain returns."""
+        from repro.obs import WorkLogWriter, read_worklog
+
+        path = str(tmp_path / "proc.worklog.jsonl")
+        writer = WorkLogWriter(path)
+        writer.session(dataset="usedcars", rows=ROWS, seed=7)
+        sup = ProcSupervisor(_spec(), _config(), worklog=writer)
+        try:
+            assert sup.wait_ready(60)
+            ticket = sup.submit("SELECT Make FROM data", session="s0")
+            ticket.wait(60)
+            assert ticket.outcome == "ok"
+            sup.drain(grace_s=2.0)
+        finally:
+            sup.close(wait=False)
+            writer.close()
+        records = read_worklog(path)
+        statements = [r for r in records if r["kind"] == "statement"]
+        assert len(statements) == 1
+        assert statements[0]["status"] == "ok"
+        proc = statements[0]["proc"]
+        assert proc["shard"] == 0
+        assert proc["proc_attempts"] == 0
+
+
+class TestChaosDeterminism:
+    def test_chaos_run_matches_fault_free_digests(self):
+        """The PR-5 guarantee, extended across process death: a chaos
+        run's per-statement digests are byte-identical to a run of the
+        same workload with no chaos at all."""
+        sqls = [
+            "SELECT Make FROM data",
+            CREATE,
+            "SELECT Price FROM data",
+            "SHOW CADVIEWS",
+            "SELECT Year FROM data",
+        ]
+
+        def run(faults_spec):
+            spec = _spec(faults_spec=faults_spec)
+            with ProcSupervisor(spec, _config(shards=2)) as sup:
+                assert sup.wait_ready(60)
+                tickets = [
+                    sup.submit(sql, session=f"s{i}", fault_index=i)
+                    for i, sql in enumerate(sqls)
+                ]
+                out = []
+                for ticket in tickets:
+                    ticket.wait(120)
+                    out.append(
+                        (ticket.outcome, ticket.degradations,
+                         ticket.result_payload)
+                    )
+                return out
+
+        calm = run(None)
+        chaotic = run(
+            "proc.worker_crash:1=crash*1,proc.worker_hang:2=sleep:2.0*1"
+        )
+        assert calm == chaotic
+
+    # Spawning subprocess fleets per example is expensive; a handful of
+    # random schedules still exercises the cross-product of fault site,
+    # target statement and shard count far beyond the named tests.
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        faults=st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["proc.worker_crash", "proc.pipe_drop"]
+                ),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=0,
+            max_size=2,
+            unique_by=lambda f: f[1],
+        ),
+        shards=st.integers(min_value=1, max_value=2),
+    )
+    def test_every_ticket_reaches_a_terminal_state(self, faults, shards):
+        spec_text = ",".join(
+            f"{site}:{index}=crash*1" for site, index in faults
+        )
+        spec = _spec(faults_spec=spec_text or None)
+        sqls = [
+            "SELECT Make FROM data",
+            "SELECT Price FROM data",
+            CREATE,
+            "SHOW CADVIEWS",
+        ]
+        with ProcSupervisor(spec, _config(shards=shards)) as sup:
+            assert sup.wait_ready(60)
+            tickets = [
+                sup.submit(sql, session=f"s{i}", fault_index=i)
+                for i, sql in enumerate(sqls)
+            ]
+            for ticket in tickets:
+                assert ticket.wait(120), "ticket never became terminal"
+                assert ticket.outcome in ("ok", "degraded", "failed")
+            assert sup.chaos_stats()["wedged"] == 0
+
+
+class TestExitCodes:
+    def test_fault_exit_codes_are_distinct_and_nonzero(self):
+        # the supervisor infers pipe_drop vs crash vs clean drain from
+        # the exit code; the three must never collide
+        assert WORKER_CRASH_EXIT != PIPE_DROP_EXIT
+        assert WORKER_CRASH_EXIT != 0
+        assert PIPE_DROP_EXIT != 0

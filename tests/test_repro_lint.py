@@ -415,6 +415,55 @@ class TestRL007ServeLockDiscipline:
         assert suppressed == 1
 
 
+class TestRL008StrayProcessConstruction:
+    def test_flags_process_outside_the_supervision_tree(self):
+        findings, _ = lint_source("""
+            from multiprocessing import Process
+
+            def launch(target):
+                p = Process(target=target)
+                p.start()
+                return p
+        """, path=SERVE, select={"RL008"})
+        assert [f.rule for f in findings] == ["RL008"]
+        assert "repro.serve.proc" in findings[0].message
+
+    def test_flags_context_process_too(self):
+        findings, _ = lint_source("""
+            import multiprocessing
+
+            def launch(ctx, target):
+                return multiprocessing.get_context("spawn").Process(
+                    target=target
+                )
+        """, path="src/repro/core/sample.py", select={"RL008"})
+        assert [f.rule for f in findings] == ["RL008"]
+
+    def test_the_supervisor_package_is_exempt(self):
+        findings, _ = lint_source("""
+            def spawn(ctx, target):
+                return ctx.Process(target=target, daemon=True)
+        """, path="src/repro/serve/proc/supervisor.py",
+            select={"RL008"})
+        assert findings == []
+
+    def test_tests_are_exempt(self):
+        findings, _ = lint_source("""
+            from multiprocessing import Process
+
+            def probe():
+                return Process(target=print)
+        """, path="tests/test_sample.py", select={"RL008"})
+        assert findings == []
+
+    def test_unrelated_calls_pass(self):
+        findings, _ = lint_source("""
+            def run(pool):
+                return pool.submit(print)
+        """, path=SERVE, select={"RL008"})
+        assert findings == []
+
+
 class TestSuppression:
     SOURCE = """
         import random

@@ -177,6 +177,51 @@ class TestCircuitBreaker:
         clock.advance(0.5)
         assert brk.state is BreakerState.HALF_OPEN  # and expiring again
 
+    def test_cancelled_probe_stays_half_open(self):
+        """Regression: a probe cancelled for health-unrelated reasons
+        (drain, client disconnect) must not latch the breaker open.
+
+        Before the fix this raced: the half-open probe got cancelled,
+        the executor routed it to ``on_failure``, and the breaker
+        re-opened with a fresh cooldown — a perfectly healthy dataset
+        could stay short-circuited indefinitely under periodic drains.
+        An inconclusive probe frees the slot and stays HALF_OPEN, so
+        the next arrival becomes the new probe.
+        """
+        brk, clock = self._breaker(trip_after=1, cooldown_s=1.0)
+        brk.on_failure()
+        clock.advance(1.0)
+        _, probe = brk.allow()
+        assert probe
+        brk.on_cancelled(probe=True)
+        assert brk.state is BreakerState.HALF_OPEN
+        # the slot is free: the very next arrival probes, and its
+        # success closes the breaker without waiting out a cooldown
+        assert brk.allow() == (True, True)
+        brk.on_success(probe=True)
+        assert brk.state is BreakerState.CLOSED
+
+    def test_cancelled_probe_never_starts_a_cooldown(self):
+        brk, clock = self._breaker(trip_after=1, cooldown_s=10.0)
+        brk.on_failure()
+        clock.advance(10.0)
+        _, probe = brk.allow()
+        assert probe
+        brk.on_cancelled(probe=True)
+        # no clock advance needed: had on_failure run instead, the
+        # breaker would be OPEN for another 10s from *now*
+        assert brk.allow() == (True, True)
+
+    def test_cancelled_outside_half_open_is_inert(self):
+        brk, _ = self._breaker(trip_after=3)
+        brk.on_failure()
+        brk.on_cancelled()
+        brk.on_failure()
+        # cancellation neither adds a failure nor resets the streak
+        assert brk.state is BreakerState.CLOSED
+        brk.on_failure()
+        assert brk.state is BreakerState.OPEN
+
     def test_reclose_then_trip_again(self):
         brk, clock = self._breaker(trip_after=2, cooldown_s=1.0)
         brk.on_failure()

@@ -87,6 +87,24 @@ class TestWorkLogWriter:
         with pytest.raises(ValueError, match="closed"):
             writer.log({"kind": "statement"})
 
+    def test_statement_proc_envelope(self, tmp_path):
+        """The supervisor stamps {shard, incarnation, ...} onto its
+        records; plain statements must stay envelope-free."""
+        path = str(tmp_path / "p.jsonl")
+        with WorkLogWriter(path) as writer:
+            writer.statement(
+                "SELECT Make FROM data", "select", "ok", 1.2,
+                proc={"shard": 1, "incarnation": 2,
+                      "proc_attempts": 1, "cause": "crash"},
+            )
+            writer.statement("DESCRIBE data", "describe", "ok", 0.3)
+        records = read_worklog(path)
+        assert records[0]["proc"] == {
+            "shard": 1, "incarnation": 2,
+            "proc_attempts": 1, "cause": "crash",
+        }
+        assert "proc" not in records[1]
+
     def test_rotation_keeps_bounded_generations(self, tmp_path):
         path = tmp_path / "w.jsonl"
         writer = WorkLogWriter(str(path), max_bytes=500, max_files=2)
@@ -195,6 +213,44 @@ class TestWorkLogWriter:
         path.write_text('[1, 2]\n')
         with pytest.raises(ValueError, match="not an object"):
             list(iter_worklog(str(path)))
+
+    def test_tolerant_reader_skips_truncated_trailing_line(self, tmp_path):
+        """A writer killed mid-write leaves a torn last line; the
+        tolerant reader must recover every intact record and say how
+        many lines it dropped."""
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            '{"kind": "session", "v": 1}\n'
+            '{"kind": "statement", "statement": "SELECT Make FROM data"}\n'
+            '{"kind": "statement", "statement": "SELECT Pri'  # torn
+        )
+        corrupt: list = []
+        records = read_worklog(
+            str(path), strict=False, corrupt_lines=corrupt
+        )
+        assert [r["kind"] for r in records] == ["session", "statement"]
+        assert corrupt == [3]
+
+    def test_tolerant_reader_skips_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "mid.jsonl"
+        path.write_text(
+            '{"kind": "session"}\n'
+            'garbage here\n'
+            '[1, 2, 3]\n'
+            '{"kind": "statement", "statement": "DESCRIBE data"}\n'
+        )
+        corrupt: list = []
+        records = read_worklog(
+            str(path), strict=False, corrupt_lines=corrupt
+        )
+        assert len(records) == 2
+        assert corrupt == [2, 3]
+
+    def test_strict_reader_still_fails_on_the_same_file(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"kind": "session"}\n{"kind": "stat')
+        with pytest.raises(ValueError, match="torn.jsonl:2"):
+            read_worklog(str(path), strict=True)
 
 
 class TestExplorerCapture:

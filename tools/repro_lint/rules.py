@@ -10,6 +10,7 @@ RL004  blanket ``except Exception`` must re-raise or record the fault
 RL005  tracer spans are opened with ``with`` (never left dangling)
 RL006  worklog file-handle I/O happens under the writer's ``self._lock``
 RL007  ``self._x`` mutation in ``repro/serve/`` happens under ``self._lock``
+RL008  ``multiprocessing.Process`` is constructed only in ``repro/serve/proc/``
 ====== ==================================================================
 
 Every rule explains *why* in its docstring; suppress a justified
@@ -33,6 +34,7 @@ __all__ = [
     "DanglingTracerSpan",
     "UnlockedWorklogWrite",
     "UnlockedServeMutation",
+    "StrayProcessConstruction",
 ]
 
 # Reporting records that an isolated failure was handled, not swallowed.
@@ -414,6 +416,40 @@ class UnlockedWorklogWrite(Rule):
                  ast.Lambda),
             ):
                 yield from self._check_body(module, child, inside)
+
+
+@register
+class StrayProcessConstruction(Rule):
+    """RL008: worker processes are born only in the supervision tree.
+
+    ``repro/serve/proc/`` owns the whole child-process lifecycle: spawn
+    context, pipe wiring, heartbeats, restart backoff, drain, and the
+    no-orphans guarantee.  A ``multiprocessing.Process`` (or
+    ``ctx.Process``) constructed anywhere else is a process nothing
+    supervises — it won't heartbeat, won't be reaped by drain, and its
+    death resolves no tickets.  Tests are exempt (they may build
+    throwaway processes to probe the protocol from outside).
+    """
+
+    code = "RL008"
+    description = "Process() constructed outside repro/serve/proc/"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.is_test:
+            return
+        parts = Path(module.path).parts
+        if "serve" in parts and "proc" in parts:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node) == "Process":
+                yield self.finding(
+                    module, node,
+                    "direct Process() construction; spawn workers "
+                    "through repro.serve.proc (the supervisor owns "
+                    "heartbeats, restarts and reaping)",
+                )
 
 
 @register
