@@ -13,6 +13,16 @@ require:
   list of complete (``"ph": "X"``) and instant (``"ph": "i"``) events
   with numeric, non-negative ``ts``/``dur``, exactly what
   ``chrome://tracing`` and https://ui.perfetto.dev accept;
+* a stitched multi-process trace (``--stitched-trace``, the ``--procs``
+  ``--trace`` output) additionally allows ``"ph": "M"`` metadata, and
+  must name every pid via ``process_name`` metadata, contain events
+  from at least two distinct processes, keep each span name on one
+  side of the process boundary (``serve.request`` only on the
+  supervisor pid, ``worker.*`` never on it), and link every
+  ``worker.request`` span by ``args.request_id`` to a
+  ``serve.request`` span — no orphan worker spans;
+* ``--require-counter NAME`` asserts each given metrics snapshot
+  carries that counter (the telemetry drop counters under chaos);
 * the metrics snapshot must have ``counters``/``gauges``/``histograms``
   maps, every histogram internally consistent (counts length =
   bounds length + 1, count = sum of bucket counts);
@@ -33,8 +43,12 @@ import sys
 from typing import List
 
 
-def validate_trace(path: str) -> List[str]:
-    """Problems found in a Chrome trace-event JSON file (empty = valid)."""
+def validate_trace(path: str, stitched: bool = False) -> List[str]:
+    """Problems found in a Chrome trace-event JSON file (empty = valid).
+
+    With ``stitched=True`` the file is held to the multi-process
+    contract of ``--procs --trace`` output (see module docstring).
+    """
     problems: List[str] = []
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -46,6 +60,7 @@ def validate_trace(path: str) -> List[str]:
         return [f"{path}: missing 'traceEvents' list"]
     if not events:
         problems.append(f"{path}: trace is empty")
+    allowed_phases = ("X", "i", "M") if stitched else ("X", "i")
     complete = 0
     for i, ev in enumerate(events):
         where = f"{path}: traceEvents[{i}]"
@@ -56,7 +71,7 @@ def validate_trace(path: str) -> List[str]:
             if key not in ev:
                 problems.append(f"{where}: missing {key!r}")
         ph = ev.get("ph")
-        if ph not in ("X", "i"):
+        if ph not in allowed_phases:
             problems.append(f"{where}: unexpected phase {ph!r}")
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
@@ -68,11 +83,92 @@ def validate_trace(path: str) -> List[str]:
                 problems.append(f"{where}: bad dur {dur!r}")
     if events and not complete:
         problems.append(f"{path}: no complete ('X') span events")
+    if stitched and not problems:
+        problems.extend(_check_stitching(path, events))
     return problems
 
 
-def validate_metrics(path: str) -> List[str]:
-    """Problems found in a metrics snapshot JSON file (empty = valid)."""
+def _check_stitching(path: str, events) -> List[str]:
+    """The multi-process invariants of a stitched trace.
+
+    Runs only on structurally valid events (``validate_trace`` gates
+    it), so it can index into them without re-checking shapes.
+    """
+    problems: List[str] = []
+    named_pids = set()
+    span_pids = set()
+    serve_ids = set()
+    serve_pids = set()
+    worker_span_pids = set()
+    worker_ids = []
+    unlabeled_workers = 0
+    for ev in events:
+        pid = ev.get("pid")
+        ph = ev.get("ph")
+        name = ev.get("name")
+        if ph == "M":
+            if name == "process_name":
+                named_pids.add(pid)
+            continue
+        span_pids.add(pid)
+        args = ev.get("args") or {}
+        if name == "serve.request":
+            serve_pids.add(pid)
+            req_id = args.get("request_id")
+            if req_id is None:
+                problems.append(
+                    f"{path}: serve.request span without args.request_id"
+                )
+            else:
+                serve_ids.add(str(req_id))
+        elif isinstance(name, str) and name.startswith("worker."):
+            worker_span_pids.add(pid)
+            if name == "worker.request":
+                req_id = args.get("request_id")
+                if req_id is None:
+                    unlabeled_workers += 1
+                else:
+                    worker_ids.append(str(req_id))
+    if len(span_pids) < 2:
+        problems.append(
+            f"{path}: stitched trace has events from "
+            f"{len(span_pids)} process(es), expected >= 2 "
+            "(supervisor + at least one worker)"
+        )
+    unnamed = sorted(p for p in span_pids if p not in named_pids)
+    if unnamed:
+        problems.append(
+            f"{path}: pid(s) without process_name metadata: {unnamed}"
+        )
+    overlap = serve_pids & worker_span_pids
+    if overlap:
+        problems.append(
+            f"{path}: pid(s) emit both serve.request and worker.* "
+            f"spans: {sorted(overlap)} — stitching attributed spans "
+            "to the wrong process"
+        )
+    if unlabeled_workers:
+        problems.append(
+            f"{path}: {unlabeled_workers} worker.request span(s) "
+            "without args.request_id"
+        )
+    orphans = sorted(r for r in worker_ids if r not in serve_ids)
+    if orphans:
+        problems.append(
+            f"{path}: worker.request span(s) with no matching "
+            f"serve.request span: {orphans[:5]}"
+            f"{' ...' if len(orphans) > 5 else ''}"
+        )
+    return problems
+
+
+def validate_metrics(path: str, require_counters=()) -> List[str]:
+    """Problems found in a metrics snapshot JSON file (empty = valid).
+
+    ``require_counters`` names counters that must be present — chaos CI
+    passes the telemetry drop counters, so a run that silently stopped
+    counting drops fails loudly here rather than reading as drop-free.
+    """
     problems: List[str] = []
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -106,6 +202,10 @@ def validate_metrics(path: str) -> List[str]:
                 f"{where}: count {dump.get('count')!r} != "
                 f"sum of bucket counts {sum(counts)}"
             )
+    counters = data.get("counters", {})
+    for name in require_counters:
+        if name not in counters:
+            problems.append(f"{path}: required counter {name!r} missing")
     return problems
 
 
@@ -154,6 +254,12 @@ def validate_worklog(path: str) -> List[str]:
                 f"{where}: schema version {record.get('v')!r} != "
                 f"{WORKLOG_VERSION}"
             )
+        kind = record.get("kind")
+        if kind == "session":
+            # a new session appended to the same file restarts the
+            # writer's seq/t_rel clocks; monotonicity is per-session
+            last_seq = 0
+            last_t_rel = float("-inf")
         seq = record.get("seq")
         if not isinstance(seq, int) or seq <= last_seq:
             problems.append(
@@ -173,7 +279,6 @@ def validate_worklog(path: str) -> List[str]:
         ts = record.get("ts")
         if not isinstance(ts, (int, float)) or ts <= 0:
             problems.append(f"{where}: bad ts {ts!r}")
-        kind = record.get("kind")
         if kind == "session":
             continue
         if kind != "statement":
@@ -218,26 +323,42 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", action="append", default=[],
                         help="Chrome trace-event JSON file to validate")
+    parser.add_argument("--stitched-trace", action="append", default=[],
+                        help="multi-process stitched trace (--procs "
+                             "--trace output) to validate")
     parser.add_argument("--metrics", action="append", default=[],
                         help="metrics snapshot JSON file to validate")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="counter that must exist in every "
+                             "--metrics snapshot")
     parser.add_argument("--worklog", action="append", default=[],
                         help="workload-log JSONL file to validate")
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics and not args.worklog:
+    if (not args.trace and not args.stitched_trace and not args.metrics
+            and not args.worklog):
         parser.error(
-            "give at least one --trace, --metrics, or --worklog file"
+            "give at least one --trace, --stitched-trace, --metrics, "
+            "or --worklog file"
         )
+    if args.require_counter and not args.metrics:
+        parser.error("--require-counter needs a --metrics file")
     problems: List[str] = []
     for path in args.trace:
         problems.extend(validate_trace(path))
+    for path in args.stitched_trace:
+        problems.extend(validate_trace(path, stitched=True))
     for path in args.metrics:
-        problems.extend(validate_metrics(path))
+        problems.extend(
+            validate_metrics(path, require_counters=args.require_counter)
+        )
     for path in args.worklog:
         problems.extend(validate_worklog(path))
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:
-        checked = len(args.trace) + len(args.metrics) + len(args.worklog)
+        checked = (len(args.trace) + len(args.stitched_trace)
+                   + len(args.metrics) + len(args.worklog))
         print(f"ok: {checked} artifact(s) valid")
     return 1 if problems else 0
 

@@ -45,13 +45,17 @@ from repro.errors import (
 )
 from repro.obs import (
     NO_WORKLOG,
+    MetricsRegistry,
     Tracer,
     WorkLogWriter,
+    evaluate_slos,
+    parse_slos,
     read_worklog,
     registry,
     replay,
     write_chrome_trace,
     write_metrics,
+    write_stitched_chrome_trace,
 )
 from repro.robustness import Budget, FaultInjector
 
@@ -129,6 +133,21 @@ def _add_budget_args(parser) -> None:
     )
 
 
+def _add_slo_args(parser) -> None:
+    parser.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="latency/error-rate objectives to check after the run, "
+             "e.g. 'view:p95_ms<=500,*:error_rate<=0.05' (metrics: "
+             "p50_ms/p95_ms/p99_ms/mean_ms/error_rate; kind '*' spans "
+             "all statements); repeatable; failure exits 2",
+    )
+    parser.add_argument(
+        "--slo-warn", action="store_true",
+        help="report SLO violations as warnings instead of failing "
+             "(what CI uses on pull requests)",
+    )
+
+
 def _add_obs_args(parser) -> None:
     parser.add_argument(
         "--trace", default=None, metavar="FILE",
@@ -191,6 +210,62 @@ def _write_obs(
         write_metrics(registry(), args.metrics)
     if worklog is not None:
         worklog.close()
+
+
+def _write_obs_procs(args, tracer, worklog, supervisor) -> None:
+    """Proc-mode artifact flush: stitched trace + cluster metrics.
+
+    Under ``--procs`` the interesting spans and metrics live in worker
+    processes; the supervisor's :class:`~repro.obs.hub.TelemetryHub`
+    holds the merged view, so ``--trace`` writes the *stitched*
+    multi-process Chrome trace and ``--metrics`` the cluster-wide
+    registry (supervisor + every worker incarnation + drop counters).
+    """
+    if getattr(args, "trace", None) and tracer is not None:
+        root = tracer.finish()
+        if supervisor is not None:
+            write_stitched_chrome_trace(
+                args.trace, root, supervisor.telemetry.span_trees()
+            )
+        else:
+            write_chrome_trace(root, args.trace)
+    if getattr(args, "metrics", None):
+        if supervisor is not None:
+            write_metrics(
+                supervisor.telemetry.cluster_registry(), args.metrics
+            )
+        else:
+            write_metrics(registry(), args.metrics)
+    if worklog is not None:
+        worklog.close()
+
+
+def _check_slos(
+    args,
+    snapshot,
+    latency_prefix: str = "serve.latency.",
+    status_prefix: str = "serve.statements.",
+) -> Optional[str]:
+    """Evaluate ``--slo`` against a metrics snapshot, print the report.
+
+    Returns a failure message when the check should fail the command
+    (``None`` with no ``--slo``, a passing check, or ``--slo-warn``).
+    """
+    specs = getattr(args, "slo", None)
+    if not specs:
+        return None
+    spec = ",".join(specs) if isinstance(specs, list) else specs
+    report = evaluate_slos(
+        parse_slos(spec), snapshot,
+        latency_prefix=latency_prefix, status_prefix=status_prefix,
+    )
+    print(report.render(), file=sys.stderr)
+    if report.ok or getattr(args, "slo_warn", False):
+        if not report.ok:
+            print("warning: SLO check failed (--slo-warn: not fatal)",
+                  file=sys.stderr)
+        return None
+    return "SLO check failed"
 
 
 def _explorer(
@@ -429,6 +504,14 @@ def cmd_replay(args) -> int:
         print("error: no statement records in "
               f"{args.worklog_file}", file=sys.stderr)
         return EXIT_USAGE
+    slo_failure = _check_slos(
+        args, report.registry.snapshot(),
+        latency_prefix="replay.latency.",
+        status_prefix="replay.statements.",
+    )
+    if slo_failure:
+        print(f"error: {slo_failure}", file=sys.stderr)
+        return EXIT_BUILD_FAILED
     return EXIT_OK
 
 
@@ -484,6 +567,10 @@ def _replay_concurrent_cmd(args, records, corrupt: int = 0) -> int:
         print("error: no statement records in "
               f"{args.worklog_file}", file=sys.stderr)
         return EXIT_USAGE
+    slo_failure = _check_slos(args, registry().snapshot())
+    if slo_failure:
+        print(f"error: {slo_failure}", file=sys.stderr)
+        return EXIT_BUILD_FAILED
     return EXIT_OK
 
 
@@ -570,6 +657,10 @@ def cmd_serve(args) -> int:
     if dropped:
         print(f"error: statements without a terminal outcome: {dropped}",
               file=sys.stderr)
+        return EXIT_BUILD_FAILED
+    slo_failure = _check_slos(args, registry().snapshot())
+    if slo_failure:
+        print(f"error: {slo_failure}", file=sys.stderr)
         return EXIT_BUILD_FAILED
     return EXIT_OK
 
@@ -694,6 +785,8 @@ def _serve_procs(args, records, corrupt: int) -> int:
     worklog = _session_worklog(args)
     supervisor = None
     old_handler = None
+    old_usr1 = None
+    stats_stop = None
     # the handler must be live *before* the workers boot: a SIGTERM
     # that lands while shards are still building their tables has to
     # drain gracefully too, not kill the process with the default
@@ -716,7 +809,13 @@ def _serve_procs(args, records, corrupt: int) -> int:
             old_handler = signal.signal(signal.SIGTERM, _on_sigterm)
         except ValueError:
             old_handler = None  # not the main thread (embedded use)
-        supervisor = ProcSupervisor(spec, config, worklog=worklog)
+        # a private registry per run: the conservation and SLO gates
+        # below must see exactly this run's counters, not whatever an
+        # embedding process accumulated in the global registry
+        supervisor = ProcSupervisor(
+            spec, config, worklog=worklog, tracer=tracer,
+            metrics=MetricsRegistry(),
+        )
         sigterm_state["supervisor"] = supervisor
         if sigterm_state["drain"]:
             supervisor.begin_drain()
@@ -724,18 +823,50 @@ def _serve_procs(args, records, corrupt: int) -> int:
             raise ReproError(
                 "workers failed to become ready within 120s"
             )
+        # the live ops surface: periodic stats lines on stderr, and an
+        # on-demand atomic snapshot dump on SIGUSR1
+        stats_path = args.stats_file or "repro-stats.json"
+        if hasattr(signal, "SIGUSR1"):
+            try:
+                old_usr1 = signal.signal(
+                    signal.SIGUSR1,
+                    lambda signum, frame: _dump_stats(
+                        sigterm_state["supervisor"], stats_path
+                    ),
+                )
+            except ValueError:
+                old_usr1 = None  # not the main thread (embedded use)
+        if args.stats_interval is not None:
+            import threading
+
+            stats_stop = threading.Event()
+
+            def _stats_loop():
+                while not stats_stop.wait(args.stats_interval):
+                    sup = sigterm_state["supervisor"]
+                    if sup is not None:
+                        print(_stats_line(sup.stats_snapshot()),
+                              file=sys.stderr)
+
+            threading.Thread(
+                target=_stats_loop, name="repro-stats", daemon=True,
+            ).start()
         report = replay_concurrent(
             records, executor=supervisor, concurrency=args.procs
         )
         report.corrupt_lines = corrupt
         drain_report = supervisor.drain()
         chaos = supervisor.chaos_stats()
+        telemetry = supervisor.telemetry.stats()
+        if args.stats_file:
+            _dump_stats(supervisor, args.stats_file)
         if args.json:
             import json
 
             payload = report.as_dict()
             payload["drain"] = drain_report
             payload["chaos"] = chaos
+            payload["telemetry"] = telemetry
             print(json.dumps(payload, indent=2, default=str))
         else:
             print(report.render())
@@ -750,12 +881,22 @@ def _serve_procs(args, records, corrupt: int) -> int:
                 f"max_restart_delay={chaos['max_restart_delay_s']:.3f}s "
                 f"wedged={chaos['wedged']}"
             )
+            print(
+                f"telemetry: frames={telemetry['frames']} "
+                f"workers={telemetry['workers_seen']} "
+                f"spans={telemetry['span_trees']} "
+                f"dropped={telemetry['dropped_total']:.0f}"
+            )
     finally:
         if old_handler is not None:
             signal.signal(signal.SIGTERM, old_handler)
+        if old_usr1 is not None:
+            signal.signal(signal.SIGUSR1, old_usr1)
+        if stats_stop is not None:
+            stats_stop.set()
         if supervisor is not None:
             supervisor.close(wait=False)
-        _write_obs(args, tracer, worklog)
+        _write_obs_procs(args, tracer, worklog, supervisor)
     if not report.results:
         print("error: no statement records in "
               f"{args.worklog_file}", file=sys.stderr)
@@ -772,6 +913,30 @@ def _serve_procs(args, records, corrupt: int) -> int:
         failures.append(
             "chaos run injected no worker deaths (vacuous pass)"
         )
+    if args.chaos:
+        # statement conservation: the parent-side per-shard completion
+        # counters (plus the unrouted leg) must sum exactly to the
+        # driver's statement count, worker deaths notwithstanding —
+        # and telemetry losses must be *counted*, never silent
+        import re as _re
+
+        cluster = supervisor.telemetry.cluster_registry().snapshot()
+        counters = cluster.get("counters", {})
+        completed = sum(
+            value for name, value in counters.items()
+            if _re.fullmatch(r"proc\.s\d+\.completed", name)
+        ) + counters.get("proc.unrouted.completed", 0.0)
+        if int(completed) != len(report.results):
+            failures.append(
+                f"statement conservation broken: per-shard completed "
+                f"counters sum to {int(completed)}, driver executed "
+                f"{len(report.results)}"
+            )
+        if "proc.telemetry.dropped" not in counters:
+            failures.append(
+                "cluster metrics lack the proc.telemetry.dropped "
+                "counter (drops must be counted, even at zero)"
+            )
     dropped = [
         res.index for res in report.results
         if res.outcome not in ("ok", "degraded", "rejected", "failed")
@@ -803,9 +968,118 @@ def _serve_procs(args, records, corrupt: int) -> int:
                 # keep --json stdout machine-parseable
                 file=sys.stderr if args.json else sys.stdout,
             )
+    slo_failure = _check_slos(
+        args, supervisor.telemetry.cluster_registry().snapshot()
+    )
+    if slo_failure:
+        failures.append(slo_failure)
     if failures:
         for failure in failures:
             print(f"error: {failure}", file=sys.stderr)
+        return EXIT_BUILD_FAILED
+    return EXIT_OK
+
+
+def _stats_line(snap) -> str:
+    """One compact live-stats line (the ``--stats-interval`` output)."""
+    shard_bits = []
+    for entry in snap.get("shards", []):
+        latency = entry.get("latency_ms") or {}
+        p95 = latency.get("p95")
+        shard_bits.append(
+            f"s{entry['shard']}"
+            f"[g{entry['incarnation']} inflight={entry['inflight']} "
+            f"restarts={entry['restarts']}"
+            + (f" p95={p95:.0f}ms" if p95 is not None else "")
+            + "]"
+        )
+    tel = snap.get("telemetry", {})
+    return (
+        f"stats: submitted={snap.get('submitted', 0)} "
+        f"queue={snap.get('queue_depth', 0)} "
+        f"inflight={snap.get('inflight', 0)} "
+        f"dropped={tel.get('dropped_total', 0):.0f} "
+        + " ".join(shard_bits)
+    )
+
+
+def _dump_stats(supervisor, path: str) -> None:
+    """Atomically write the full stats snapshot JSON (SIGUSR1 / exit)."""
+    if supervisor is None:
+        return
+    import json
+
+    from repro.obs.atomic import atomic_write_text
+
+    atomic_write_text(
+        path,
+        json.dumps(supervisor.stats_snapshot(), indent=2, default=str)
+        + "\n",
+    )
+    print(f"stats snapshot written to {path}", file=sys.stderr)
+
+
+def cmd_stats(args) -> int:
+    """``stats``: render a stats snapshot file, optionally gate on SLOs.
+
+    The snapshot (written by ``serve --stats-file`` or a SIGUSR1 dump)
+    embeds the full cluster metrics registry, so ``--slo`` evaluates
+    offline — CI gates on the artifact without re-running the workload.
+    """
+    import json
+
+    try:
+        with open(args.stats_json) as fh:
+            snap = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise ReproError(
+            f"cannot read stats snapshot {args.stats_json!r}: {exc}"
+        ) from exc
+    if args.json:
+        print(json.dumps(snap, indent=2))
+    else:
+        print(
+            f"== serve stats: submitted={snap.get('submitted', 0)} "
+            f"queue={snap.get('queue_depth', 0)} "
+            f"inflight={snap.get('inflight', 0)} "
+            f"resubmits={snap.get('resubmits', 0)} =="
+        )
+        print(
+            f"{'shard':<6} {'inc':>4} {'ready':>6} {'restarts':>8} "
+            f"{'inflight':>8} {'pending':>8} {'p50':>9} {'p95':>9} "
+            f"{'p99':>9}"
+        )
+        for entry in snap.get("shards", []):
+            latency = entry.get("latency_ms") or {}
+
+            def _ms(key):
+                value = latency.get(key)
+                return f"{value:.1f}ms" if value is not None else "-"
+
+            print(
+                f"s{entry['shard']:<5} {str(entry['incarnation']):>4} "
+                f"{str(bool(entry.get('ready'))):>6} "
+                f"{entry.get('restarts', 0):>8} "
+                f"{entry.get('inflight', 0):>8} "
+                f"{entry.get('pending', 0):>8} "
+                f"{_ms('p50'):>9} {_ms('p95'):>9} {_ms('p99'):>9}"
+            )
+        breakers = snap.get("breakers") or {}
+        if breakers:
+            states = "  ".join(
+                f"{key}={state}" for key, state in sorted(breakers.items())
+            )
+            print(f"breakers: {states}")
+        deaths = snap.get("deaths") or {}
+        tel = snap.get("telemetry") or {}
+        print(
+            f"deaths: {deaths or '(none)'}  telemetry: "
+            f"frames={tel.get('frames', 0)} "
+            f"dropped={tel.get('dropped_total', 0)}"
+        )
+    slo_failure = _check_slos(args, snap.get("metrics") or {})
+    if slo_failure:
+        print(f"error: {slo_failure}", file=sys.stderr)
         return EXIT_BUILD_FAILED
     return EXIT_OK
 
@@ -944,6 +1218,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail on corrupt/truncated worklog lines instead of "
              "skipping them with a warning",
     )
+    _add_slo_args(p)
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
@@ -998,11 +1273,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="fail on corrupt/truncated worklog lines "
                         "instead of skipping them with a warning")
+    p.add_argument("--stats-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="with --procs: print a live per-shard stats "
+                        "line to stderr every SECONDS")
+    p.add_argument("--stats-file", default=None, metavar="FILE",
+                   help="with --procs: write the full stats snapshot "
+                        "JSON to FILE at exit (SIGUSR1 dumps here too; "
+                        "readable with 'repro stats')")
+    _add_slo_args(p)
     _add_budget_args(p)
     _add_obs_args(p)
     p.add_argument("--json", action="store_true",
                    help="print the stress report as JSON")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "stats",
+        help="render a serve stats snapshot (and optionally check SLOs)",
+    )
+    p.add_argument("stats_json",
+                   help="snapshot file written by serve --stats-file "
+                        "or a SIGUSR1 dump")
+    p.add_argument("--json", action="store_true",
+                   help="re-emit the snapshot as JSON instead of the "
+                        "rendered table")
+    _add_slo_args(p)
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("study", help="run the simulated user study")
     p.add_argument("--rows", type=int, default=None)

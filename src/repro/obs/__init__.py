@@ -19,17 +19,40 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.hub import (
+    TelemetryHub,
+    to_stitched_chrome_trace,
+    write_stitched_chrome_trace,
+)
 from repro.obs.metrics import (
     LATENCY_BUCKETS_S,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    hist_mean,
+    hist_quantile,
     registry,
     set_registry,
 )
 from repro.obs.replay import ReplayReport, replay
-from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
+from repro.obs.slo import (
+    SLObjective,
+    SLOError,
+    SLOReport,
+    SLOResult,
+    evaluate_slos,
+    parse_slos,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+    epoch_anchor,
+    span_to_wire,
+)
 from repro.obs.worklog import (
     NO_WORKLOG,
     NullWorkLogWriter,
@@ -42,10 +65,16 @@ from repro.obs.worklog import (
 
 __all__ = [
     "Tracer", "NullTracer", "NULL_TRACER", "Span", "SpanEvent",
+    "epoch_anchor", "span_to_wire",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "LATENCY_BUCKETS_S", "registry", "set_registry",
+    "hist_quantile", "hist_mean",
     "render_trace", "to_chrome_trace", "write_chrome_trace",
     "write_metrics",
+    "TelemetryHub", "to_stitched_chrome_trace",
+    "write_stitched_chrome_trace",
+    "SLObjective", "SLOError", "SLOReport", "SLOResult",
+    "parse_slos", "evaluate_slos",
     "WorkLogWriter", "NullWorkLogWriter", "NO_WORKLOG",
     "WORKLOG_VERSION", "iter_worklog", "read_worklog", "statement_kind",
     "ReplayReport", "replay",

@@ -28,6 +28,8 @@ __all__ = [
     "LATENCY_BUCKETS_S",
     "registry",
     "set_registry",
+    "hist_quantile",
+    "hist_mean",
 ]
 
 # Default latency buckets (seconds): 1ms .. 10s in roughly 1-2-5 steps,
@@ -138,6 +140,36 @@ class Histogram:
                     if idx < len(self.bounds) else float("inf")
                 )
         return float("inf")
+
+
+def hist_quantile(dump: Dict[str, object], q: float) -> float:
+    """Approximate quantile from a *snapshot* histogram dump.
+
+    Same bucket-upper-bound estimate as :meth:`Histogram.quantile`, but
+    over the ``{"bounds", "counts", "count", ...}`` dict a
+    :meth:`MetricsRegistry.snapshot` produces — so SLO evaluation and
+    ``repro stats`` can work from a JSON file without reconstructing
+    live metric objects.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    count = int(dump.get("count") or 0)
+    if count == 0:
+        return 0.0
+    bounds = [float(b) for b in dump.get("bounds") or ()]
+    target = q * count
+    seen = 0
+    for idx, c in enumerate(dump.get("counts") or ()):
+        seen += int(c)
+        if seen >= target:
+            return bounds[idx] if idx < len(bounds) else float("inf")
+    return float("inf")
+
+
+def hist_mean(dump: Dict[str, object]) -> float:
+    """Arithmetic mean from a snapshot histogram dump (0 when empty)."""
+    count = int(dump.get("count") or 0)
+    return float(dump.get("sum") or 0.0) / count if count else 0.0
 
 
 class MetricsRegistry:

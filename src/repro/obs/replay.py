@@ -43,6 +43,9 @@ class ReplayReport:
     by_kind: Dict[str, Dict[str, float]] = field(default_factory=dict)
     statuses: Dict[str, int] = field(default_factory=dict)
     phase_totals_ms: Dict[str, float] = field(default_factory=dict)
+    captured_by_shard: Dict[str, Dict[str, float]] = field(
+        default_factory=dict
+    )
     registry: Optional[MetricsRegistry] = None
 
     @property
@@ -66,6 +69,10 @@ class ReplayReport:
                 for kind, stats in sorted(self.by_kind.items())
             },
             "phase_totals_ms": dict(sorted(self.phase_totals_ms.items())),
+            "captured_by_shard": {
+                shard: dict(stats)
+                for shard, stats in sorted(self.captured_by_shard.items())
+            },
         }
 
     def render(self) -> str:
@@ -102,6 +109,23 @@ class ReplayReport:
             f"degradations: {self.degradations}  statuses: "
             f"{status_text or '(none)'}"
         )
+        if self.captured_by_shard:
+            lines.append(
+                "captured per-shard latency (from the log's --procs run):"
+            )
+            lines.append(
+                f"{'shard':<18} {'count':>5} {'deaths':>6} "
+                f"{'p50':>10} {'p95':>10} {'p99':>10} {'mean':>10}"
+            )
+            for shard, stats in sorted(self.captured_by_shard.items()):
+                lines.append(
+                    f"{shard:<18} {int(stats['count']):>5} "
+                    f"{int(stats.get('proc_attempts', 0)):>6} "
+                    f"{_fmt_ms(stats['p50_ms']):>10} "
+                    f"{_fmt_ms(stats['p95_ms']):>10} "
+                    f"{_fmt_ms(stats['p99_ms']):>10} "
+                    f"{_fmt_ms(stats['mean_ms']):>10}"
+                )
         return "\n".join(lines)
 
 
@@ -134,6 +158,11 @@ def replay(
     reg = registry if registry is not None else MetricsRegistry()
     report = ReplayReport(registry=reg)
     errors_by_kind: Dict[str, int] = {}
+    # the log's own elapsed_ms per shard, for records stamped with
+    # proc={shard, incarnation, ...} by a --procs run — this reports the
+    # *captured* run's per-shard behavior, not this replay's
+    shard_samples: Dict[str, List[float]] = {}
+    shard_attempts: Dict[str, int] = {}
     t0 = time.perf_counter()
     for record in records:
         if record.get("kind") != "statement":
@@ -144,6 +173,18 @@ def replay(
         if not isinstance(sql, str) or not sql.strip():
             report.skipped += 1
             continue
+        proc = record.get("proc")
+        if isinstance(proc, dict) and proc.get("shard") is not None:
+            key = f"s{proc['shard']}"
+            captured_ms = record.get("elapsed_ms")
+            if isinstance(captured_ms, (int, float)):
+                shard_samples.setdefault(key, []).append(
+                    float(captured_ms)
+                )
+            shard_attempts[key] = (
+                shard_attempts.get(key, 0)
+                + int(proc.get("proc_attempts") or 0)
+            )
         report_before = dbx.last_report
         start = time.perf_counter()
         status = "ok"
@@ -191,4 +232,27 @@ def replay(
             "p99_ms": live.quantile(0.99) * 1e3,
             "mean_ms": live.mean * 1e3,
         }
+    for key, samples in sorted(shard_samples.items()):
+        ordered = sorted(samples)
+        report.captured_by_shard[key] = {
+            "count": float(len(ordered)),
+            "proc_attempts": float(shard_attempts.get(key, 0)),
+            "p50_ms": _nearest_rank(ordered, 0.50),
+            "p95_ms": _nearest_rank(ordered, 0.95),
+            "p99_ms": _nearest_rank(ordered, 0.99),
+            "mean_ms": sum(ordered) / len(ordered),
+        }
     return report
+
+
+def _nearest_rank(ordered: List[float], q: float) -> float:
+    """Exact nearest-rank percentile over pre-sorted samples.
+
+    Unlike the bucket-bound histogram quantiles above, these run over
+    the log's recorded values directly — per-shard sample counts are
+    small enough that exactness beats byte-stability here.
+    """
+    if not ordered:
+        return 0.0
+    rank = max(1, int(q * len(ordered) + 0.999999))
+    return ordered[min(rank, len(ordered)) - 1]

@@ -33,7 +33,23 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["Span", "SpanEvent", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "Span", "SpanEvent", "Tracer", "NullTracer", "NULL_TRACER",
+    "epoch_anchor", "span_to_wire",
+]
+
+
+def epoch_anchor() -> float:
+    """The offset mapping ``perf_counter`` values onto the epoch clock.
+
+    ``Span.start_s`` is a ``perf_counter`` reading, whose origin is
+    arbitrary *per process* — two processes' span timestamps cannot be
+    compared directly.  ``anchor + perf_counter_value`` is an epoch
+    timestamp, and ``time.time`` *is* shared across processes on one
+    machine, so spans serialized with :func:`span_to_wire` from
+    different processes stitch onto one timeline.
+    """
+    return time.time() - time.perf_counter()
 
 
 @dataclass(frozen=True)
@@ -164,6 +180,42 @@ class Span:
             f"Span({self.name!r}, {self.duration_s * 1e3:.1f}ms, {state}, "
             f"{len(self.children)} child(ren))"
         )
+
+
+def span_to_wire(span: Span, anchor: Optional[float] = None) -> Dict[str, object]:
+    """One span subtree as a JSON-able dict with *epoch* timestamps.
+
+    This is the cross-process serialization the telemetry plane ships:
+    unlike :meth:`Span.as_dict` (durations only), the wire form carries
+    absolute ``start_ts``/``end_ts`` seconds-since-epoch, so a
+    supervisor can stitch worker spans onto its own timeline.  Attr
+    values are stringified unless already JSON-scalar, matching the
+    frame codec's ``default=str`` behavior.
+    """
+    if anchor is None:
+        anchor = epoch_anchor()
+    end = span.end_s if span.end_s is not None else (
+        span.start_s + span.duration_s
+    )
+    return {
+        "name": span.name,
+        "bucket": span.bucket,
+        "status": span.status,
+        "error": span.error,
+        "start_ts": anchor + span.start_s,
+        "end_ts": anchor + end,
+        "attrs": {
+            str(k): (v if isinstance(v, (int, float, str, bool, type(None)))
+                     else str(v))
+            for k, v in span.attrs.items()
+        },
+        "counters": dict(span.counters),
+        "events": [
+            {"kind": e.kind, "message": e.message, "ts": anchor + e.t_s}
+            for e in span.events
+        ],
+        "children": [span_to_wire(c, anchor) for c in span.children],
+    }
 
 
 class Tracer:

@@ -575,6 +575,12 @@ class SessionExecutor:
             if isinstance(error, QueryCancelledError):
                 self._metrics.counter("serve.cancelled").inc()
         self._metrics.counter(f"serve.outcome.{outcome}").inc()
+        # the SLO layer's raw material: per-kind latency and per-status
+        # statement counts, same names in thread and proc serving modes
+        self._metrics.histogram(
+            f"serve.latency.{ticket.kind or 'invalid'}"
+        ).observe(elapsed)
+        self._metrics.counter(f"serve.statements.{status}").inc()
         if error is not None and not executed:
             # the failure happened before dbx.execute could write the
             # worklog record (queued past the deadline, slow_worker

@@ -27,7 +27,11 @@ This package is the only place in the repository allowed to construct
 ``multiprocessing.Process`` directly (repro-lint rule RL008).
 """
 
-from repro.serve.proc.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.proc.protocol import (
+    FRAME_TELEMETRY,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
 from repro.serve.proc.supervisor import (
     ProcServeConfig,
     ProcSupervisor,
@@ -41,6 +45,7 @@ from repro.serve.proc.worker import (
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "FRAME_TELEMETRY",
     "ProtocolError",
     "ProcServeConfig",
     "ProcSupervisor",

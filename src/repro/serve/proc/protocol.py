@@ -32,6 +32,11 @@ heartbeat  wkr -> sup   ``{seq}`` — liveness beacon, every interval
 response   wkr -> sup   ``{id, status, outcome-ish fields, degradations,
                         result_payload, error, attempts, elapsed_ms}``
 bye        wkr -> sup   ``{}`` — drain acknowledged, exiting 0
+telemetry  wkr -> sup   ``{shard, incarnation, pid, seq, dropped,
+                        metrics, spans, events}`` — batched span trees,
+                        a cumulative metrics snapshot, and lifecycle
+                        events; bounded and best-effort (never blocks
+                        execution, drops are counted in ``dropped``)
 ========== ============ ===================================================
 
 Transport is a :class:`multiprocessing.connection.Connection` pair
@@ -53,6 +58,7 @@ __all__ = [
     "ProtocolError",
     "FRAME_REQUEST", "FRAME_CANCEL", "FRAME_DRAIN",
     "FRAME_READY", "FRAME_HEARTBEAT", "FRAME_RESPONSE", "FRAME_BYE",
+    "FRAME_TELEMETRY",
     "encode_frame", "decode_frame", "send_frame", "recv_frame",
 ]
 
@@ -68,10 +74,12 @@ FRAME_READY = 16
 FRAME_HEARTBEAT = 17
 FRAME_RESPONSE = 18
 FRAME_BYE = 19
+FRAME_TELEMETRY = 20
 
 _KNOWN_KINDS = frozenset({
     FRAME_REQUEST, FRAME_CANCEL, FRAME_DRAIN,
     FRAME_READY, FRAME_HEARTBEAT, FRAME_RESPONSE, FRAME_BYE,
+    FRAME_TELEMETRY,
 })
 
 

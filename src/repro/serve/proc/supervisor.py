@@ -59,7 +59,7 @@ import threading
 import time
 import zlib
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing import get_context
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
@@ -71,7 +71,9 @@ from repro.errors import (
     ServeError,
     WorkerCrashError,
 )
-from repro.obs.metrics import MetricsRegistry, registry
+from repro.obs.hub import TelemetryHub
+from repro.obs.metrics import MetricsRegistry, hist_quantile, registry
+from repro.obs.tracer import Span, Tracer
 from repro.obs.worklog import NO_WORKLOG, WorkLogWriter, statement_kind
 from repro.query.ast import (
     CreateCadViewStatement,
@@ -100,6 +102,7 @@ from repro.serve.proc.protocol import (
     FRAME_READY,
     FRAME_REQUEST,
     FRAME_RESPONSE,
+    FRAME_TELEMETRY,
     ProtocolError,
     recv_frame,
     send_frame,
@@ -220,7 +223,7 @@ class _Request:
     __slots__ = (
         "state", "shard", "sql", "session", "part", "req_id",
         "fault_index", "proc_attempt", "probe", "short_circuited",
-        "breaker", "journal", "primary", "incarnation",
+        "breaker", "journal", "primary", "incarnation", "span",
     )
 
     def __init__(self, state, shard, sql, session, part, req_id,
@@ -239,6 +242,7 @@ class _Request:
         self.journal = journal
         self.primary = primary
         self.incarnation = -1
+        self.span: Optional[Span] = None
 
     def reset_dispatch(self) -> None:
         """Clear per-dispatch state before a resubmission."""
@@ -246,6 +250,7 @@ class _Request:
         self.short_circuited = False
         self.breaker = None
         self.incarnation = -1
+        self.span = None
 
 
 class _TicketState:
@@ -319,12 +324,19 @@ class ProcSupervisor:
         worklog: Optional[WorkLogWriter] = None,
         metrics: Optional[MetricsRegistry] = None,
         now: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
     ):
         self.spec = spec
         self.config = config if config is not None else ProcServeConfig()
         self._worklog = worklog if worklog is not None else NO_WORKLOG
         self._metrics = metrics if metrics is not None else registry()
         self._now = now
+        self._tracer = tracer
+        if tracer is not None and not spec.ship_spans:
+            # a tracer means someone wants the stitched trace: have
+            # workers build and ship per-request span trees
+            self.spec = spec = replace(spec, ship_spans=True)
+        self.telemetry = TelemetryHub(metrics=self._metrics)
         self._ctx = get_context("spawn")
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
@@ -428,6 +440,9 @@ class ProcSupervisor:
                 error=f"{type(exc).__name__}: {exc}",
             )
             self._metrics.counter("serve.outcome.failed").inc()
+            # conservation: never crossed a pipe, still counted once
+            self._metrics.counter("proc.unrouted.completed").inc()
+            self._metrics.counter("serve.statements.parse_error").inc()
             ticket._finish("failed", "parse_error", error=exc)
             return ticket
         ticket.kind = statement_kind(stmt)
@@ -473,6 +488,8 @@ class ProcSupervisor:
     ) -> None:
         error = OverloadedError(reason, retry_after_s=retry_after_s)
         self._metrics.counter("serve.rejected").inc()
+        self._metrics.counter("proc.unrouted.completed").inc()
+        self._metrics.counter("serve.statements.rejected").inc()
         try:
             ticket.kind = statement_kind(parse(ticket.sql))
         except ReproError:
@@ -566,6 +583,16 @@ class ProcSupervisor:
                             synth.append(req)
                             continue
                         self._gate_request(req, shard, handle)
+                        if self._tracer is not None:
+                            span = Span(
+                                "serve.request",
+                                request_id=req.req_id,
+                                shard=shard.index,
+                                incarnation=handle.incarnation,
+                                proc_attempt=req.proc_attempt,
+                            )
+                            req.span = span
+                            self._tracer.root.children.append(span)
                         handle.inflight[req.req_id] = req
                         sends.append((handle, req))
             if not sends and not synth:
@@ -644,6 +671,10 @@ class ProcSupervisor:
         self._metrics.counter("proc.spawns").inc()
         if incarnation > 0:
             self._metrics.counter("proc.restarts").inc()
+        self.telemetry.record_event(
+            "worker.spawn", shard=shard_idx, incarnation=incarnation,
+            pid=process.pid, ts=time.time(),
+        )
         threading.Thread(
             target=self._reader_loop, args=(handle,),
             name=f"repro-proc-reader-s{shard_idx}g{incarnation}",
@@ -675,6 +706,13 @@ class ProcSupervisor:
                 self._on_response(handle, payload)
             elif kind == FRAME_HEARTBEAT:
                 self._metrics.counter("proc.heartbeats").inc()
+            elif kind == FRAME_TELEMETRY:
+                self._metrics.counter("proc.telemetry.frames").inc()
+                self.telemetry.ingest(
+                    int(payload.get("shard", handle.shard)),
+                    int(payload.get("incarnation", handle.incarnation)),
+                    payload,
+                )
 
     def _infer_cause(self, handle: _WorkerHandle) -> str:
         handle.process.join(timeout=0.5)
@@ -710,6 +748,11 @@ class ProcSupervisor:
         if cause != "drain":
             self._metrics.counter("proc.deaths").inc()
             self._metrics.counter(f"proc.deaths.{cause}").inc()
+        self.telemetry.record_event(
+            "worker.death" if cause != "drain" else "worker.drained",
+            shard=handle.shard, incarnation=handle.incarnation,
+            cause=cause, ts=time.time(),
+        )
         if handle.process.is_alive():
             handle.process.kill()
         handle.process.join(timeout=2.0)
@@ -718,6 +761,13 @@ class ProcSupervisor:
         except OSError:
             pass  # already closed by the tear that got us here
         for req in inflight:
+            if req.span is not None:
+                # one span per dispatch attempt: the resubmission (if
+                # any) opens a fresh one against the next incarnation
+                req.span.set_attr("status", "worker_died")
+                req.span.set_attr("cause", cause)
+                req.span.status = "error"
+                req.span.close()
             if req.breaker is not None:
                 # a worker death counts against its (dead) incarnation's
                 # breaker; the restarted incarnation starts fresh
@@ -815,6 +865,9 @@ class ProcSupervisor:
                 self._shards[handle.shard].failures = 0
         if req is None:
             return  # late echo of a request already resolved elsewhere
+        self._metrics.histogram(
+            f"proc.s{handle.shard}.latency"
+        ).observe(float(payload.get("elapsed_ms") or 0.0) / 1e3)
         if req.breaker is not None:
             status = str(payload.get("status") or "error")
             if status == "ok":
@@ -838,6 +891,11 @@ class ProcSupervisor:
     ) -> None:
         state = req.state
         finalize = False
+        if req.span is not None and not req.span.closed:
+            req.span.set_attr(
+                "status", str(response.get("status") or "error")
+            )
+            req.span.close()
         with self._lock:
             if req.part in state.responses:
                 return  # already resolved (cancel raced a response)
@@ -862,6 +920,21 @@ class ProcSupervisor:
         if primary is None:  # defensive: primary part always responds
             primary = next(iter(state.responses.values()))
         status = str(primary.get("status") or "error")
+        explain_text = primary.get("explain_text")
+        if (
+            ticket.kind == "explain"
+            and status == "ok"
+            and not isinstance(explain_text, str)
+        ):
+            # the profile lives worker-side; a worker that did not ship
+            # its rendered EXPLAIN text leaves the parent with nothing
+            # but zeros — failing loudly beats reporting fake timings
+            status = "error"
+            primary = dict(primary)
+            primary["error"] = (
+                "worker returned no EXPLAIN text; EXPLAIN ANALYZE "
+                "under --procs requires telemetry-capable workers"
+            )
         payload, rows_out = self._merge_payload(state, primary)
         degradations = [
             str(d) for d in (primary.get("degradations") or [])
@@ -898,6 +971,16 @@ class ProcSupervisor:
                     str(primary.get("error") or status), status=status
                 )
         self._metrics.counter(f"serve.outcome.{outcome}").inc()
+        # conservation counters: every admitted statement is finalized
+        # exactly once, attributed to its primary part's shard — these
+        # are parent-side, so they survive any number of worker deaths
+        # (the unrouted leg is parse errors/rejections, in submit())
+        shard_idx = state.requests[state.primary_part].shard
+        self._metrics.counter(f"proc.s{shard_idx}.completed").inc()
+        self._metrics.histogram(
+            f"serve.latency.{ticket.kind or 'invalid'}"
+        ).observe(float(primary.get("elapsed_ms") or 0.0) / 1e3)
+        self._metrics.counter(f"serve.statements.{status}").inc()
         self._log_ticket_record(
             ticket, status, float(primary.get("elapsed_ms") or 0.0),
             rows_out=rows_out,
@@ -914,7 +997,11 @@ class ProcSupervisor:
                 "cause": primary.get("proc_cause"),
             },
         )
-        ticket._finish(outcome, status, result=None, error=error)
+        ticket._finish(
+            outcome, status,
+            result=explain_text if isinstance(explain_text, str) else None,
+            error=error,
+        )
 
     def _merge_payload(
         self, state: _TicketState, primary: Dict[str, object]
@@ -1141,6 +1228,58 @@ class ProcSupervisor:
                     for s in self._shards
                 ],
             }
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """The full ops snapshot: the ``repro stats`` / SIGUSR1 payload.
+
+        Embeds the complete cluster metrics snapshot, so a dumped file
+        is self-contained — ``repro stats FILE --slo SPEC`` can gate on
+        it offline (the CI warn-only check does exactly that).
+        """
+        with self._lock:
+            shards = []
+            for s in self._shards:
+                handle = s.handle
+                shards.append({
+                    "shard": s.index,
+                    "incarnation": (
+                        handle.incarnation if handle is not None else None
+                    ),
+                    "ready": (
+                        bool(handle.ready) if handle is not None else False
+                    ),
+                    "restarts": max(0, s.next_incarnation - 1),
+                    "failures": s.failures,
+                    "pending": len(s.pending),
+                    "inflight": (
+                        len(handle.inflight) if handle is not None else 0
+                    ),
+                    "journal": len(s.journal),
+                })
+            snap = {
+                "submitted": self._submitted,
+                "outstanding": len(self._tickets),
+                "queue_depth": sum(len(s.pending) for s in self._shards),
+                "inflight": sum(s["inflight"] for s in shards),
+                "resubmits": self._resubmits,
+                "deaths": dict(sorted(self._deaths.items())),
+                "shards": shards,
+            }
+        snap["breakers"] = self.breaker_states()
+        snap["telemetry"] = self.telemetry.stats()
+        cluster = self.telemetry.cluster_registry().snapshot()
+        snap["metrics"] = cluster
+        hists = cluster.get("histograms", {})
+        for entry in snap["shards"]:
+            dump = hists.get(f"proc.s{entry['shard']}.latency")
+            if dump:
+                entry["latency_ms"] = {
+                    "p50": hist_quantile(dump, 0.50) * 1e3,
+                    "p95": hist_quantile(dump, 0.95) * 1e3,
+                    "p99": hist_quantile(dump, 0.99) * 1e3,
+                    "count": int(dump.get("count") or 0),
+                }
+        return snap
 
     def chaos_stats(self) -> Dict[str, object]:
         """What the chaos harness asserts on after a run."""

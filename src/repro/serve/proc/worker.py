@@ -61,6 +61,8 @@ from repro.errors import (
 from repro.robustness.budget import Budget
 from repro.robustness.cancel import CancelToken
 from repro.robustness.faults import NO_FAULTS, FaultInjector
+from repro.obs.metrics import registry
+from repro.obs.tracer import Span, Tracer, epoch_anchor, span_to_wire
 from repro.serve.proc.protocol import (
     FRAME_BYE,
     FRAME_CANCEL,
@@ -69,6 +71,7 @@ from repro.serve.proc.protocol import (
     FRAME_READY,
     FRAME_REQUEST,
     FRAME_RESPONSE,
+    FRAME_TELEMETRY,
     ProtocolError,
     recv_frame,
     send_frame,
@@ -93,6 +96,11 @@ PROC_FAULT_SITES = (
 )
 
 _DEFAULT_ROWS = {"usedcars": 40_000, "mushroom": 8_124}
+
+# Telemetry buffer bounds: overflow is *dropped and counted*, never
+# queued unboundedly and never allowed to block request execution.
+_TEL_MAX_SPANS = 128
+_TEL_MAX_EVENTS = 256
 
 # Mirrors the thread executor's transient set: injected crashes
 # (RuntimeError), convergence failures, I/O hiccups.
@@ -135,6 +143,10 @@ class WorkerSpec:
     backoff_base_s: float = 0.02
     backoff_cap_s: float = 0.5
     retry_jitter_seed: int = 0
+    ship_spans: bool = False
+    """When True (the supervisor was given a tracer), the worker builds
+    a span tree per request and ships it over ``TELEMETRY`` frames;
+    metrics and lifecycle events ship regardless."""
 
     def as_dict(self) -> Dict[str, object]:
         """The spawn-safe plain-dict form."""
@@ -210,6 +222,19 @@ class _Worker:
             FaultInjector.parse(spec.faults_spec, seed=spec.fault_seed)
             if spec.faults_spec else None
         )
+        # telemetry buffers: bounded, drop-counted, flushed best-effort
+        self._anchor = epoch_anchor()
+        self._tel_lock = threading.Lock()
+        self._tel_spans: List[Dict[str, object]] = []
+        self._tel_events: List[Dict[str, object]] = []
+        self._tel_dropped = 0
+        self._tel_seq = 0
+        # the startup span covers table build + journal replay — every
+        # incarnation that reaches READY ships at least this one span
+        self._startup_span = Span(
+            "worker.startup", shard=shard, incarnation=incarnation,
+            pid=os.getpid(),
+        )
         self.dbx = _build_explorer(spec)
 
     # -- plumbing ----------------------------------------------------------
@@ -223,12 +248,71 @@ class _Worker:
         seq = 0
         while not self._stop.wait(self.heartbeat_interval_s):
             if self._hang.is_set():
-                continue  # an injected hang: go silent, stay alive
+                # an injected hang: go silent, stay alive — telemetry
+                # rides the same suppression so a hung worker looks
+                # hung end to end
+                continue
             seq += 1
             try:
                 self.send(FRAME_HEARTBEAT, {"seq": seq})
             except (OSError, ValueError):
                 return  # pipe gone: the parent died or we are exiting
+            self._flush_telemetry()
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _queue_span(self, span: Span) -> None:
+        """Buffer one completed span tree for shipping; drop on overflow."""
+        tree = span_to_wire(span, self._anchor)
+        with self._tel_lock:
+            if len(self._tel_spans) >= _TEL_MAX_SPANS:
+                self._tel_dropped += 1
+                return
+            self._tel_spans.append(tree)
+
+    def _queue_event(self, kind: str, **attrs) -> None:
+        """Buffer one lifecycle event; drop on overflow."""
+        entry: Dict[str, object] = {
+            "kind": kind, "source": "worker",
+            "ts": self._anchor + time.perf_counter(),
+        }
+        entry.update(attrs)
+        with self._tel_lock:
+            if len(self._tel_events) >= _TEL_MAX_EVENTS:
+                self._tel_dropped += 1
+                return
+            self._tel_events.append(entry)
+
+    def _flush_telemetry(self) -> None:
+        """Ship buffered telemetry; best-effort, never raises.
+
+        The buffers are swapped out under ``_tel_lock`` and the frame
+        is sent *after* the lock is released (RL009: no pipe I/O while
+        holding an obs lock) — a slow or blocked pipe can delay this
+        flush but can never wedge a thread that is merely queueing.
+        """
+        with self._tel_lock:
+            spans = self._tel_spans
+            events = self._tel_events
+            self._tel_spans = []
+            self._tel_events = []
+            self._tel_seq += 1
+            seq = self._tel_seq
+            dropped = self._tel_dropped
+        payload = {
+            "shard": self.shard,
+            "incarnation": self.incarnation,
+            "pid": os.getpid(),
+            "seq": seq,
+            "dropped": dropped,
+            "metrics": registry().snapshot(),  # cumulative, self-healing
+            "spans": spans,
+            "events": events,
+        }
+        try:
+            self.send(FRAME_TELEMETRY, payload)
+        except (OSError, ValueError):
+            pass  # pipe gone; the run loop will notice separately
 
     def _reader_loop(self) -> None:
         while True:
@@ -290,12 +374,21 @@ class _Worker:
             "incarnation": self.incarnation,
             "journal_replayed": replayed,
         })
+        self._startup_span.set_attr("journal_replayed", replayed)
+        self._startup_span.close()
+        self._queue_span(self._startup_span)
+        self._queue_event(
+            "worker.ready", pid=os.getpid(), journal_replayed=replayed,
+        )
+        self._flush_telemetry()
         while True:
             request = self._requests.get()
             if request is None:
                 break
             self._serve_request(request)
         self._stop.set()
+        self._queue_event("worker.drain", pid=os.getpid())
+        self._flush_telemetry()
         try:
             self.send(FRAME_BYE, {"shard": self.shard})
         except (OSError, ValueError):
@@ -320,17 +413,36 @@ class _Worker:
         token = CancelToken()
         with self._tokens_lock:
             self._tokens[req_id] = token
+        req_tracer: Optional[Tracer] = None
+        prev_tracer = None
+        if self.spec.ship_spans:
+            # the build pipeline traces into the explorer's tracer; a
+            # per-request root carrying the request id is what lets the
+            # hub stitch this tree under the supervisor's request span
+            req_tracer = Tracer(
+                "worker.request", request_id=req_id,
+                shard=self.shard, incarnation=self.incarnation,
+            )
+            prev_tracer = self.dbx.tracer
+            self.dbx.tracer = req_tracer
         try:
             response = self._execute(
                 sql, session, injector, token, budget_override,
                 fault_index,
             )
         finally:
+            if req_tracer is not None:
+                self.dbx.tracer = prev_tracer
             with self._tokens_lock:
                 self._tokens.pop(req_id, None)
         response["id"] = req_id
         response["incarnation"] = self.incarnation
+        if req_tracer is not None:
+            root = req_tracer.finish()
+            root.set_attr("status", response.get("status"))
+            self._queue_span(root)
         self.send(FRAME_RESPONSE, response)
+        self._flush_telemetry()
 
     def _fire_proc_faults(
         self, injector: FaultInjector, index: int, proc_attempt: int
@@ -378,6 +490,7 @@ class _Worker:
         # lazy import: keeps worker import time (spawn latency) down and
         # avoids a module cycle through repro.serve.stress
         from repro.core.explorer import _result_rows, _statement_status
+        from repro.obs.worklog import statement_kind
         from repro.query.ast import CreateCadViewStatement
         from repro.query.parser import parse
         from repro.serve.stress import result_payload
@@ -440,14 +553,26 @@ class _Worker:
                 "iunits": report.profile.iunits_s * 1e3,
                 "others": report.profile.others_s * 1e3,
             }
+        status = _statement_status(error)
+        kind = statement_kind(stmt)
+        # process-local metrics: shipped to the supervisor as part of
+        # the cumulative TELEMETRY snapshot, re-labeled per shard there
+        reg = registry()
+        reg.histogram(f"worker.latency.{kind}").observe(elapsed_ms / 1e3)
+        reg.counter(f"worker.statements.{status}").inc()
         return {
-            "status": _statement_status(error),
+            "status": status,
             "degraded": degraded,
             "degradations": degradations,
             "result_payload": result_payload(result),
             "rows_out": _result_rows(result),
             "pivot": pivot,
             "phases_ms": phases_ms,
+            # EXPLAIN renders worker-side (the plan/timings live here);
+            # ship the text so the supervisor can return real phase
+            # numbers instead of silently-zero parent-side timings
+            "explain_text": result if isinstance(result, str) else None,
+            "kind": kind,
             "error": (
                 f"{type(error).__name__}: {error}"
                 if error is not None else None

@@ -227,3 +227,111 @@ class TestSigtermGracefulDrain:
             if record["kind"] == "statement" and \
                     record["status"] in ("ok", "degraded"):
                 assert "proc" in record
+
+
+class TestTelemetryCLI:
+    @pytest.fixture(autouse=True)
+    def _fresh_registry(self):
+        """In-process main() calls share the global registry; the
+        conservation assertions need a clean slate per test."""
+        from repro.obs import MetricsRegistry, registry, set_registry
+
+        old = registry()
+        set_registry(MetricsRegistry())
+        yield
+        set_registry(old)
+
+    def test_proc_run_emits_stitched_obs_artifacts(self, tmp_path, capsys):
+        """One --procs run exercises the whole telemetry surface:
+        stitched trace, merged cluster metrics, stats snapshot, SLO
+        gate, and the `repro stats` offline renderer."""
+        trace = tmp_path / "stitched.json"
+        metrics = tmp_path / "cluster.json"
+        stats = tmp_path / "stats.json"
+        rc = main([
+            "serve", _workload(tmp_path), "--stress", "--procs", "2",
+            "--trace", str(trace), "--metrics", str(metrics),
+            "--stats-file", str(stats),
+            "--slo", "*:error_rate<=1.0", "--json",
+        ])
+        captured = capsys.readouterr()
+        assert rc == EXIT_OK, captured.err
+        assert "SLO check: PASS" in captured.err
+        report = json.loads(captured.out)
+        assert report["telemetry"]["workers_seen"] == 2
+
+        # the stitched trace passes the CI validator's stitched mode
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_trace", REPO / "benchmarks" / "check_trace.py"
+        )
+        checker = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(checker)
+        assert checker.validate_trace(str(trace), stitched=True) == []
+        assert checker.validate_metrics(
+            str(metrics),
+            require_counters=["proc.telemetry.dropped"],
+        ) == []
+
+        # cluster metrics conserve the statement count
+        counters = json.loads(metrics.read_text())["counters"]
+        completed = sum(
+            v for k, v in counters.items()
+            if k.startswith("proc.s") and k.endswith(".completed")
+            and ".g" not in k
+        ) + counters.get("proc.unrouted.completed", 0)
+        assert completed == len(SQLS)
+
+        # the stats snapshot renders offline, with the SLO gate attached
+        rc = main(["stats", str(stats), "--slo", "*:error_rate<=1.0"])
+        captured = capsys.readouterr()
+        assert rc == EXIT_OK, captured.err
+        assert "serve stats" in captured.out
+        rc = main(["stats", str(stats), "--slo", "*:p99_ms<=0.0001"])
+        assert rc == EXIT_BUILD_FAILED
+        capsys.readouterr()
+
+    def test_replay_reports_captured_per_shard_breakdown(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "out.worklog.jsonl"
+        rc = main([
+            "serve", _workload(tmp_path), "--stress", "--procs", "2",
+            "--worklog", str(out),
+        ])
+        assert rc == EXIT_OK
+        capsys.readouterr()
+        rc = main(["replay", str(out), "--rows", "300", "--json"])
+        assert rc == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        shards = report["captured_by_shard"]
+        assert shards  # records were stamped, so the breakdown exists
+        assert all(k.startswith("s") for k in shards)
+        assert sum(int(s["count"]) for s in shards.values()) == len(SQLS)
+
+    def test_serve_slo_failure_exits_nonzero(self, tmp_path, capsys):
+        rc = main([
+            "serve", _workload(tmp_path), "--stress", "--procs", "1",
+            "--slo", "*:mean_ms<=0.000001",
+        ])
+        captured = capsys.readouterr()
+        assert rc == EXIT_BUILD_FAILED
+        assert "SLO check: FAIL" in captured.err
+
+    def test_slo_warn_downgrades_to_warning(self, tmp_path, capsys):
+        rc = main([
+            "replay", _workload(tmp_path), "--rows", "300",
+            "--slo", "*:mean_ms<=0.000001", "--slo-warn",
+        ])
+        captured = capsys.readouterr()
+        assert rc == EXIT_OK
+        assert "SLO check: FAIL" in captured.err
+        assert "not fatal" in captured.err
+
+    def test_stats_cmd_rejects_garbage_file(self, tmp_path, capsys):
+        bogus = tmp_path / "nope.json"
+        bogus.write_text("not json")
+        rc = main(["stats", str(bogus)])
+        assert rc == EXIT_USAGE
+        assert "cannot read" in capsys.readouterr().err

@@ -329,3 +329,109 @@ class TestExitCodes:
         assert WORKER_CRASH_EXIT != PIPE_DROP_EXIT
         assert WORKER_CRASH_EXIT != 0
         assert PIPE_DROP_EXIT != 0
+
+
+class TestTelemetryPlane:
+    def test_explain_analyze_ships_real_phase_timings(self):
+        """EXPLAIN ANALYZE under --procs must report the worker's span
+        tree, not silent zeros: the worker renders the analysis locally
+        and ships the text in its RESPONSE."""
+        with ProcSupervisor(_spec(), _config()) as sup:
+            assert sup.wait_ready(60)
+            ticket = sup.submit("EXPLAIN ANALYZE " + CREATE, session="s")
+            assert ticket.wait(60)
+            assert ticket.outcome == "ok", ticket.error
+            assert isinstance(ticket.result, str)
+            assert "cadview.build" in ticket.result
+
+    def test_worker_telemetry_merges_and_conserves(self):
+        from repro.obs import MetricsRegistry, Tracer
+
+        tracer = Tracer("serve.session")
+        with ProcSupervisor(
+            _spec(), _config(shards=2), tracer=tracer,
+            metrics=MetricsRegistry(),  # isolate from other tests
+        ) as sup:
+            assert sup.wait_ready(60)
+            tickets = [
+                sup.submit("SELECT Make FROM data", session=f"s{i}")
+                for i in range(4)
+            ]
+            for ticket in tickets:
+                assert ticket.wait(60)
+                assert ticket.outcome == "ok", ticket.error
+            sup.drain()
+            stats = sup.telemetry.stats()
+            assert stats["frames"] > 0
+            assert stats["workers_seen"] == 2
+            snap = sup.telemetry.cluster_registry().snapshot()
+            counters = snap["counters"]
+            # conservation: every admitted statement counted exactly once
+            completed = sum(
+                v for k, v in counters.items()
+                if k.startswith("proc.s") and k.endswith(".completed")
+                and ".g" not in k
+            )
+            assert completed == len(tickets)
+            assert counters["proc.telemetry.dropped"] == 0.0
+            # worker registries arrive relabeled by shard/incarnation
+            assert any(
+                ".g0.worker.statements.ok" in k for k in counters
+            )
+            # lifecycle events from both sides of the pipe
+            kinds = {e.get("kind") for e in sup.telemetry.events()}
+            assert "worker.spawn" in kinds
+            assert "worker.ready" in kinds
+
+    def test_stitched_trace_links_worker_spans_by_request_id(
+        self, tmp_path
+    ):
+        import json as _json
+
+        from repro.obs import Tracer
+        from repro.obs.hub import write_stitched_chrome_trace
+
+        tracer = Tracer("serve.session")
+        with ProcSupervisor(_spec(), _config(), tracer=tracer) as sup:
+            assert sup.wait_ready(60)
+            ticket = sup.submit("SELECT Make FROM data", session="s")
+            assert ticket.wait(60)
+            sup.drain()
+            trees = sup.telemetry.span_trees()
+        tracer.finish()
+        assert any(
+            t["tree"]["name"] == "worker.startup" for t in trees
+        )
+        path = tmp_path / "stitched.json"
+        write_stitched_chrome_trace(str(path), tracer.root, trees)
+        events = _json.loads(path.read_text())["traceEvents"]
+        pids = {e["pid"] for e in events if e["ph"] != "M"}
+        assert len(pids) >= 2  # supervisor + worker lanes
+        serve_ids = {
+            e["args"].get("request_id")
+            for e in events if e["name"] == "serve.request"
+        }
+        worker_ids = {
+            e["args"].get("request_id")
+            for e in events if e["name"] == "worker.request"
+        }
+        assert worker_ids and worker_ids <= serve_ids
+
+    def test_stats_snapshot_is_self_contained(self):
+        from repro.obs import MetricsRegistry
+
+        with ProcSupervisor(
+            _spec(), _config(), metrics=MetricsRegistry()
+        ) as sup:
+            assert sup.wait_ready(60)
+            ticket = sup.submit("SELECT Make FROM data", session="s")
+            assert ticket.wait(60)
+            snap = sup.stats_snapshot()
+        assert snap["submitted"] == 1
+        (shard,) = snap["shards"]
+        assert shard["shard"] == 0
+        assert shard["restarts"] == 0
+        assert "latency_ms" in shard and shard["latency_ms"]["count"] == 1
+        # the embedded cluster metrics make the snapshot offline-gateable
+        assert "counters" in snap["metrics"]
+        assert "dropped_total" in snap["telemetry"]

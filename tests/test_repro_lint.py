@@ -464,6 +464,71 @@ class TestRL008StrayProcessConstruction:
         assert findings == []
 
 
+WORKER = "src/repro/serve/proc/worker.py"
+HUB = "src/repro/obs/hub.py"
+
+
+class TestRL009BlockingIOUnderObsLock:
+    def test_flags_send_under_telemetry_lock(self):
+        findings, _ = lint_source("""
+            class Worker:
+                def flush(self):
+                    with self._tel_lock:
+                        send_frame(self.conn, 20, {"spans": self._spans})
+        """, path=WORKER, select={"RL009"})
+        assert [f.rule for f in findings] == ["RL009"]
+        assert "_tel_lock" in findings[0].message
+
+    def test_flags_file_write_under_hub_lock(self):
+        findings, _ = lint_source("""
+            class Hub:
+                def export(self, fh):
+                    with self._lock:
+                        fh.write(self._dump())
+                        fh.flush()
+        """, path=HUB, select={"RL009"})
+        assert [f.rule for f in findings] == ["RL009", "RL009"]
+
+    def test_send_lock_is_exempt(self):
+        findings, _ = lint_source("""
+            class Worker:
+                def send(self, kind, payload):
+                    with self._send_lock:
+                        send_frame(self.conn, kind, payload)
+        """, path=WORKER, select={"RL009"})
+        assert findings == []
+
+    def test_swap_then_send_outside_lock_passes(self):
+        findings, _ = lint_source("""
+            class Worker:
+                def flush(self):
+                    with self._tel_lock:
+                        spans, self._spans = self._spans, []
+                    send_frame(self.conn, 20, {"spans": spans})
+        """, path=WORKER, select={"RL009"})
+        assert findings == []
+
+    def test_nested_def_under_lock_is_not_flagged(self):
+        findings, _ = lint_source("""
+            class Hub:
+                def exporter(self):
+                    with self._lock:
+                        def later():
+                            send_frame(self.conn, 20, {})
+                        self._cb = later
+        """, path=HUB, select={"RL009"})
+        assert findings == []
+
+    def test_other_files_are_out_of_scope(self):
+        findings, _ = lint_source("""
+            class Executor:
+                def flush(self):
+                    with self._lock:
+                        send_frame(self.conn, 20, {})
+        """, path="src/repro/serve/executor.py", select={"RL009"})
+        assert findings == []
+
+
 class TestSuppression:
     SOURCE = """
         import random

@@ -11,6 +11,7 @@ RL005  tracer spans are opened with ``with`` (never left dangling)
 RL006  worklog file-handle I/O happens under the writer's ``self._lock``
 RL007  ``self._x`` mutation in ``repro/serve/`` happens under ``self._lock``
 RL008  ``multiprocessing.Process`` is constructed only in ``repro/serve/proc/``
+RL009  telemetry paths do no blocking I/O while holding an obs lock
 ====== ==================================================================
 
 Every rule explains *why* in its docstring; suppress a justified
@@ -35,6 +36,7 @@ __all__ = [
     "UnlockedWorklogWrite",
     "UnlockedServeMutation",
     "StrayProcessConstruction",
+    "BlockingIOUnderObsLock",
 ]
 
 # Reporting records that an isolated failure was handled, not swallowed.
@@ -450,6 +452,96 @@ class StrayProcessConstruction(Rule):
                     "through repro.serve.proc (the supervisor owns "
                     "heartbeats, restarts and reaping)",
                 )
+
+
+# Where the telemetry-plane lock discipline applies: the supervisor-side
+# hub and the worker's emission path.  Both sit between request
+# execution and the pipe, so a stall under their locks stalls serving.
+_TELEMETRY_PATH_SUFFIXES = (
+    ("obs", "hub.py"),
+    ("serve", "proc", "worker.py"),
+)
+# Calls that can block on a pipe, file, or socket.
+_BLOCKING_CALL_NAMES = {
+    "send_frame", "send_bytes", "recv_bytes", "recv",
+    "write", "flush", "open", "dump",
+}
+# The one lock that exists *to* serialize pipe writes; holding it around
+# send_frame is the sanctioned idiom, not a violation.
+_IO_LOCKS = {"_send_lock"}
+
+
+def _locks_in_with(with_node: ast.With) -> Set[str]:
+    """Names of ``self._*lock`` attributes entered by a with-statement."""
+    held: Set[str] = set()
+    for item in with_node.items:
+        for sub in ast.walk(item.context_expr):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+                and sub.attr.endswith("lock")
+            ):
+                held.add(sub.attr)
+    return held
+
+
+@register
+class BlockingIOUnderObsLock(Rule):
+    """RL009: no blocking pipe/file I/O while holding an obs lock.
+
+    The telemetry plane's no-interference guarantee rests on one
+    discipline: buffers are swapped out *under* the lock, frames are
+    serialized and sent *outside* it.  A ``send_frame`` (or any
+    pipe/file call) inside ``with self._tel_lock:`` couples request
+    execution to pipe backpressure — a reader that stops draining
+    would freeze every thread that touches the buffer, which is
+    exactly the failure mode telemetry must never add.  The rule is
+    lexical and scoped to the two emission paths (``repro/obs/hub.py``
+    and ``repro/serve/proc/worker.py``); ``self._send_lock`` is exempt
+    because serializing pipe writes is its entire job.
+    """
+
+    code = "RL009"
+    description = "blocking I/O while holding an obs lock"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.is_test:
+            return
+        parts = Path(module.path).parts
+        if not any(
+            parts[-len(suffix):] == suffix
+            for suffix in _TELEMETRY_PATH_SUFFIXES
+        ):
+            return
+        yield from self._scan(module, module.tree, held=frozenset())
+
+    def _scan(
+        self, module: ModuleInfo, node: ast.AST, held: frozenset
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            now_held = held
+            if isinstance(child, ast.With):
+                now_held = held | (_locks_in_with(child) - _IO_LOCKS)
+            if now_held and isinstance(child, ast.Call):
+                name = _call_name(child)
+                if name in _BLOCKING_CALL_NAMES:
+                    locks = ", ".join(sorted(now_held))
+                    yield self.finding(
+                        module, child,
+                        f"{name}() while holding self.{locks}; swap "
+                        f"state out under the lock and do the I/O "
+                        f"after releasing it",
+                    )
+            if not isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.Lambda),
+            ):
+                yield from self._scan(module, child, now_held)
+            else:
+                # a nested def/class runs later, outside this lock
+                yield from self._scan(module, child, frozenset())
 
 
 @register
