@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 
 from repro import CADViewBuilder, CADViewConfig
+from repro.obs import work
 from repro.query import In
 
 MAKES = ("Ford", "Chevrolet", "Toyota", "Honda", "Jeep")
@@ -53,24 +54,28 @@ def test_figure8_series(cars40k, bench_emit):
           f"{'others':>9} {'total':>9}")
     totals = []
     series = []
-    for n in SIZES:
-        ca, iu, ot = measure(cars40k, n)
-        total = ca + iu + ot
-        totals.append(total)
-        series.append({
-            "result_size": n,
-            "compare_attrs_ms": ca * 1e3,
-            "iunits_ms": iu * 1e3,
-            "others_ms": ot * 1e3,
-            "total_ms": total * 1e3,
-        })
-        print(f"{n:>12} {ca*1e3:>9.1f} {iu*1e3:>9.1f} "
-              f"{ot*1e3:>9.1f} {total*1e3:>9.1f}")
+    # the sweep is fully seeded, so its work counters are exact-gated
+    # integers in the emitted payload (see benchmarks/regress.py)
+    with work.track() as counters:
+        for n in SIZES:
+            ca, iu, ot = measure(cars40k, n)
+            total = ca + iu + ot
+            totals.append(total)
+            series.append({
+                "result_size": n,
+                "compare_attrs_ms": ca * 1e3,
+                "iunits_ms": iu * 1e3,
+                "others_ms": ot * 1e3,
+                "total_ms": total * 1e3,
+            })
+            print(f"{n:>12} {ca*1e3:>9.1f} {iu*1e3:>9.1f} "
+                  f"{ot*1e3:>9.1f} {total*1e3:>9.1f}")
     bench_emit("fig8_worst_case", {
         "figure": "8",
         "simulations": SIMULATIONS,
         "phases": ["compare_attrs", "iunits", "others"],
         "series": series,
+        "work": {"totals": counters.as_dict()},
     })
     # shape: monotone-ish growth; the largest size costs clearly more
     assert totals[-1] > totals[0] * 1.5

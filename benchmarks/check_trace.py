@@ -26,6 +26,12 @@ require:
 * the metrics snapshot must have ``counters``/``gauges``/``histograms``
   maps, every histogram internally consistent (counts length =
   bounds length + 1, count = sum of bucket counts);
+* a collapsed-stack flamegraph (``--flamegraph``, the ``repro profile
+  --flamegraph`` output) must be non-empty lines of
+  ``frame;frame;... count`` with positive integer counts and no frame
+  containing a space; ``--require-span-frames`` additionally demands
+  at least one ``span:<name>`` frame — the profiler's semantic span
+  attribution, without which the flamegraph is file:function noise;
 * the workload log must be one JSON object per line, every record
   carrying the schema version and a strictly increasing ``seq``,
   ``t_rel_s`` non-decreasing (the writer stamps both under its lock),
@@ -318,6 +324,59 @@ def validate_worklog(path: str) -> List[str]:
     return problems
 
 
+def validate_flamegraph(
+    path: str, require_span_frames: bool = False
+) -> List[str]:
+    """Problems found in a collapsed-stack file (empty = valid).
+
+    The format is what flamegraph.pl and speedscope consume: one stack
+    per line, frames joined by ``;``, a space, then the sample count.
+    """
+    problems: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        return [f"{path}: cannot read: {exc}"]
+    if not any(line.strip() for line in lines):
+        return [f"{path}: flamegraph is empty (no samples collected)"]
+    span_frames = 0
+    total_samples = 0
+    for i, line in enumerate(lines, start=1):
+        where = f"{path}:{i}"
+        line = line.rstrip("\n")
+        if not line.strip():
+            problems.append(f"{where}: blank line")
+            continue
+        stack, sep, count_text = line.rpartition(" ")
+        if not sep or not stack:
+            problems.append(f"{where}: no 'stack count' separator")
+            continue
+        if not count_text.isdigit() or int(count_text) <= 0:
+            problems.append(
+                f"{where}: sample count {count_text!r} not a "
+                "positive integer"
+            )
+            continue
+        total_samples += int(count_text)
+        frames = stack.split(";")
+        if any(not frame or " " in frame for frame in frames):
+            problems.append(
+                f"{where}: empty frame or embedded space in stack "
+                f"{stack[:60]!r}"
+            )
+            continue
+        span_frames += sum(
+            1 for frame in frames if frame.startswith("span:")
+        )
+    if require_span_frames and not span_frames and not problems:
+        problems.append(
+            f"{path}: no 'span:<name>' frames — samples never attributed "
+            "to tracer spans (was the profiled run traced?)"
+        )
+    return problems
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns 0 iff every given artifact validates."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -334,15 +393,24 @@ def main(argv=None) -> int:
                              "--metrics snapshot")
     parser.add_argument("--worklog", action="append", default=[],
                         help="workload-log JSONL file to validate")
+    parser.add_argument("--flamegraph", action="append", default=[],
+                        help="collapsed-stack flamegraph file (repro "
+                             "profile --flamegraph output) to validate")
+    parser.add_argument("--require-span-frames", action="store_true",
+                        help="fail a --flamegraph file with no "
+                             "'span:<name>' frames (span attribution "
+                             "never engaged)")
     args = parser.parse_args(argv)
     if (not args.trace and not args.stitched_trace and not args.metrics
-            and not args.worklog):
+            and not args.worklog and not args.flamegraph):
         parser.error(
             "give at least one --trace, --stitched-trace, --metrics, "
-            "or --worklog file"
+            "--worklog, or --flamegraph file"
         )
     if args.require_counter and not args.metrics:
         parser.error("--require-counter needs a --metrics file")
+    if args.require_span_frames and not args.flamegraph:
+        parser.error("--require-span-frames needs a --flamegraph file")
     problems: List[str] = []
     for path in args.trace:
         problems.extend(validate_trace(path))
@@ -354,11 +422,16 @@ def main(argv=None) -> int:
         )
     for path in args.worklog:
         problems.extend(validate_worklog(path))
+    for path in args.flamegraph:
+        problems.extend(validate_flamegraph(
+            path, require_span_frames=args.require_span_frames
+        ))
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:
         checked = (len(args.trace) + len(args.stitched_trace)
-                   + len(args.metrics) + len(args.worklog))
+                   + len(args.metrics) + len(args.worklog)
+                   + len(args.flamegraph))
         print(f"ok: {checked} artifact(s) valid")
     return 1 if problems else 0
 

@@ -24,6 +24,14 @@ Two thresholds apply, because the artifacts mix two kinds of numbers:
   multiplier; anything beyond it means the latency moved at least two
   buckets, which no amount of boundary noise explains.
 
+Besides the latency leaves, any ``work`` subtree (the deterministic
+work counters of :mod:`repro.obs.work`) is compared with **exact
+equality** — the counters are integers derived only from the data and
+the statements, so there is no noise to absorb and no slack to grant.
+A drifted count is a semantic change in how much work a kernel does; a
+baseline that predates the counters (no ``work`` block at all) fails
+with an explicit re-baseline instruction.
+
 Exit codes: 0 verdict ok (or improvements only), 1 regression found,
 2 usage error / artifacts missing.  The verdict JSON carries every
 compared leaf, so CI can render the diff without re-running anything.
@@ -106,6 +114,83 @@ def latency_leaves(payload, prefix: str = "") -> Iterator[
                 yield from latency_leaves(item, f"{prefix}[{i}]")
 
 
+def work_leaves(payload, prefix: str = "") -> Iterator[Tuple[str, int]]:
+    """Yield ``(path, count)`` for every counter under a ``work`` block.
+
+    ``work`` subtrees hold the deterministic work counters; every
+    numeric leaf beneath one is comparable, whatever its nesting
+    (``work.totals.<name>``, ``work.by_kind.<kind>.<name>``).
+    """
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if key == "work" and isinstance(value, dict):
+                yield from _count_leaves(value, path)
+            elif isinstance(value, (dict, list)):
+                yield from work_leaves(value, path)
+    elif isinstance(payload, list):
+        for i, item in enumerate(payload):
+            if isinstance(item, dict):
+                yield from work_leaves(item, f"{prefix}[{i}]")
+
+
+def _count_leaves(payload, prefix: str) -> Iterator[Tuple[str, int]]:
+    if not isinstance(payload, dict):
+        return
+    for key, value in payload.items():
+        path = f"{prefix}.{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            yield path, int(value)
+        elif isinstance(value, dict):
+            yield from _count_leaves(value, path)
+
+
+def compare_work(
+    baseline, current, name: str
+) -> Tuple[List[Dict[str, object]], List[str]]:
+    """Exact-equality comparison of the ``work`` counter leaves.
+
+    Returns ``(records, problems)``.  Unlike the latency comparison
+    there is no threshold: the counters are deterministic by contract,
+    so the only acceptable diff is none.  A baseline that lacks the
+    ``work`` block entirely (it predates the counters) is a problem
+    with an explicit re-baseline instruction, not a silent pass.
+    """
+    base = dict(work_leaves(baseline))
+    cur = dict(work_leaves(current))
+    records: List[Dict[str, object]] = []
+    problems: List[str] = []
+    if cur and not base:
+        problems.append(
+            f"{name}: current run emits a 'work' counter block but the "
+            "baseline has none — re-baseline needed (run "
+            "REPRO_BENCH_DIR=benchmarks/baselines pytest benchmarks/ "
+            "-k 'not bench_' and commit the refreshed BENCH_*.json)"
+        )
+        return records, problems
+    for path, base_count in sorted(base.items()):
+        record = {
+            "leaf": path, "kind": "work", "threshold": "exact",
+            "baseline_count": base_count,
+            "current_count": cur.get(path),
+        }
+        if path not in cur:
+            record["status"] = "missing"
+        elif cur[path] != base_count:
+            record["status"] = "regression"
+        else:
+            record["status"] = "ok"
+        records.append(record)
+    for path in sorted(set(cur) - set(base)):
+        problems.append(
+            f"{name}: work counter {path} is new in the current run — "
+            "re-baseline needed to start gating it"
+        )
+    return records, problems
+
+
 def compare_payloads(
     baseline,
     current,
@@ -184,6 +269,11 @@ def compare_dirs(
         )
         if not records:
             problems.append(f"{name}: no comparable *_ms leaves")
+        work_records, work_problems = compare_work(
+            baseline, current, name
+        )
+        records.extend(work_records)
+        problems.extend(work_problems)
         for record in records:
             counts[str(record["status"])] += 1
         benches[name] = records
@@ -219,6 +309,17 @@ def render(verdict: Dict[str, object]) -> str:
         lines.append(f"{name}: {len(records)} leaves, "
                      f"{len(flagged)} flagged")
         for r in flagged:
+            if r.get("kind") == "work":
+                cur = (
+                    str(r["current_count"])
+                    if r["current_count"] is not None else "gone"
+                )
+                lines.append(
+                    f"  {r['status']:<11} {r['leaf']}: "
+                    f"{r['baseline_count']} -> {cur} "
+                    "(deterministic counter, exact match required)"
+                )
+                continue
             cur = (
                 f"{r['current_ms']:.1f}" if r["current_ms"] is not None
                 else "gone"

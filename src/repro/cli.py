@@ -1077,11 +1077,38 @@ def cmd_stats(args) -> int:
             f"frames={tel.get('frames', 0)} "
             f"dropped={tel.get('dropped_total', 0)}"
         )
+        work_totals = _work_counter_totals(
+            (snap.get("metrics") or {}).get("counters") or {}
+        )
+        if work_totals:
+            print("work counters (cumulative, all shards/incarnations):")
+            for name, total in sorted(work_totals.items()):
+                print(f"  {name} = {total}")
     slo_failure = _check_slos(args, snap.get("metrics") or {})
     if slo_failure:
         print(f"error: {slo_failure}", file=sys.stderr)
         return EXIT_BUILD_FAILED
     return EXIT_OK
+
+
+def _work_counter_totals(counters) -> dict:
+    """Sum ``work.*`` counters out of a metrics-counter mapping.
+
+    Cluster snapshots relabel worker metrics ``proc.s<shard>.g<inc>.
+    <name>``; strip that prefix so every shard and incarnation of one
+    work counter folds into a single total.  Registries are fresh per
+    incarnation, so plain summation is the correct cumulative figure.
+    """
+    totals: dict = {}
+    for name, value in counters.items():
+        base = name
+        if base.startswith("proc.s"):
+            parts = base.split(".", 3)
+            if len(parts) == 4:
+                base = parts[3]
+        if base.startswith("work."):
+            totals[base] = totals.get(base, 0) + int(value)
+    return totals
 
 
 def cmd_study(args) -> int:
@@ -1102,12 +1129,28 @@ def cmd_study(args) -> int:
 
 
 def cmd_profile(args) -> int:
-    """``profile``: time a naive and an optimized CAD View build."""
-    import numpy as np
+    """``profile``: sample where the time goes; export flamegraphs.
 
+    Two modes share the sampling flags:
+
+    * default — time a naive and an optimized CAD View build (the
+      original comparison), under the sampling profiler when
+      ``--flamegraph`` or ``--memory`` ask for one;
+    * ``--session LOG`` — replay a captured workload log under the
+      sampling profiler and report per-span self time, deterministic
+      work counters, a collapsed-stack flamegraph (``--flamegraph``)
+      and per-phase peak memory (``--memory``).
+    """
     from repro.core.builder import CADViewBuilder
     from repro.core.optimizer import recommended_config
+    from repro.obs import SamplingProfiler
 
+    if args.session:
+        return _profile_session(args)
+    if args.dataset is None:
+        args.dataset = "usedcars"
+    if args.seed is None:
+        args.seed = 7
     table = _load_table(args)
     pivot = "Make" if args.dataset == "usedcars" else "class"
     base = CADViewConfig(
@@ -1115,8 +1158,16 @@ def cmd_profile(args) -> int:
         generated_l=args.generated, seed=args.seed,
     )
     tracer = _session_tracer(args)
+    profiler = None
+    if args.flamegraph or args.memory:
+        profiler = SamplingProfiler(hz=args.sample_hz, memory=args.memory)
+        if tracer is None:
+            # span attribution needs spans: trace even without --trace
+            tracer = Tracer("session", command="profile")
     worklog = _session_worklog(args)
     try:
+        if profiler is not None:
+            profiler.start()
         for name, config in (
             ("naive", base),
             ("optimized", recommended_config(base, len(table))),
@@ -1124,8 +1175,82 @@ def cmd_profile(args) -> int:
             cad = CADViewBuilder(config).build(table, pivot, tracer=tracer)
             print(f"{name:>10}: {cad.profile}")
     finally:
+        if profiler is not None:
+            profiler.stop()
         _write_obs(args, tracer, worklog)
+    _print_profile(args, profiler)
     return EXIT_OK
+
+
+def _profile_session(args) -> int:
+    """The ``profile --session LOG`` path: a replay under the sampler."""
+    from repro.obs import SamplingProfiler
+
+    corrupt: list = []
+    try:
+        records = read_worklog(args.session, corrupt_lines=corrupt)
+    except (ValueError, OSError) as exc:
+        raise ReproError(
+            f"cannot read worklog {args.session!r}: {exc}"
+        ) from exc
+    for lineno in corrupt:
+        print(
+            f"warning: {args.session}:{lineno}: corrupt worklog "
+            "line skipped",
+            file=sys.stderr,
+        )
+    _replay_defaults_from_header(args, records)
+    if getattr(args, "worklog", None) and os.path.abspath(args.worklog) \
+            == os.path.abspath(args.session):
+        raise ReproError(
+            "refusing to profile a worklog into itself; pass a "
+            "different --worklog path"
+        )
+    # always trace: span frames are what makes the flamegraph semantic
+    tracer = _session_tracer(args) or Tracer("session", command="profile")
+    worklog = _session_worklog(args)
+    profiler = SamplingProfiler(hz=args.sample_hz, memory=args.memory)
+    try:
+        # NO_WORKLOG: a REPRO_WORKLOG environment variable must not
+        # append the profiled statements to the log being read
+        dbx = DBExplorer(
+            CADViewConfig(seed=args.seed), tracer=tracer,
+            worklog=worklog if worklog is not None else NO_WORKLOG,
+        )
+        dbx.register("data", _load_table(args))
+        with profiler:
+            report = replay(records, dbx)
+    finally:
+        _write_obs(args, tracer, worklog)
+    if report.statements == 0:
+        print(f"error: no statement records in {args.session}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    print(
+        f"== profiled replay: {report.statements} statement(s) in "
+        f"{report.wall_s:.2f}s ({report.errors} error(s)) =="
+    )
+    if report.work_totals:
+        print("work counters (deterministic):")
+        for name, total in sorted(report.work_totals.items()):
+            print(f"  {name} = {total}")
+    _print_profile(args, profiler)
+    return EXIT_OK
+
+
+def _print_profile(args, profiler) -> None:
+    """Render the sampler's reports and write the flamegraph file."""
+    if profiler is None:
+        return
+    print(profiler.self_time_report())
+    if args.memory:
+        print(profiler.memory_report())
+    if args.flamegraph:
+        count = profiler.write_collapsed(args.flamegraph)
+        print(
+            f"flamegraph: {count} collapsed stack(s) written to "
+            f"{args.flamegraph} (feed to flamegraph.pl or speedscope)"
+        )
 
 
 def cmd_deps(args) -> int:
@@ -1307,13 +1432,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--study-seed", type=int, default=2016)
     p.set_defaults(func=cmd_study, csv=None, dataset="mushroom")
 
-    p = sub.add_parser("profile", help="profile a CAD View build")
+    p = sub.add_parser(
+        "profile",
+        help="profile a build or a replayed session (flamegraphs)",
+    )
     _add_data_args(p)
     _add_obs_args(p)
     p.add_argument("--compare", type=int, default=11)
     p.add_argument("--iunits", type=int, default=6)
     p.add_argument("--generated", type=int, default=15)
-    p.set_defaults(func=cmd_profile)
+    p.add_argument("--session", default=None, metavar="LOG",
+                   help="replay this workload log under the sampling "
+                        "profiler instead of running the naive-vs-"
+                        "optimized build comparison (the log's session "
+                        "header supplies dataset/rows/seed defaults)")
+    p.add_argument("--flamegraph", default=None, metavar="FILE",
+                   help="write collapsed stacks to FILE (the "
+                        "flamegraph.pl / speedscope text format), with "
+                        "tracer spans as 'span:<name>' frames")
+    p.add_argument("--sample-hz", type=float, default=97.0,
+                   help="stack sampling rate (default: 97 Hz — prime, "
+                        "so it cannot lock step with periodic work)")
+    p.add_argument("--memory", action="store_true",
+                   help="also record per-phase peak memory via "
+                        "tracemalloc (adds tracing overhead)")
+    # data flags default to None here (unlike the other data commands)
+    # so --session header values can fill them; cmd_profile restores
+    # the usual usedcars/seed-7 defaults when no session log is given
+    p.set_defaults(func=cmd_profile, dataset=None, seed=None,
+                   budget_ms=None)
 
     p = sub.add_parser("deps", help="discover attribute dependencies")
     _add_data_args(p)

@@ -16,6 +16,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import QueryError
+from repro.obs import work
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["KMeansResult", "KMeans"]
@@ -42,6 +43,7 @@ class KMeansResult:
 
 def _pairwise_sq_dists(X: np.ndarray, C: np.ndarray) -> np.ndarray:
     """(n, k) squared Euclidean distances via |x|^2 - 2xC' + |c|^2."""
+    work.add("work.cluster.distance_evals", X.shape[0] * C.shape[0])
     x2 = np.einsum("ij,ij->i", X, X)[:, None]
     c2 = np.einsum("ij,ij->i", C, C)[None, :]
     d = x2 - 2.0 * (X @ C.T) + c2
@@ -150,6 +152,7 @@ class KMeans:
                 if checkpoint is not None:
                     checkpoint()
                 span.inc("iterations")
+                work.add("work.cluster.iterations")
                 dists = _pairwise_sq_dists(X, centers)
                 labels = dists.argmin(axis=1).astype(np.int32)
                 inertia = float(dists[np.arange(n), labels].sum())
@@ -161,6 +164,7 @@ class KMeans:
                 empty = counts == 0
                 if empty.any():
                     span.inc("reseeds", int(empty.sum()))
+                    work.add("work.cluster.reseeds", int(empty.sum()))
                     far = np.argsort(dists[np.arange(n), labels])[::-1]
                     replacements = iter(far)
                     for j in np.flatnonzero(empty):

@@ -17,6 +17,8 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import QueryError
+from repro.obs import work
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["KModesResult", "KModes"]
 
@@ -42,6 +44,7 @@ class KModesResult:
 
 def _mismatches(X: np.ndarray, modes: np.ndarray) -> np.ndarray:
     """(n, k) matching-dissimilarity matrix; missing never matches."""
+    work.add("work.cluster.distance_evals", X.shape[0] * modes.shape[0])
     eq = (X[:, None, :] == modes[None, :, :]) & (X[:, None, :] >= 0)
     return (~eq).sum(axis=2)
 
@@ -74,11 +77,14 @@ class KModes:
         X: np.ndarray,
         rng: Optional[np.random.Generator] = None,
         checkpoint: Optional[Callable[[], None]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> KModesResult:
         """Cluster the rows of an (n, d) integer code matrix.
 
         ``checkpoint`` is called once per iteration (see
         :meth:`KMeans.fit`); ``n_clusters > n`` clamps with a warning.
+        A ``tracer`` gains a ``kmodes`` span recording iterations and
+        empty-cluster reseeds, mirroring the k-means span.
         """
         X = np.asarray(X, dtype=np.int32)
         if X.ndim != 2:
@@ -95,44 +101,52 @@ class KModes:
                 stacklevel=2,
             )
         k = min(self.n_clusters, n)
+        tracer = tracer or NULL_TRACER
 
-        # seed with distinct random rows (k-modes++ analogue: farthest rows)
-        modes = X[rng.choice(n, size=1)]
-        while modes.shape[0] < k:
-            # seeding scans all n rows per new mode; a budgeted caller
-            # must be able to stop here too, not just in the main loop
-            if checkpoint is not None:
-                checkpoint()
-            d = _mismatches(X, modes).min(axis=1).astype(float)
-            total = d.sum()
-            if total <= 0:
-                idx = int(rng.integers(n))
-            else:
-                idx = int(rng.choice(n, p=d / total))
-            modes = np.vstack([modes, X[idx]])
-
-        labels = np.zeros(n, dtype=np.int32)
-        n_iter = 0
-        for n_iter in range(1, self.max_iter + 1):
-            if checkpoint is not None:
-                checkpoint()
-            d = _mismatches(X, modes)
-            new_labels = d.argmin(axis=1).astype(np.int32)
-            new_modes = modes.copy()
-            for j in range(k):
-                members = X[new_labels == j]
-                if members.shape[0]:
-                    new_modes[j] = _column_modes(members)
+        with tracer.span("kmodes", n=n, d=int(X.shape[1]), k=k) as span:
+            # seed with distinct random rows (k-modes++ analogue:
+            # farthest rows)
+            modes = X[rng.choice(n, size=1)]
+            while modes.shape[0] < k:
+                # seeding scans all n rows per new mode; a budgeted
+                # caller must be able to stop here too, not just in the
+                # main loop
+                if checkpoint is not None:
+                    checkpoint()
+                d = _mismatches(X, modes).min(axis=1).astype(float)
+                total = d.sum()
+                if total <= 0:
+                    idx = int(rng.integers(n))
                 else:
-                    # reseed an empty cluster at the worst-fit row
-                    worst = int(d[np.arange(n), new_labels].argmax())
-                    new_modes[j] = X[worst]
-            if np.array_equal(new_labels, labels) and np.array_equal(
-                new_modes, modes
-            ):
-                labels = new_labels
-                break
-            labels, modes = new_labels, new_modes
+                    idx = int(rng.choice(n, p=d / total))
+                modes = np.vstack([modes, X[idx]])
 
-        cost = float(_mismatches(X, modes)[np.arange(n), labels].sum())
+            labels = np.zeros(n, dtype=np.int32)
+            n_iter = 0
+            for n_iter in range(1, self.max_iter + 1):
+                if checkpoint is not None:
+                    checkpoint()
+                span.inc("iterations")
+                work.add("work.cluster.iterations")
+                d = _mismatches(X, modes)
+                new_labels = d.argmin(axis=1).astype(np.int32)
+                new_modes = modes.copy()
+                for j in range(k):
+                    members = X[new_labels == j]
+                    if members.shape[0]:
+                        new_modes[j] = _column_modes(members)
+                    else:
+                        # reseed an empty cluster at the worst-fit row
+                        span.inc("reseeds")
+                        work.add("work.cluster.reseeds")
+                        worst = int(d[np.arange(n), new_labels].argmax())
+                        new_modes[j] = X[worst]
+                if np.array_equal(new_labels, labels) and np.array_equal(
+                    new_modes, modes
+                ):
+                    labels = new_labels
+                    break
+                labels, modes = new_labels, new_modes
+
+            cost = float(_mismatches(X, modes)[np.arange(n), labels].sum())
         return KModesResult(labels, modes, cost, n_iter)

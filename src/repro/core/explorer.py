@@ -38,6 +38,7 @@ from repro.errors import (
     QueryCancelledError,
     QueryError,
 )
+from repro.obs import work
 from repro.obs.export import render_trace
 from repro.obs.tracer import Tracer
 from repro.obs.worklog import (
@@ -90,6 +91,7 @@ class Session:
     name: str = DEFAULT_SESSION
     last_report: Optional[BuildReport] = None
     last_analysis: Optional[AnalysisReport] = None
+    last_work: Optional[Dict[str, int]] = None
     statements: int = 0
 
 
@@ -237,14 +239,21 @@ class DBExplorer:
         start = time.perf_counter()
         report_before = sess.last_report
         stmt = None
-        try:
-            stmt = parse(sql)
-            result = self._execute(stmt, sql, ctx)
-        except BaseException as exc:
-            self._log_statement(
-                sql, stmt, start, report_before, ctx, error=exc
-            )
-            raise
+        # the deterministic work counters for this statement accumulate
+        # in a context-local scope (concurrent sessions on executor
+        # threads each get their own), and roll up onto the statement's
+        # tracer spans for EXPLAIN ANALYZE
+        with work.track(self.tracer) as counters:
+            try:
+                stmt = parse(sql)
+                result = self._execute(stmt, sql, ctx)
+            except BaseException as exc:
+                sess.last_work = counters.as_dict()
+                self._log_statement(
+                    sql, stmt, start, report_before, ctx, error=exc
+                )
+                raise
+            sess.last_work = counters.as_dict()
         self._log_statement(
             sql, stmt, start, report_before, ctx, result=result
         )
@@ -328,6 +337,7 @@ class DBExplorer:
                 if error is not None else None
             ),
             session=ctx.session.name,
+            work=ctx.session.last_work,
         )
 
     def analyze(
@@ -486,6 +496,10 @@ class DBExplorer:
         if not stmt.analyze:
             return "\n".join(self._plan_lines(stmt.inner))
         tracer = Tracer("explain")
+        # the statement's work scope opened before this dedicated tracer
+        # existed; redirect span rollups here so the rendered trace
+        # carries per-phase work counters
+        work.attach(tracer)
         if isinstance(stmt.inner, CreateCadViewStatement):
             cad = self._create_cadview(stmt.inner, tracer=tracer, ctx=ctx)
             root = tracer.finish()
@@ -507,10 +521,13 @@ class DBExplorer:
             if cad.report is not None:
                 lines.append("")
                 lines.extend(cad.report.lines())
+            lines.extend(_work_lines())
             return "\n".join(lines)
         with tracer.span("execute", statement=type(stmt.inner).__name__):
             self._dispatch(stmt.inner, ctx)
-        return render_trace(tracer.finish())
+        lines = [render_trace(tracer.finish())]
+        lines.extend(_work_lines())
+        return "\n".join(lines)
 
     def _plan_lines(self, stmt: Statement) -> List[str]:
         """Textual plan outline of what executing ``stmt`` would do."""
@@ -568,6 +585,26 @@ def _statement_status(error: Optional[BaseException]) -> str:
     if isinstance(error, (CADViewError, ConvergenceError)):
         return "build_failed"
     return "error"
+
+
+def _work_lines() -> List[str]:
+    """The deterministic ``work counters:`` block of EXPLAIN ANALYZE.
+
+    Values come from the statement's context accumulator, so this block
+    is byte-identical for the same statement over the same data no
+    matter how the run is scheduled — unlike the timed trace lines
+    above it.  Empty when no counted kernel ran (or no work scope is
+    open, e.g. ``_explain`` called outside ``execute``).
+    """
+    counters = work.current()
+    if counters is None or not counters.counts:
+        return []
+    lines = ["", "work counters:"]
+    lines.extend(
+        f"  {name} = {value}"
+        for name, value in counters.as_dict().items()
+    )
+    return lines
 
 
 def _result_rows(result: Optional[ExecuteResult]) -> Optional[int]:

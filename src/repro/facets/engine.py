@@ -19,6 +19,7 @@ from repro.dataset.table import Table
 from repro.discretize.discretizer import DiscretizedView, Discretizer
 from repro.errors import QueryError
 from repro.facets.digest import Digest
+from repro.obs import work
 from repro.obs.metrics import registry
 from repro.query.predicates import And, Or, Predicate, TruePred
 
@@ -81,9 +82,8 @@ class FacetedEngine:
     def result(self, selections: Dict[str, Set[str]]) -> Table:
         """The result set of a selection state."""
         pred = self.selection_predicate(selections)
-        reg = registry()
-        reg.counter("facets.results").inc()
-        reg.counter("facets.rows_scanned").inc(len(self.table))
+        registry().counter("facets.results").inc()
+        work.add("work.facets.rows_scanned", len(self.table))
         return self.table.filter(pred.mask(self.table))
 
     def digest_for_predicate(self, predicate: Predicate) -> Digest:
@@ -93,9 +93,8 @@ class FacetedEngine:
         target selection with the digest of a user's alternative.
         """
         mask = predicate.mask(self.table)
-        reg = registry()
-        reg.counter("facets.digests").inc()
-        reg.counter("facets.rows_scanned").inc(len(self.table))
+        registry().counter("facets.digests").inc()
+        work.add("work.facets.rows_scanned", len(self.table))
         restricted = self._view.restrict(mask)
         counts = {a: restricted.value_counts(a) for a in self.queriable}
         return Digest(counts, int(mask.sum()))

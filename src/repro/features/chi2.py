@@ -16,6 +16,7 @@ from scipy.special import gammaincc
 
 from repro.errors import QueryError
 from repro.features.contingency import marginals
+from repro.obs import work
 
 __all__ = ["ChiSquareResult", "chi2_sf", "chi_square_test", "cramers_v"]
 
@@ -57,6 +58,9 @@ def chi_square_test(table: np.ndarray) -> ChiSquareResult:
     table = table[table.sum(axis=1) > 0][:, table.sum(axis=0) > 0]
     if table.shape[0] < 2 or table.shape[1] < 2:
         return ChiSquareResult(0.0, 1, 1.0)
+    # cells actually scored, post-cleaning; cramers_v delegates here so
+    # its cells are counted exactly once
+    work.add("work.features.chi2_cells", int(table.size))
     rows, cols, total = marginals(table)
     expected = np.outer(rows, cols) / total
     stat = float(((table - expected) ** 2 / expected).sum())

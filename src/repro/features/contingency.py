@@ -13,6 +13,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import QueryError
+from repro.obs import work
 
 __all__ = ["contingency_table", "marginals"]
 
@@ -33,6 +34,7 @@ def contingency_table(
     if class_codes.shape != value_codes.shape:
         raise QueryError("class and value code arrays differ in length")
     valid = (class_codes >= 0) & (value_codes >= 0)
+    work.add("work.features.contingency_cells", n_classes * n_values)
     flat = class_codes[valid].astype(np.int64) * n_values + value_codes[valid]
     counts = np.bincount(flat, minlength=n_classes * n_values)
     return counts.reshape(n_classes, n_values).astype(np.float64)

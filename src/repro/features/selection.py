@@ -101,9 +101,10 @@ class FeatureSelector:
             scores.append(FeatureScore(name, score, p))
         tracer.inc("candidates_scored", len(scores))
         tracer.inc("cells_scored", cells)
-        reg = registry()
-        reg.counter("features.candidates_scored").inc(len(scores))
-        reg.counter("features.cells_scored").inc(cells)
+        # cell totals live in the work taxonomy now (contingency_table
+        # and chi_square_test count themselves); only the candidate
+        # count remains engine-specific
+        registry().counter("features.candidates_scored").inc(len(scores))
         scores.sort(key=lambda s: (-s.score, s.attribute))
         return scores
 

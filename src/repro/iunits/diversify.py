@@ -23,6 +23,7 @@ from repro.errors import CADViewError
 from repro.iunits.iunit import IUnit
 from repro.iunits.ranking import PreferenceFunction, SizePreference
 from repro.iunits.similarity import iunit_similarity
+from repro.obs import work
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = [
@@ -112,6 +113,7 @@ def div_astar(
         if checkpoint is not None:
             checkpoint()
         tracer.inc("astar_nodes")
+        work.add("work.diversify.astar_expanded")
         neg_b, _, pos, chosen, current = heapq.heappop(heap)
         if -neg_b <= best_value:
             tracer.inc("astar_pruned", len(heap))

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.errors import CADViewError
 from repro.iunits.iunit import IUnit
-from repro.obs.metrics import registry
+from repro.obs import work
 
 __all__ = [
     "cosine_similarity",
@@ -62,7 +62,7 @@ def iunit_similarity(x: IUnit, y: IUnit) -> float:
             "IUnits come from different Compare Attribute sets: "
             f"{x.compare_attributes} vs {y.compare_attributes}"
         )
-    registry().counter("similarity.iunit_pairs").inc()
+    work.add("work.diversify.similarity_pairs")
     total = 0.0
     for d in x.compare_attributes:
         total += cosine_similarity(x.distributions[d], y.distributions[d])

@@ -11,6 +11,12 @@ The cross-run half: :mod:`repro.obs.worklog` captures every executed
 statement as a JSONL workload log (``--worklog`` / ``REPRO_WORKLOG``)
 and :mod:`repro.obs.replay` re-executes a captured log and reports the
 latency distribution per statement kind (``repro replay``).
+
+The cost-model half: :mod:`repro.obs.work` accumulates deterministic
+per-statement work counters (rows scanned, distance evals, A*
+expansions, ...) that the regression gate compares with exact equality,
+and :mod:`repro.obs.profiler` is a stdlib sampling profiler with
+span-attributed collapsed-stack flamegraph export (``repro profile``).
 """
 
 from repro.obs.export import (
@@ -35,6 +41,7 @@ from repro.obs.metrics import (
     registry,
     set_registry,
 )
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.replay import ReplayReport, replay
 from repro.obs.slo import (
     SLObjective,
@@ -51,8 +58,10 @@ from repro.obs.tracer import (
     SpanEvent,
     Tracer,
     epoch_anchor,
+    set_span_listener,
     span_to_wire,
 )
+from repro.obs.work import WORK_COUNTERS, WorkCounters
 from repro.obs.worklog import (
     NO_WORKLOG,
     NullWorkLogWriter,
@@ -65,7 +74,8 @@ from repro.obs.worklog import (
 
 __all__ = [
     "Tracer", "NullTracer", "NULL_TRACER", "Span", "SpanEvent",
-    "epoch_anchor", "span_to_wire",
+    "epoch_anchor", "span_to_wire", "set_span_listener",
+    "WorkCounters", "WORK_COUNTERS", "SamplingProfiler",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "LATENCY_BUCKETS_S", "registry", "set_registry",
     "hist_quantile", "hist_mean",

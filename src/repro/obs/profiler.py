@@ -1,0 +1,290 @@
+"""Stdlib sampling profiler with span attribution and flamegraphs.
+
+Work counters (:mod:`repro.obs.work`) say *how much* the engine did;
+this profiler says *where the time went*.  It is pure stdlib — a
+background thread snapshots every Python thread's stack via
+``sys._current_frames`` at a fixed rate, so there is nothing to
+install, no interpreter patching, and no signal handling (sampling
+works on worker threads, where ``signal``-based profilers cannot).
+
+Two outputs:
+
+* **collapsed stacks** — the ``frame;frame;frame count`` text format
+  flamegraph.pl and speedscope consume (``repro profile --flamegraph``).
+  Each sampled stack is prefixed with the chain of tracer spans open on
+  that thread at sample time (rendered as ``span:<name>`` frames), so
+  the flamegraph shows *semantic* phases (``span:kmeans`` above the
+  numpy frames it spends its time in), not just file:function noise.
+* **span self-time** — per span name, how many samples landed while
+  that span was the innermost open one.  This is the sampled
+  counterpart of :attr:`Span.self_time_s`, aggregated across every
+  span instance of a run.
+
+Span attribution rides the tracer's global listener hook
+(:func:`repro.obs.tracer.set_span_listener`): the profiler maintains a
+per-thread stack of open spans, updated by open/close callbacks on the
+span's own thread.  When no profiler is running the hook is ``None``
+and tracing pays one pointer read per span — zero-overhead off switch.
+
+Opt-in memory accounting (``memory=True``) starts ``tracemalloc`` for
+the profiled region and records the peak traced allocation per
+*bucket* span (the paper's ``compare_attrs`` / ``iunits`` / ``others``
+phases), resetting the peak at each bucket-span close.  Peaks are
+high-water marks per phase, not exclusive attributions — nested
+buckets fold into the outermost one that closes last; good enough to
+answer "which phase allocates".
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from .atomic import atomic_write_text
+from .tracer import set_span_listener
+
+__all__ = ["SamplingProfiler"]
+
+# frames deeper than this are truncated (recursive builds would
+# otherwise explode the collapsed-stack key space)
+_MAX_DEPTH = 64
+
+
+def _frame_label(frame) -> str:
+    """``file.py:function``, with the characters the collapsed format
+    reserves (space = count separator, semicolon = frame separator)
+    replaced so a weird filename cannot corrupt a line."""
+    code = frame.f_code
+    label = f"{os.path.basename(code.co_filename)}:{code.co_name}"
+    return label.replace(" ", "_").replace(";", ",")
+
+
+class SamplingProfiler:
+    """Samples all Python threads; attributes samples to open spans.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`::
+
+        with SamplingProfiler(hz=200) as prof:
+            build(...)
+        prof.write_collapsed("profile.collapsed")
+        print(prof.self_time_report())
+
+    Only one profiler should run at a time (the span-listener hook is
+    global); starting a second one displaces the first's attribution.
+    """
+
+    def __init__(self, hz: float = 97.0, memory: bool = False):
+        if hz <= 0:
+            raise ValueError(f"sampling rate must be positive, got {hz!r}")
+        self.interval_s = 1.0 / float(hz)
+        self.memory = memory
+        self._samples: Dict[str, int] = {}
+        self._span_samples: Dict[str, int] = {}
+        self._phase_peaks: Dict[str, int] = {}
+        self._sample_count = 0
+        self._lock = threading.Lock()
+        self._span_stacks: Dict[int, List[object]] = {}
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._prev_listener = None
+        self._started_tracemalloc = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    # the lifecycle fields below (_thread, _prev_listener,
+    # _started_tracemalloc) are only touched by the controlling thread
+    # in start()/stop(); self._lock protects the sample dictionaries
+    # the sampler thread shares, not these
+
+    def start(self) -> "SamplingProfiler":
+        """Install the span listener and launch the sampling thread."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        if self.memory:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                # repro-lint: ignore[RL003]
+                self._started_tracemalloc = True
+        # repro-lint: ignore[RL003]
+        self._prev_listener = set_span_listener(self)
+        self._stop_event.clear()
+        # repro-lint: ignore[RL003]
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling, restore the listener, join the thread."""
+        if self._thread is None:
+            return self
+        set_span_listener(self._prev_listener)
+        # repro-lint: ignore[RL003]
+        self._prev_listener = None
+        self._stop_event.set()
+        self._thread.join()
+        # repro-lint: ignore[RL003]
+        self._thread = None
+        if self._started_tracemalloc:
+            import tracemalloc
+
+            tracemalloc.stop()
+            # repro-lint: ignore[RL003]
+            self._started_tracemalloc = False
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- span listener (called on the span's own thread) ------------------
+
+    def span_opened(self, span) -> None:
+        """Tracer-listener callback: push ``span`` on its thread's stack."""
+        tid = threading.get_ident()
+        stack = self._span_stacks.get(tid)
+        if stack is None:
+            # plain assignment: dict item writes are atomic under the
+            # GIL, and this key is only ever written by its own thread
+            stack = []
+            self._span_stacks[tid] = stack
+        stack.append(span)
+
+    def span_closed(self, span) -> None:
+        """Tracer-listener callback: pop ``span``; record memory peaks."""
+        stack = self._span_stacks.get(threading.get_ident())
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:
+            # a listener installed mid-nest sees closes for opens it
+            # never observed; drop through to the matching entry
+            stack.remove(span)
+        if self.memory and span.bucket is not None:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                _, peak = tracemalloc.get_traced_memory()
+                with self._lock:
+                    self._phase_peaks[span.bucket] = max(
+                        self._phase_peaks.get(span.bucket, 0), peak
+                    )
+                tracemalloc.reset_peak()
+
+    # -- sampling loop ----------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval_s):
+            self._sample_once()
+
+    def _sample_once(self) -> None:
+        own = threading.get_ident()
+        frames = sys._current_frames()
+        now_stacks: List[Tuple[str, Optional[str]]] = []
+        for tid, frame in frames.items():
+            if tid == own:
+                continue
+            stack: List[str] = []
+            depth = 0
+            f = frame
+            while f is not None and depth < _MAX_DEPTH:
+                stack.append(_frame_label(f))
+                f = f.f_back
+                depth += 1
+            stack.reverse()  # root first, the collapsed-stack order
+            spans = self._span_stacks.get(tid)
+            leaf: Optional[str] = None
+            if spans:
+                # snapshot: the owning thread may push/pop concurrently
+                names = [s.name for s in tuple(spans)]
+                if names:
+                    leaf = names[-1]
+                    stack = [f"span:{n}" for n in names] + stack
+            now_stacks.append((";".join(stack), leaf))
+        with self._lock:
+            for key, leaf in now_stacks:
+                self._samples[key] = self._samples.get(key, 0) + 1
+                if leaf is not None:
+                    self._span_samples[leaf] = (
+                        self._span_samples.get(leaf, 0) + 1
+                    )
+                self._sample_count += 1
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def sample_count(self) -> int:
+        """Total thread-stack samples collected so far."""
+        with self._lock:
+            return self._sample_count
+
+    def collapsed(self) -> Dict[str, int]:
+        """Collapsed stacks: ``"frame;frame;..." -> sample count``."""
+        with self._lock:
+            return dict(self._samples)
+
+    def write_collapsed(self, path: str) -> int:
+        """Write flamegraph.pl-format collapsed stacks; returns count.
+
+        One ``stack count`` line per distinct stack, sorted for stable
+        diffs (sample *counts* are inherently nondeterministic; order
+        need not be too).
+        """
+        samples = self.collapsed()
+        lines = [
+            f"{stack} {count}" for stack, count in sorted(samples.items())
+        ]
+        atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
+        return len(lines)
+
+    def span_self_samples(self) -> Dict[str, int]:
+        """Samples per span name while it was the innermost open span."""
+        with self._lock:
+            return dict(self._span_samples)
+
+    def self_time_report(self, top: int = 15) -> str:
+        """Human-readable top spans by sampled self time."""
+        spans = self.span_self_samples()
+        total = self.sample_count
+        lines = [
+            f"sampling profile: {total} samples "
+            f"@ {1.0 / self.interval_s:.0f} Hz "
+            f"({sum(spans.values())} inside spans)"
+        ]
+        ranked = sorted(spans.items(), key=lambda kv: (-kv[1], kv[0]))
+        for name, count in ranked[:top]:
+            est_s = count * self.interval_s
+            share = 100.0 * count / total if total else 0.0
+            lines.append(
+                f"  {name:<28} {count:>7} samples  ~{est_s:8.3f}s "
+                f"{share:5.1f}%"
+            )
+        if not ranked:
+            lines.append("  (no samples landed inside tracer spans)")
+        return "\n".join(lines)
+
+    def phase_peak_bytes(self) -> Dict[str, int]:
+        """Peak traced allocation per bucket span (``memory=True`` only)."""
+        with self._lock:
+            return dict(self._phase_peaks)
+
+    def memory_report(self) -> str:
+        """Human-readable per-phase peak memory (``memory=True`` only)."""
+        peaks = self.phase_peak_bytes()
+        if not peaks:
+            return (
+                "memory profile: no bucket spans closed while tracing "
+                "(pass memory=True and run a traced build)"
+            )
+        lines = ["memory profile: peak traced bytes per phase"]
+        for bucket, peak in sorted(
+            peaks.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lines.append(f"  {bucket:<16} {peak / 1e6:10.2f} MB")
+        return "\n".join(lines)

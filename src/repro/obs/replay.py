@@ -43,6 +43,11 @@ class ReplayReport:
     by_kind: Dict[str, Dict[str, float]] = field(default_factory=dict)
     statuses: Dict[str, int] = field(default_factory=dict)
     phase_totals_ms: Dict[str, float] = field(default_factory=dict)
+    # deterministic work counters (repro.obs.work): totals over the
+    # whole replay and per statement kind — exact integers, compared
+    # with equality (not slack) by the regression gate
+    work_totals: Dict[str, int] = field(default_factory=dict)
+    work_by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
     captured_by_shard: Dict[str, Dict[str, float]] = field(
         default_factory=dict
     )
@@ -72,6 +77,13 @@ class ReplayReport:
             "captured_by_shard": {
                 shard: dict(stats)
                 for shard, stats in sorted(self.captured_by_shard.items())
+            },
+            "work": {
+                "totals": dict(sorted(self.work_totals.items())),
+                "by_kind": {
+                    kind: dict(sorted(counts.items()))
+                    for kind, counts in sorted(self.work_by_kind.items())
+                },
             },
         }
 
@@ -109,6 +121,18 @@ class ReplayReport:
             f"degradations: {self.degradations}  statuses: "
             f"{status_text or '(none)'}"
         )
+        if self.work_totals:
+            lines.append("work counters (deterministic, exact-gated):")
+            per_kind = {
+                name: "  ".join(
+                    f"{kind}={counts[name]}"
+                    for kind, counts in sorted(self.work_by_kind.items())
+                    if name in counts
+                )
+                for name in self.work_totals
+            }
+            for name, total in sorted(self.work_totals.items()):
+                lines.append(f"  {name} = {total}  [{per_kind[name]}]")
         if self.captured_by_shard:
             lines.append(
                 "captured per-shard latency (from the log's --procs run):"
@@ -196,6 +220,14 @@ def replay(
             status = _statement_status(exc)
         elapsed = time.perf_counter() - start
         kind = str(record.get("statement_kind") or "unknown")
+        executed_work = dbx.session().last_work
+        if executed_work:
+            kind_work = report.work_by_kind.setdefault(kind, {})
+            for name, count in executed_work.items():
+                report.work_totals[name] = (
+                    report.work_totals.get(name, 0) + count
+                )
+                kind_work[name] = kind_work.get(name, 0) + count
         reg.histogram(f"replay.latency.{kind}").observe(elapsed)
         reg.counter(f"replay.statements.{status}").inc()
         report.statements += 1

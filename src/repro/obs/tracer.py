@@ -35,8 +35,28 @@ from typing import Dict, Iterator, List, Optional
 
 __all__ = [
     "Span", "SpanEvent", "Tracer", "NullTracer", "NULL_TRACER",
-    "epoch_anchor", "span_to_wire",
+    "epoch_anchor", "span_to_wire", "set_span_listener",
 ]
+
+# The profiler's hook into span open/close.  ``None`` (the default)
+# costs one global read + an ``is None`` check per span — effectively
+# zero overhead when profiling is off.  A listener is an object with
+# ``span_opened(span)`` / ``span_closed(span)`` methods, called on the
+# span's own thread, so a sampling profiler can attribute stack samples
+# to whichever span each thread currently has open.
+_SPAN_LISTENER = None
+
+
+def set_span_listener(listener):
+    """Install (or with ``None`` remove) the global span listener.
+
+    Returns the previously installed listener so callers can restore
+    it — the profiler does so on stop.
+    """
+    global _SPAN_LISTENER
+    previous = _SPAN_LISTENER
+    _SPAN_LISTENER = listener
+    return previous
 
 
 def epoch_anchor() -> float:
@@ -125,10 +145,31 @@ class Span:
 
     @property
     def self_time_s(self) -> float:
-        """Duration not covered by direct children (clamped at 0)."""
-        return max(
-            0.0, self.duration_s - sum(c.duration_s for c in self.children)
+        """Duration not covered by direct children (clamped at 0).
+
+        Children opened on different threads can overlap in wall time;
+        subtracting the *union* of their intervals (not the sum of
+        their durations) keeps exclusive time from being double-
+        subtracted when two children cover the same instant.
+        """
+        now = time.perf_counter()
+        intervals = sorted(
+            (c.start_s, c.end_s if c.end_s is not None else now)
+            for c in self.children
         )
+        covered = 0.0
+        cur_start: Optional[float] = None
+        cur_end = 0.0
+        for start, end in intervals:
+            if cur_start is None or start > cur_end:
+                if cur_start is not None:
+                    covered += cur_end - cur_start
+                cur_start, cur_end = start, end
+            elif end > cur_end:
+                cur_end = end
+        if cur_start is not None:
+            covered += cur_end - cur_start
+        return max(0.0, self.duration_s - covered)
 
     def walk(self) -> Iterator["Span"]:
         """This span, then every descendant, depth-first."""
@@ -270,6 +311,9 @@ class Tracer:
         parent.children.append(child)
         stack = self._stack()
         stack.append(child)
+        listener = _SPAN_LISTENER
+        if listener is not None:
+            listener.span_opened(child)
         error: Optional[BaseException] = None
         try:
             yield child
@@ -279,6 +323,12 @@ class Tracer:
         finally:
             stack.pop()
             child.close(error)
+            # re-read: the profiler may have stopped mid-span, and the
+            # close must go to whichever listener saw the open (a fresh
+            # listener tolerates unmatched closes)
+            listener = _SPAN_LISTENER
+            if listener is not None:
+                listener.span_closed(child)
             if profile is not None and bucket is not None:
                 profile.record(bucket, child.duration_s)
 

@@ -24,9 +24,12 @@ Record schema (version :data:`WORKLOG_VERSION`):
     ``rejected`` / ``error``),
     ``elapsed_ms``, ``rows_in`` / ``rows_out``, ``pivot``,
     ``phases_ms`` (the Figure-8 buckets from the span-fed build
-    profile), ``degradations``, ``analysis_warnings``, ``error`` and
+    profile), ``degradations``, ``analysis_warnings``, ``error``,
     ``session`` (which logical session ran the statement — ``default``
-    outside the serving layer).
+    outside the serving layer) and ``work`` (the deterministic
+    work-counter dict of :mod:`repro.obs.work` — machine-independent
+    counts the regression gate compares with exact equality; ``None``
+    when the statement ran no counted kernel).
 
     ``cancelled`` (the serving watchdog tripped the statement's
     :class:`~repro.robustness.CancelToken`) and ``rejected``
@@ -219,6 +222,7 @@ class WorkLogWriter:
         error: Optional[str] = None,
         session: Optional[str] = None,
         proc: Optional[Mapping[str, object]] = None,
+        work: Optional[Mapping[str, int]] = None,
     ) -> Dict[str, object]:
         """Append one statement record (the main entry point).
 
@@ -228,6 +232,11 @@ class WorkLogWriter:
         resubmitted after a worker death (``proc_attempts``), and — for
         statements that ultimately failed because their worker kept
         dying — the crash ``cause``.
+
+        ``work`` is the statement's deterministic work-counter dict
+        (see :mod:`repro.obs.work`): machine-independent counts that
+        byte-match across replays of the same session.  ``None`` when
+        no counted kernel ran.
         """
         record: Dict[str, object] = {
             "kind": "statement",
@@ -243,6 +252,7 @@ class WorkLogWriter:
             "analysis_warnings": list(analysis_warnings or []),
             "error": error,
             "session": session,
+            "work": {k: int(v) for k, v in work.items()} if work else None,
         }
         if proc is not None:
             record["proc"] = dict(proc)

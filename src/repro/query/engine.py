@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.dataset.table import Table
 from repro.errors import QueryError
+from repro.obs import work
 from repro.obs.metrics import registry
 from repro.query.predicates import Predicate, TruePred
 
@@ -99,6 +100,9 @@ class QueryEngine:
         ``columns=None`` means ``*``; ``predicate=None`` means no WHERE.
         """
         start = time.perf_counter()
+        work.add("work.query.rows_scanned", len(table))
+        if predicate is not None and not isinstance(predicate, TruePred):
+            work.add("work.query.predicate_evals", len(table))
         predicate = predicate or TruePred()
         result = table.filter(predicate.mask(table))
         if columns is not None:
@@ -107,7 +111,6 @@ class QueryEngine:
             result = result.head(limit)
         reg = registry()
         reg.counter("query.select.calls").inc()
-        reg.counter("query.rows_scanned").inc(len(table))
         reg.counter("query.rows_returned").inc(len(result))
         reg.histogram("query.select.latency_s").observe(
             time.perf_counter() - start
@@ -120,9 +123,10 @@ class QueryEngine:
         start = time.perf_counter()
         reg = registry()
         reg.counter("query.count.calls").inc()
-        reg.counter("query.rows_scanned").inc(len(table))
+        work.add("work.query.rows_scanned", len(table))
         if predicate is None or isinstance(predicate, TruePred):
             return len(table)
+        work.add("work.query.predicate_evals", len(table))
         n = int(np.count_nonzero(predicate.mask(table)))
         reg.histogram("query.count.latency_s").observe(
             time.perf_counter() - start
@@ -143,8 +147,9 @@ class QueryEngine:
         start = time.perf_counter()
         reg = registry()
         reg.counter("query.group_count.calls").inc()
-        reg.counter("query.rows_scanned").inc(len(table))
+        work.add("work.query.rows_scanned", len(table))
         if predicate is not None and not isinstance(predicate, TruePred):
+            work.add("work.query.predicate_evals", len(table))
             table = table.filter(predicate.mask(table))
         counts = table.value_counts(by)
         reg.histogram("query.group_count.latency_s").observe(

@@ -202,6 +202,10 @@ class StatementTicket:
         self.degradations: Optional[List[str]] = None
         self.result_payload: object = None
         self.has_result_payload = False
+        # deterministic work counters of the execution (proc mode: the
+        # worker ships them with the response; thread mode leaves this
+        # None and callers read the session's last_work)
+        self.work: Optional[Dict[str, int]] = None
         self.proc_attempts = 0                # resubmits after worker deaths
         self._done = threading.Event()
         self._callbacks: List[Callable[["StatementTicket"], None]] = []
@@ -556,6 +560,14 @@ class SessionExecutor:
                 breaker.on_failure(probe=probe)
 
         report = session.last_report
+        # stamp the final attempt's work counters on the ticket *now*:
+        # session.last_work is per-session mutable state and a later
+        # statement on the same session would overwrite it before the
+        # caller gets around to reading this ticket
+        ticket.work = (
+            dict(session.last_work)
+            if executed and session.last_work else None
+        )
         degraded = (
             error is None
             and (

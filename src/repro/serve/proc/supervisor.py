@@ -949,6 +949,11 @@ class ProcSupervisor:
         ticket.degradations = degradations
         ticket.result_payload = payload
         ticket.has_result_payload = True
+        raw_work = primary.get("work")
+        ticket.work = (
+            {str(k): int(v) for k, v in raw_work.items()}
+            if isinstance(raw_work, dict) else None
+        )
         if status == "ok":
             degraded = short_circuited or bool(primary.get("degraded"))
             outcome = "degraded" if degraded else "ok"
@@ -988,6 +993,7 @@ class ProcSupervisor:
             phases_ms=primary.get("phases_ms"),
             degradations=degradations,
             error=primary.get("error"),
+            work=ticket.work,
             proc={
                 "shard": state.requests[state.primary_part].shard,
                 "incarnation": state.requests[
@@ -1035,6 +1041,7 @@ class ProcSupervisor:
         phases_ms: Optional[object] = None,
         degradations: Optional[List[str]] = None,
         error: Optional[object] = None,
+        work: Optional[Dict[str, int]] = None,
         proc: Optional[Dict[str, object]] = None,
     ) -> None:
         if not self._worklog.enabled:
@@ -1050,6 +1057,7 @@ class ProcSupervisor:
             degradations=degradations,
             error=str(error) if error is not None else None,
             session=ticket.session,
+            work=work,
             proc=proc,
         )
 

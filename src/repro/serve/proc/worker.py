@@ -580,6 +580,9 @@ class _Worker:
             "cancel_reason": token.reason,
             "attempts": attempt + 1,
             "elapsed_ms": elapsed_ms,
+            # deterministic work counters of the final attempt — exact
+            # integers, so the supervisor can log/ship them verbatim
+            "work": sess.last_work,
         }
 
     def _backoff_s(self, index: int, attempt: int) -> float:

@@ -167,6 +167,10 @@ class StatementResult:
     degradations: List[str] = field(default_factory=list)
     error: Optional[str] = None
     attempts: int = 0
+    # deterministic work counters of the final (digested) execution;
+    # deliberately NOT part of the digest — they are gated on their own,
+    # with exact equality, by the regression layer
+    work: Optional[Dict[str, int]] = None
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly dump (statement text omitted: it is an input)."""
@@ -179,6 +183,7 @@ class StatementResult:
             "degradations": list(self.degradations),
             "error": self.error,
             "attempts": self.attempts,
+            "work": dict(sorted(self.work.items())) if self.work else None,
         }
 
 
@@ -214,6 +219,20 @@ class ConcurrentReplayReport:
         """Per-statement digests, in statement order."""
         return [res.digest for res in self.results]
 
+    def work_totals(self) -> Dict[str, int]:
+        """Summed deterministic work counters over all statements.
+
+        Per-statement counts reflect each statement's *final* execution
+        (retries and resubmissions re-run the same seeded build), so
+        the totals byte-match across concurrency levels and serving
+        modes — the property the exact-equality gate checks.
+        """
+        totals: Dict[str, int] = {}
+        for res in self.results:
+            for name, count in (res.work or {}).items():
+                totals[name] = totals.get(name, 0) + count
+        return dict(sorted(totals.items()))
+
     def mismatches(
         self, other: "ConcurrentReplayReport"
     ) -> List[Tuple[int, str, str]]:
@@ -237,6 +256,7 @@ class ConcurrentReplayReport:
             "outcomes": self.outcomes,
             "statuses": self.statuses,
             "breaker_states": dict(sorted(self.breaker_states.items())),
+            "work": {"totals": self.work_totals()},
             "results": [res.as_dict() for res in self.results],
         }
 
@@ -260,6 +280,12 @@ class ConcurrentReplayReport:
                 f"{k}={v}"
                 for k, v in sorted(self.breaker_states.items())
             ))
+        totals = self.work_totals()
+        if totals:
+            lines.append("work counters (deterministic, exact-gated):")
+            lines.extend(
+                f"  {name} = {count}" for name, count in totals.items()
+            )
         for res in self.results:
             lines.append(
                 f"#{res.index:<3} {res.status:<16} {res.outcome:<9} "
@@ -407,10 +433,11 @@ def _result_of(
     if getattr(ticket, "has_result_payload", False):
         # a proc-mode ticket: the worker already reduced its result to
         # the digest payload before it crossed the pipe, and the
-        # degradations travelled with it (the worker's session state is
-        # in another process)
+        # degradations (and work counters) travelled with it (the
+        # worker's session state is in another process)
         degradations = list(ticket.degradations or [])
         payload = ticket.result_payload
+        work = getattr(ticket, "work", None)
     else:
         session = dbx.session(ticket.session) if dbx is not None else None
         report = session.last_report if session is not None else None
@@ -419,6 +446,10 @@ def _result_of(
             if report is not None else []
         )
         payload = result_payload(ticket.result)
+        # the executor stamped the counters on the ticket at execution
+        # time; session.last_work would race with later statements on
+        # the same session
+        work = getattr(ticket, "work", None)
     return StatementResult(
         index=index,
         statement=sql,
@@ -435,6 +466,7 @@ def _result_of(
             if ticket.error is not None else None
         ),
         attempts=ticket.attempts,
+        work=dict(work) if work else None,
     )
 
 

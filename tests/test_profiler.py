@@ -1,0 +1,174 @@
+"""Sampling profiler: span attribution, flamegraphs, self time.
+
+Sampling is inherently timing-dependent, so these tests use a busy
+loop long enough (and a rate high enough) that zero samples would
+mean the profiler is broken, not unlucky — and they assert structure
+(which frames, which spans) rather than exact counts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.tracer import Span, Tracer, set_span_listener
+
+
+def _busy(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(100))
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        prof = SamplingProfiler(hz=500)
+        prof.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                prof.start()
+        finally:
+            prof.stop()
+
+    def test_stop_is_idempotent(self):
+        prof = SamplingProfiler(hz=500)
+        prof.start()
+        prof.stop()
+        prof.stop()  # second stop: no-op, no error
+
+    def test_listener_restored_after_stop(self):
+        sentinel = object()
+        prev = set_span_listener(sentinel)
+        try:
+            with SamplingProfiler(hz=500):
+                pass
+            assert set_span_listener(None) is sentinel
+        finally:
+            set_span_listener(prev)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            SamplingProfiler(hz=0)
+
+    def test_zero_overhead_when_off(self):
+        # the off switch: no profiler running -> no listener installed
+        assert set_span_listener(None) is None
+
+
+class TestSampling:
+    def test_busy_span_is_sampled_and_attributed(self):
+        tracer = Tracer("t")
+        with SamplingProfiler(hz=500) as prof:
+            with tracer.span("busy"):
+                _busy(0.4)
+        assert prof.sample_count > 0
+        assert prof.span_self_samples().get("busy", 0) > 0
+        assert any(
+            "span:busy" in stack for stack in prof.collapsed()
+        )
+
+    def test_innermost_span_gets_the_self_time(self):
+        tracer = Tracer("t")
+        with SamplingProfiler(hz=500) as prof:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    _busy(0.4)
+        spans = prof.span_self_samples()
+        assert spans.get("inner", 0) > 0
+        # samples inside "inner" must not also count as "outer" self time
+        assert spans.get("outer", 0) < spans["inner"]
+        nested = [
+            s for s in prof.collapsed() if "span:outer;span:inner" in s
+        ]
+        assert nested, "span chain should prefix the sampled stacks"
+
+    def test_self_time_report_names_busy_span(self):
+        tracer = Tracer("t")
+        with SamplingProfiler(hz=500) as prof:
+            with tracer.span("hotloop"):
+                _busy(0.4)
+        report = prof.self_time_report(top=5)
+        assert "hotloop" in report
+        assert "samples" in report
+
+
+class TestCollapsedFormat:
+    def test_write_collapsed_round_trips(self, tmp_path):
+        tracer = Tracer("t")
+        with SamplingProfiler(hz=500) as prof:
+            with tracer.span("fmt"):
+                _busy(0.4)
+        out = tmp_path / "profile.collapsed"
+        n = prof.write_collapsed(str(out))
+        lines = out.read_text().splitlines()
+        assert n == len(lines) > 0
+        assert lines == sorted(lines)  # stable output order
+        for line in lines:
+            stack, sep, count = line.rpartition(" ")
+            assert sep == " "
+            assert count.isdigit() and int(count) > 0
+            frames = stack.split(";")
+            assert all(f and " " not in f for f in frames)
+
+    def test_empty_profile_writes_empty_file(self, tmp_path):
+        prof = SamplingProfiler(hz=500)
+        out = tmp_path / "empty.collapsed"
+        assert prof.write_collapsed(str(out)) == 0
+        assert out.read_text() == ""
+
+
+class TestMemoryPhases:
+    def test_bucket_span_records_phase_peak(self):
+        tracer = Tracer("t")
+        with SamplingProfiler(hz=500, memory=True) as prof:
+            with tracer.span("alloc", bucket="iunits"):
+                blob = [bytearray(1 << 16) for _ in range(64)]
+                del blob
+        peaks = prof.phase_peak_bytes()
+        assert peaks.get("iunits", 0) >= 64 * (1 << 16)
+        assert "iunits" in prof.memory_report()
+
+    def test_memory_off_reports_nothing(self):
+        prof = SamplingProfiler(hz=500)
+        assert prof.phase_peak_bytes() == {}
+        assert "no bucket spans" in prof.memory_report()
+
+
+class TestSpanSelfTime:
+    """Span.self_time_s subtracts the *union* of child intervals."""
+
+    def _span(self, name, start, end):
+        span = Span(name)
+        span.start_s = start
+        span.end_s = end
+        return span
+
+    def test_leaf_self_time_is_duration(self):
+        assert self._span("leaf", 0.0, 10.0).self_time_s == 10.0
+
+    def test_disjoint_children_subtract_their_sum(self):
+        parent = self._span("p", 0.0, 10.0)
+        parent.children.append(self._span("a", 1.0, 3.0))
+        parent.children.append(self._span("b", 5.0, 6.0))
+        assert parent.self_time_s == pytest.approx(7.0)
+
+    def test_overlapping_children_subtract_their_union(self):
+        # children from concurrent executor threads overlap in wall
+        # time; covered = union([2,8], [4,9]) = [2,9] -> 7, self = 3
+        parent = self._span("p", 0.0, 10.0)
+        parent.children.append(self._span("a", 2.0, 8.0))
+        parent.children.append(self._span("b", 4.0, 9.0))
+        assert parent.self_time_s == pytest.approx(3.0)
+
+    def test_contained_child_counted_once(self):
+        parent = self._span("p", 0.0, 10.0)
+        parent.children.append(self._span("a", 2.0, 8.0))
+        parent.children.append(self._span("b", 3.0, 4.0))
+        assert parent.self_time_s == pytest.approx(4.0)
+
+    def test_children_covering_everything_clamp_at_zero(self):
+        parent = self._span("p", 0.0, 5.0)
+        parent.children.append(self._span("a", 0.0, 5.0))
+        assert parent.self_time_s == 0.0

@@ -164,3 +164,79 @@ class TestCompareDirs:
         for name in names:
             payload = json.loads((baselines / name).read_text())
             assert list(regress.latency_leaves(payload)), name
+
+
+class TestWorkGate:
+    """Deterministic work counters are compared with exact equality."""
+
+    def _write(self, directory, name, payload):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+    def test_work_leaves_found_at_any_nesting(self, regress):
+        payload = {
+            "work": {"totals": {"work.x": 3},
+                     "by_kind": {"select": {"work.x": 3}}},
+            "results": [{"work": {"work.y": 1}}],
+        }
+        leaves = dict(regress.work_leaves(payload))
+        assert leaves == {
+            "work.totals.work.x": 3,
+            "work.by_kind.select.work.x": 3,
+            "results[0].work.work.y": 1,
+        }
+
+    def test_equal_counts_ok(self, regress):
+        base = {"work": {"totals": {"work.x": 5}}}
+        records, problems = regress.compare_work(base, base, "B")
+        assert [r["status"] for r in records] == ["ok"]
+        assert problems == []
+
+    def test_any_drift_is_regression_no_slack(self, regress):
+        base = {"work": {"totals": {"work.x": 1_000_000}}}
+        cur = {"work": {"totals": {"work.x": 1_000_001}}}
+        records, _ = regress.compare_work(base, cur, "B")
+        assert [r["status"] for r in records] == ["regression"]
+
+    def test_baseline_without_work_block_demands_rebaseline(self, regress):
+        records, problems = regress.compare_work(
+            {"total_ms": 1.0}, {"work": {"totals": {"work.x": 5}}}, "B"
+        )
+        assert records == []
+        assert len(problems) == 1
+        assert "re-baseline needed" in problems[0]
+
+    def test_new_counter_in_current_demands_rebaseline(self, regress):
+        base = {"work": {"totals": {"work.x": 5}}}
+        cur = {"work": {"totals": {"work.x": 5, "work.y": 1}}}
+        _, problems = regress.compare_work(base, cur, "B")
+        assert any("re-baseline" in p for p in problems)
+
+    def test_compare_dirs_fails_on_work_drift(self, regress, tmp_path):
+        self._write(tmp_path / "base", "x",
+                    {"total_ms": 100.0, "work": {"totals": {"work.x": 5}}})
+        self._write(tmp_path / "cur", "x",
+                    {"total_ms": 100.0, "work": {"totals": {"work.x": 6}}})
+        verdict = regress.compare_dirs(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert verdict["verdict"] == "regression"
+        rendered = regress.render(verdict)
+        assert "exact match required" in rendered
+
+    def test_compare_dirs_stale_baseline_is_error(self, regress, tmp_path):
+        self._write(tmp_path / "base", "x", {"total_ms": 100.0})
+        self._write(tmp_path / "cur", "x",
+                    {"total_ms": 100.0, "work": {"totals": {"work.x": 5}}})
+        verdict = regress.compare_dirs(
+            str(tmp_path / "base"), str(tmp_path / "cur")
+        )
+        assert verdict["verdict"] == "error"
+        assert any("re-baseline needed" in p for p in verdict["problems"])
+
+    def test_committed_baselines_carry_work_blocks(self, regress):
+        baselines = Path(__file__).parent.parent \
+            / "benchmarks" / "baselines"
+        for path in sorted(baselines.glob("BENCH_*.json")):
+            payload = json.loads(path.read_text())
+            assert dict(regress.work_leaves(payload)), path.name

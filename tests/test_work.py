@@ -1,0 +1,243 @@
+"""Deterministic work counters: taxonomy, isolation, byte-identity.
+
+The byte-identity tests drive the real CLI (``main()``) over a small
+canned workload and compare the ``work`` payloads across sequential
+replay, concurrency 1, concurrency 8, and two worker subprocesses —
+the determinism contract the benchmark gate relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXIT_OK, main
+from repro.obs import work
+from repro.obs.tracer import Tracer
+
+NBA_LOG = str(
+    Path(__file__).parent.parent
+    / "examples" / "session_nba.worklog.jsonl"
+)
+
+SQLS = [
+    "SELECT Make FROM data",
+    "SELECT Price FROM data WHERE BodyType = SUV",
+    "CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM data "
+    "LIMIT COLUMNS 3 IUNITS 2",
+    "SHOW CADVIEWS",
+    "SELECT Mileage FROM data WHERE Price > 5",
+]
+
+
+def _workload(tmp_path, rows=400):
+    path = tmp_path / "wl.jsonl"
+    lines = [json.dumps(
+        {"kind": "session", "dataset": "usedcars", "rows": rows, "seed": 7}
+    )]
+    for sql in SQLS:
+        lines.append(json.dumps(
+            {"kind": "statement", "statement": sql,
+             "statement_kind": "select"}
+        ))
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestTaxonomy:
+    def test_names_are_prefixed_and_unique(self):
+        assert len(set(work.WORK_COUNTERS)) == len(work.WORK_COUNTERS)
+        assert all(n.startswith("work.") for n in work.WORK_COUNTERS)
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(ValueError, match="unknown work counter"):
+            work.add("work.bogus.thing")
+
+    def test_add_outside_context_is_safe(self):
+        assert work.current() is None
+        work.add("work.query.rows_scanned", 3)  # registry only, no crash
+
+    def test_nonpositive_increments_ignored(self):
+        with work.track() as counters:
+            work.add("work.query.rows_scanned", 0)
+            work.add("work.query.rows_scanned", -5)
+        assert counters.as_dict() == {}
+
+    def test_as_dict_is_taxonomy_ordered(self):
+        with work.track() as counters:
+            work.add("work.diversify.astar_expanded", 1)
+            work.add("work.query.rows_scanned", 2)
+        assert list(counters.as_dict()) == [
+            "work.query.rows_scanned", "work.diversify.astar_expanded",
+        ]
+
+
+class TestContextIsolation:
+    def test_threads_get_private_accumulators(self):
+        results = {}
+
+        def run(tag):
+            with work.track() as counters:
+                work.add("work.query.rows_scanned", 10 + tag)
+                results[tag] = counters.as_dict()
+
+        threads = [
+            threading.Thread(target=run, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(4):
+            assert results[i] == {"work.query.rows_scanned": 10 + i}
+
+    def test_track_restores_previous_context(self):
+        with work.track() as outer:
+            work.add("work.cluster.iterations", 1)
+            with work.track() as inner:
+                work.add("work.cluster.iterations", 5)
+            work.add("work.cluster.iterations", 1)
+        assert outer.as_dict() == {"work.cluster.iterations": 2}
+        assert inner.as_dict() == {"work.cluster.iterations": 5}
+
+    def test_counts_roll_up_to_innermost_open_span(self):
+        tracer = Tracer("t")
+        with work.track(tracer):
+            with tracer.span("phase") as span:
+                work.add("work.cluster.iterations", 2)
+        assert span.counters["work.cluster.iterations"] == 2
+
+    def test_attach_redirects_span_rollup(self):
+        late = Tracer("late")
+        with work.track() as counters:
+            work.attach(late)
+            with late.span("phase") as span:
+                work.add("work.cluster.reseeds", 3)
+        assert span.counters["work.cluster.reseeds"] == 3
+        assert counters.as_dict() == {"work.cluster.reseeds": 3}
+
+
+class TestKernelCounts:
+    def test_query_engine_counts_rows_and_predicates(self, capsys):
+        rc = main([
+            "cadview", "--rows", "300",
+            "--sql", "SELECT Make FROM data WHERE Price > 5",
+        ])
+        assert rc == EXIT_OK
+
+    def test_explain_analyze_renders_work_block(self, capsys):
+        def explain():
+            rc = main([
+                "cadview", "--rows", "300", "--sql",
+                "EXPLAIN ANALYZE SELECT Make FROM data WHERE Price > 5",
+            ])
+            assert rc == EXIT_OK
+            out = capsys.readouterr().out
+            start = out.index("work counters:")
+            return out[start:]
+
+        first, second = explain(), explain()
+        assert "work.query.rows_scanned = 300" in first
+        assert "work.query.predicate_evals = 300" in first
+        # deterministic: byte-identical across two identical runs
+        assert first == second
+
+
+class TestByteIdentity:
+    """The determinism contract: same counts at any concurrency."""
+
+    def _replay_work(self, capsys, path, *extra):
+        rc = main(["replay", path, "--json", *extra])
+        assert rc == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        per_statement = [
+            (r["index"], r.get("work"))
+            for r in payload.get("results", [])
+        ]
+        return payload["work"]["totals"], sorted(per_statement)
+
+    def test_sequential_equals_concurrent(self, tmp_path, capsys):
+        path = _workload(tmp_path)
+        seq_totals, _ = self._replay_work(capsys, path)
+        c1_totals, c1 = self._replay_work(
+            capsys, path, "--concurrency", "1"
+        )
+        c8_totals, c8 = self._replay_work(
+            capsys, path, "--concurrency", "8"
+        )
+        assert seq_totals == c1_totals == c8_totals
+        assert c1 == c8
+        assert seq_totals  # non-empty: the kernels really counted
+
+    def test_procs_equals_threads(self, tmp_path, capsys):
+        path = _workload(tmp_path)
+        c1_totals, c1 = self._replay_work(
+            capsys, path, "--concurrency", "1"
+        )
+        rc = main([
+            "serve", path, "--stress", "--procs", "2",
+            "--queue-limit", "64", "--json",
+        ])
+        assert rc == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        p2 = sorted(
+            (r["index"], r.get("work")) for r in payload["results"]
+        )
+        assert payload["work"]["totals"] == c1_totals
+        assert p2 == c1
+
+    def test_canned_nba_session_identical_across_modes(
+        self, tmp_path, capsys
+    ):
+        """The acceptance-criteria workload: the committed NBA session."""
+        c1_totals, c1 = self._replay_work(
+            capsys, NBA_LOG, "--rows", "1000", "--concurrency", "1"
+        )
+        c8_totals, c8 = self._replay_work(
+            capsys, NBA_LOG, "--rows", "1000", "--concurrency", "8"
+        )
+        rc = main([
+            "serve", NBA_LOG, "--stress", "--rows", "1000",
+            "--procs", "2", "--queue-limit", "64", "--json",
+        ])
+        assert rc == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        p2 = sorted(
+            (r["index"], r.get("work")) for r in payload["results"]
+        )
+        assert c1_totals == c8_totals == payload["work"]["totals"]
+        assert c1 == c8 == p2
+        assert c1_totals["work.cluster.distance_evals"] > 0
+
+    def test_sequential_replay_reports_work_by_kind(self, tmp_path, capsys):
+        path = _workload(tmp_path)
+        rc = main(["replay", path, "--json"])
+        assert rc == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        by_kind = payload["work"]["by_kind"]
+        assert "select" in by_kind
+        totals = {}
+        for counts in by_kind.values():
+            for name, count in counts.items():
+                totals[name] = totals.get(name, 0) + count
+        assert totals == payload["work"]["totals"]
+
+    def test_worklog_records_carry_work(self, tmp_path, capsys):
+        path = _workload(tmp_path)
+        out_log = tmp_path / "out.jsonl"
+        rc = main(["replay", path, "--worklog", str(out_log)])
+        assert rc == EXIT_OK
+        records = [
+            json.loads(line)
+            for line in out_log.read_text().splitlines()
+        ]
+        stmt = [r for r in records if r.get("kind") == "statement"]
+        assert stmt and any(r.get("work") for r in stmt)
+        scans = [
+            r["work"].get("work.query.rows_scanned")
+            for r in stmt if r.get("work")
+        ]
+        assert 400 in scans
