@@ -41,6 +41,8 @@ from repro.errors import (
     BudgetExceededError,
     CADViewError,
     ConvergenceError,
+    DurabilityError,
+    RecoveryError,
     ReproError,
 )
 from repro.obs import (
@@ -598,6 +600,8 @@ def cmd_serve(args) -> int:
         raise ReproError(
             "only stress mode is implemented; pass --stress"
         )
+    if args.torture is not None:
+        return _serve_torture(args)
     if args.chaos and args.procs is None:
         raise ReproError("--chaos requires --procs")
     if args.verify_sequential and args.procs is None:
@@ -605,6 +609,11 @@ def cmd_serve(args) -> int:
             "--verify-sequential under serve requires --procs "
             "(thread-mode stress is deliberately nondeterministic; "
             "use 'replay --concurrency N --verify-sequential' instead)"
+        )
+    if args.state_dir and args.procs is None:
+        raise ReproError(
+            "--state-dir requires --procs (the durable catalog WAL "
+            "lives in the multi-process supervisor)"
         )
     records, corrupt = _read_workload(args)
     _replay_defaults_from_header(args, records)
@@ -763,6 +772,10 @@ def _serve_procs(args, records, corrupt: int) -> int:
                 restart_backoff_base_s=0.05,
                 restart_backoff_cap_s=0.5,
                 drain_grace_s=args.drain_grace_ms / 1e3,
+                state_dir=args.state_dir,
+                fsync_interval_ms=args.fsync_interval_ms,
+                wal_segment_max_bytes=args.wal_segment_bytes,
+                wal_snapshot_every=args.wal_snapshot_every,
             )
         else:
             config = ProcServeConfig(
@@ -778,6 +791,10 @@ def _serve_procs(args, records, corrupt: int) -> int:
                     cooldown_s=args.cooldown_ms / 1e3,
                 ),
                 drain_grace_s=args.drain_grace_ms / 1e3,
+                state_dir=args.state_dir,
+                fsync_interval_ms=args.fsync_interval_ms,
+                wal_segment_max_bytes=args.wal_segment_bytes,
+                wal_snapshot_every=args.wal_snapshot_every,
             )
     except ValueError as exc:
         raise ReproError(str(exc)) from exc
@@ -980,6 +997,127 @@ def _serve_procs(args, records, corrupt: int) -> int:
     return EXIT_OK
 
 
+def _serve_torture(args) -> int:
+    """``serve --stress --torture N``: the kill -9 durability harness.
+
+    Each of the ``N`` iterations SIGKILLs a fresh serving process at a
+    deterministic point inside the WAL (via the ``wal.*`` fault sites),
+    recovers the state directory, and asserts the recovered catalog is
+    identical to the acked-mutation prefix.  ``--state-dir`` names the
+    *root* under which per-iteration state dirs and failure artifacts
+    are created (default: a fresh temp dir).  Exits 0 only if every
+    crash point recovered correctly.
+    """
+    import json
+    import tempfile
+
+    from repro.serve.durability.torture import run_torture
+
+    if args.torture < 1:
+        raise ReproError(f"--torture must be >= 1, got {args.torture}")
+    if args.procs is not None and args.procs < 1:
+        raise ReproError(f"--procs must be >= 1, got {args.procs}")
+    state_root = args.state_dir or tempfile.mkdtemp(
+        prefix="repro-torture-"
+    )
+    report = run_torture(
+        args.worklog_file,
+        state_root,
+        iterations=args.torture,
+        rows=args.rows if args.rows is not None else 120,
+        procs=args.procs if args.procs is not None else 1,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+    else:
+        counts = " ".join(
+            f"{site.split('.', 1)[1]}={count}"
+            for site, count in sorted(report["site_counts"].items())
+        )
+        print(
+            f"torture: iterations={report['iterations']} "
+            f"killed={report['killed']} torn_tails={report['torn_tails']} "
+            f"restarts_verified={report['restarts_verified']} "
+            f"sites[{counts}]"
+        )
+        for failure in report["failures"]:
+            print(
+                f"error: iteration {failure.get('iteration')} "
+                f"({failure.get('site')}:{failure.get('seq')}): "
+                f"{failure.get('problem')}",
+                file=sys.stderr,
+            )
+    if not report["ok"]:
+        print(
+            f"error: {len(report['failures'])} torture iteration(s) "
+            f"violated the durability contract; artifacts under "
+            f"{state_root}",
+            file=sys.stderr,
+        )
+        return EXIT_BUILD_FAILED
+    return EXIT_OK
+
+
+def cmd_recover(args) -> int:
+    """``recover``: inspect or verify a ``--state-dir`` offline.
+
+    Read-only by default — torn tails and orphaned temp files are
+    *reported* but left untouched; ``--truncate`` applies the same
+    repairs startup recovery would.  Exit codes: 0 = the directory
+    recovers to a consistent catalog (a truncatable torn tail is
+    consistent), 2 = it does not (mid-history corruption, a sequence
+    gap, or no readable snapshot), 1 = usage errors such as a missing
+    directory.
+    """
+    import json
+    import os as _os
+
+    from repro.serve.durability import recover_state
+
+    if not _os.path.isdir(args.state_dir):
+        raise ReproError(
+            f"state dir {args.state_dir!r} does not exist"
+        )
+    try:
+        rec = recover_state(
+            args.state_dir, shards=args.procs,
+            truncate=bool(args.truncate),
+        )
+    except RecoveryError as exc:
+        print(f"error: unrecoverable state dir: {exc}", file=sys.stderr)
+        return EXIT_BUILD_FAILED
+    payload = rec.as_dict()
+    for warning in rec.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"recovered: last_seq={rec.last_seq} "
+            f"snapshot_seq={rec.snapshot_seq} "
+            f"segments={rec.segments} "
+            f"replayed={rec.records_replayed} "
+            f"skipped={rec.records_skipped}"
+        )
+        torn = rec.torn_tail
+        if torn is not None:
+            action = (
+                "truncated" if torn.get("truncated") else "left in place"
+            )
+            print(
+                f"torn tail: {torn['segment']} offset {torn['offset']} "
+                f"({torn['reason']}) — {action}"
+            )
+        views = payload["views"]
+        print(f"views ({len(views)}):")
+        for name, shard in views.items():
+            print(f"  {name} -> shard {shard}")
+        for shard, length in payload["journal_lengths"].items():
+            print(f"journal s{shard}: {length} entr"
+                  f"{'y' if length == 1 else 'ies'}")
+    return EXIT_OK
+
+
 def _stats_line(snap) -> str:
     """One compact live-stats line (the ``--stats-interval`` output)."""
     shard_bits = []
@@ -1031,10 +1169,21 @@ def cmd_stats(args) -> int:
     try:
         with open(args.stats_json) as fh:
             snap = json.load(fh)
-    except (OSError, ValueError) as exc:
+    except OSError as exc:
         raise ReproError(
             f"cannot read stats snapshot {args.stats_json!r}: {exc}"
         ) from exc
+    except ValueError as exc:
+        # a torn/partial dump (a SIGUSR1 write racing this reader, or
+        # a process killed mid-dump) is an operational condition, not
+        # an operator mistake: diagnose it as such, and distinctly
+        print(
+            f"error: corrupt snapshot {args.stats_json!r}: "
+            f"truncated or invalid JSON ({exc}); re-dump with SIGUSR1 "
+            f"or rerun serve --stats-file",
+            file=sys.stderr,
+        )
+        return EXIT_BUILD_FAILED
     if args.json:
         print(json.dumps(snap, indent=2))
     else:
@@ -1406,12 +1555,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --procs: write the full stats snapshot "
                         "JSON to FILE at exit (SIGUSR1 dumps here too; "
                         "readable with 'repro stats')")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="with --procs: durable catalog WAL + snapshots "
+                        "in DIR; startup recovers whatever a previous "
+                        "process made durable (with --torture: the "
+                        "root for per-iteration state dirs)")
+    p.add_argument("--fsync-interval-ms", type=float, default=0.0,
+                   metavar="MS",
+                   help="group-commit window: mutations acked within "
+                        "the same window share one fsync (0 = fsync "
+                        "inline per mutation; default 0)")
+    p.add_argument("--wal-segment-bytes", type=int, default=1 << 20,
+                   metavar="BYTES",
+                   help="rotate the WAL segment past this size")
+    p.add_argument("--wal-snapshot-every", type=int, default=64,
+                   metavar="N",
+                   help="snapshot-compact the catalog every N WAL "
+                        "records (truncates superseded segments)")
+    p.add_argument("--torture", type=int, default=None, metavar="N",
+                   help="run N kill -9 durability iterations: SIGKILL "
+                        "a fresh serving process at deterministic "
+                        "wal.* crash points, recover, and fail "
+                        "(exit 2) on any acked-mutation loss or "
+                        "unacked resurrection")
     _add_slo_args(p)
     _add_budget_args(p)
     _add_obs_args(p)
     p.add_argument("--json", action="store_true",
                    help="print the stress report as JSON")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "recover",
+        help="inspect/verify a durable serve --state-dir offline",
+    )
+    p.add_argument("state_dir",
+                   help="state directory written by "
+                        "serve --procs --state-dir")
+    p.add_argument("--procs", type=int, default=None, metavar="N",
+                   help="expected shard count (refuse recovery on "
+                        "mismatch, as serve startup would)")
+    p.add_argument("--truncate", action="store_true",
+                   help="apply repairs instead of reporting them: "
+                        "truncate a torn tail, remove orphaned temp "
+                        "files (default: read-only)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the recovery report as JSON")
+    p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser(
         "stats",
@@ -1492,6 +1682,11 @@ def main(argv: Optional[list] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
     except (CADViewError, ConvergenceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BUILD_FAILED
+    except DurabilityError as exc:
+        # an unrecoverable state dir or a failed WAL is an operational
+        # failure (exit 2), not an operator mistake (exit 1)
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_BUILD_FAILED
     except ReproError as exc:

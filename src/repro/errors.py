@@ -162,6 +162,29 @@ class WorkerCrashError(ServeError):
         )
 
 
+class DurabilityError(ServeError):
+    """The write-ahead log could not uphold its durability contract.
+
+    Raised by :mod:`repro.serve.durability` when an append, fsync, or
+    snapshot write fails.  It is deliberately *not* absorbed anywhere:
+    a serving process that cannot make catalog mutations durable must
+    stop acknowledging them (fail-stop), never degrade to in-memory
+    acks that a crash would silently revoke.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """A state directory cannot be recovered into a consistent catalog.
+
+    Distinct from a *torn tail* (the expected signature of a crash
+    mid-append, which recovery truncates with a warning): this error
+    means acknowledged history is damaged — a checksum failure or torn
+    record *before* the end of the log, a sequence-number gap, or an
+    unreadable snapshot with no valid predecessor.  Recovery refuses to
+    guess; ``repro recover`` surfaces the diagnosis.
+    """
+
+
 class QueryCancelledError(ServeError):
     """A statement was cancelled before it completed.
 

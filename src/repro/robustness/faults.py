@@ -48,6 +48,25 @@ index (``proc.worker_crash:3`` targets statement #3 only):
     The worker closes its end of the control pipe and exits, so the
     supervisor sees a torn/EOF pipe instead of a clean response.
 
+The durability layer (:mod:`repro.serve.durability`) adds four sites
+consulted inside the WAL writer, narrowed by the record's sequence
+number (``wal.pre_fsync:3=crash*1`` targets seq 3).  Unlike every site
+above, a planned fault here is converted to ``SIGKILL`` of the *whole
+supervisor process* — the torture harness's crash points, not
+recoverable errors:
+
+``wal.pre_fsync``
+    After the record is staged, before its fsync; a torn prefix of the
+    record is pushed to the OS first, simulating a half-written append.
+``wal.post_fsync_pre_ack``
+    After the fsync (and the torture ack-log line), before the waiting
+    committer is released — the "durable but never acked" window.
+``wal.segment_rotate``
+    Right after a full segment is sealed and a fresh one created.
+``wal.mid_compaction``
+    Between the snapshot temp file's fsync and its atomic rename, so
+    recovery must fall back to the previous snapshot plus the WAL.
+
 Because a restarted worker rebuilds its injector from the plan spec,
 the supervisor forwards the statement's *proc attempt number* and the
 worker calls :meth:`FaultInjector.advance` to burn the consultations a

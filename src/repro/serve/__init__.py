@@ -17,7 +17,11 @@ a multi-session server without touching the algorithms underneath:
   for transient faults;
 * :mod:`repro.serve.stress` — dependency-aware concurrent replay of a
   captured workload log (``repro replay --concurrency N``) and the
-  ``repro serve --stress`` driver.
+  ``repro serve --stress`` driver;
+* :mod:`repro.serve.durability` — the durable catalog: a checksummed
+  write-ahead log fsync'd before acks, snapshot compaction, and
+  whole-process crash recovery (``serve --procs N --state-dir DIR``),
+  proven by the kill -9 torture harness (``--torture N``).
 """
 
 from repro.serve.breaker import BreakerConfig, BreakerState, CircuitBreaker

@@ -1,0 +1,135 @@
+"""The WAL record format: length-prefixed, checksummed, append-only.
+
+One catalog mutation is one *record* on disk: a fixed 20-byte header —
+two magic bytes, a format version byte, the owning shard, the global
+sequence number, the payload length, and a CRC32 — followed by a UTF-8
+JSON payload ``{"sql": ..., "session": ...}``.  The CRC covers the
+header prefix *and* the payload, so a bit flipped anywhere in a record
+(not just its body) fails verification.
+
+Framing mirrors the pipe protocol (:mod:`repro.serve.proc.protocol`)
+deliberately: an explicit declared length is what turns a crash
+mid-``write`` into a *detectable* torn tail instead of a silently
+half-parsed statement.  The scanner (:func:`scan_segment`) reads
+records until the bytes stop cooperating and reports exactly where —
+the recovery layer decides whether that offset is a legal torn tail
+(end of the newest segment) or corruption of acknowledged history.
+
+Records are append-only and never rewritten in place; compaction
+happens by writing a whole-catalog snapshot and deleting superseded
+segments (:mod:`repro.serve.durability.wal`), never by editing a log.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, List, Optional, Tuple
+
+from repro.errors import DurabilityError
+
+__all__ = [
+    "WAL_MAGIC", "WAL_VERSION", "HEADER", "WalRecord",
+    "encode_record", "scan_segment",
+]
+
+WAL_MAGIC = b"RW"  # "repro WAL" (the pipe protocol owns b"RP")
+WAL_VERSION = 1
+
+# magic, version, shard, seq (64-bit: a long-lived catalog outlives
+# 2**32 mutations in theory, and 8 bytes are cheap), payload length,
+# crc32 over header-prefix + payload
+HEADER = struct.Struct(">2sBBQII")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded record plus where it sits in its segment file."""
+
+    seq: int
+    shard: int
+    sql: str
+    session: str
+    offset: int      # byte offset of the header within the segment
+    length: int      # total on-disk size, header included
+
+
+def encode_record(seq: int, shard: int, sql: str, session: str) -> bytes:
+    """One catalog mutation as its on-disk bytes."""
+    if not 0 <= shard <= 0xFF:
+        raise DurabilityError(f"shard {shard} does not fit the format")
+    if seq < 0:
+        raise DurabilityError(f"negative WAL seq {seq}")
+    payload = json.dumps(
+        {"sql": sql, "session": session}, sort_keys=True,
+    ).encode("utf-8")
+    prefix = struct.pack(">2sBBQI", WAL_MAGIC, WAL_VERSION, shard, seq,
+                         len(payload))
+    crc = zlib.crc32(prefix + payload) & 0xFFFFFFFF
+    return prefix + struct.pack(">I", crc) + payload
+
+
+def scan_segment(
+    fh: BinaryIO,
+) -> Tuple[List[WalRecord], Optional[int], Optional[str]]:
+    """Read every intact record; stop at the first one that is not.
+
+    Returns ``(records, bad_offset, reason)``.  ``bad_offset`` is
+    ``None`` when the segment ends exactly on a record boundary (clean
+    EOF); otherwise it is the byte offset of the first unreadable
+    record and ``reason`` says what went wrong (short header, short
+    payload, bad magic/version, CRC mismatch, unparsable payload).
+
+    The scanner never raises on damaged bytes — *whether* damage is
+    tolerable (a torn tail) or fatal (mid-history corruption) is the
+    recovery layer's call, made with cross-segment context this
+    function does not have.
+    """
+    records: List[WalRecord] = []
+    offset = fh.tell()
+    while True:
+        header = fh.read(HEADER.size)
+        if not header:
+            return records, None, None
+        if len(header) < HEADER.size:
+            return records, offset, (
+                f"short header: {len(header)} byte(s), "
+                f"need {HEADER.size}"
+            )
+        magic, version, shard, seq, length, crc = HEADER.unpack(header)
+        if magic != WAL_MAGIC:
+            return records, offset, f"bad record magic {magic!r}"
+        if version != WAL_VERSION:
+            return records, offset, (
+                f"record format version {version}, this build "
+                f"speaks {WAL_VERSION}"
+            )
+        payload = fh.read(length)
+        if len(payload) < length:
+            return records, offset, (
+                f"short payload: header declares {length} byte(s), "
+                f"got {len(payload)}"
+            )
+        expect = zlib.crc32(header[:-4] + payload) & 0xFFFFFFFF
+        if crc != expect:
+            return records, offset, (
+                f"CRC mismatch: stored {crc:#010x}, "
+                f"computed {expect:#010x}"
+            )
+        try:
+            body = json.loads(payload.decode("utf-8"))
+            sql = body["sql"]
+            session = body["session"]
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) \
+                as exc:
+            # a payload that checksummed but does not parse means the
+            # *writer* was broken, not the disk; still not scannable
+            return records, offset, f"unparsable payload: {exc}"
+        records.append(WalRecord(
+            seq=int(seq), shard=int(shard), sql=str(sql),
+            session=str(session), offset=offset,
+            length=HEADER.size + length,
+        ))
+        offset += HEADER.size + length

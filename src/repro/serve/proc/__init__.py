@@ -23,6 +23,12 @@ The three pieces:
     pipe-drop recovery with exponential restart backoff,
     incarnation-keyed circuit breakers, and graceful drain.
 
+With ``state_dir`` set on :class:`ProcServeConfig`, the supervisor
+additionally writes every catalog mutation through the durable WAL of
+:mod:`repro.serve.durability` before its response is released, and
+recovers the catalog from disk at startup — surviving supervisor
+death, not just worker death.
+
 This package is the only place in the repository allowed to construct
 ``multiprocessing.Process`` directly (repro-lint rule RL008).
 """

@@ -55,6 +55,8 @@ child — no orphans, every ticket terminal.
 
 from __future__ import annotations
 
+import os
+import sys
 import threading
 import time
 import zlib
@@ -64,9 +66,11 @@ from multiprocessing import get_context
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import (
+    DurabilityError,
     OverloadedError,
     ParseError,
     QueryCancelledError,
+    RecoveryError,
     ReproError,
     ServeError,
     WorkerCrashError,
@@ -89,6 +93,8 @@ from repro.query.parser import parse
 from repro.robustness.budget import Budget
 from repro.robustness.faults import NO_FAULTS, FaultInjector
 from repro.serve.breaker import BreakerBoard, BreakerConfig
+from repro.serve.durability.recovery import compact_journal, recover_state
+from repro.serve.durability.wal import WalWriter
 from repro.serve.executor import (
     StatementTicket,
     _breaker_key,
@@ -173,6 +179,25 @@ class ProcServeConfig:
     drain_grace_s:
         How long :meth:`ProcSupervisor.drain` lets in-flight work
         finish before cancelling it.
+    state_dir:
+        Directory for the durable catalog WAL + snapshots
+        (:mod:`repro.serve.durability`).  ``None`` (the default) keeps
+        catalog journals in memory only — exactly the pre-durability
+        behavior.  When set, startup *recovers* the directory first and
+        every catalog mutation is fsync'd before its response is
+        released.
+    fsync_interval_ms:
+        Group-commit window: mutations acknowledged within the same
+        window share one fsync.  ``0`` fsyncs inline per mutation
+        (slowest, simplest to reason about; the torture harness uses it
+        so batch == record).
+    wal_segment_max_bytes / wal_snapshot_every:
+        Segment rotation threshold and how many records may accumulate
+        before a snapshot compaction.
+    journal_warn_len:
+        One-time warning threshold for a shard's in-memory journal
+        length (compaction resets the count); growth past it means
+        snapshots are not keeping up.
     """
 
     shards: int = 1
@@ -192,6 +217,11 @@ class ProcServeConfig:
     breaker: Optional[BreakerConfig] = field(default_factory=BreakerConfig)
     open_budget: Budget = field(default_factory=_default_open_budget)
     drain_grace_s: float = 5.0
+    state_dir: Optional[str] = None
+    fsync_interval_ms: float = 0.0
+    wal_segment_max_bytes: int = 1 << 20
+    wal_snapshot_every: int = 64
+    journal_warn_len: int = 256
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -214,6 +244,21 @@ class ProcServeConfig:
             raise ValueError(
                 f"monitor_interval_s must be > 0, "
                 f"got {self.monitor_interval_s}"
+            )
+        if self.fsync_interval_ms < 0:
+            raise ValueError(
+                f"fsync_interval_ms must be >= 0, "
+                f"got {self.fsync_interval_ms}"
+            )
+        if self.wal_segment_max_bytes < 1 or self.wal_snapshot_every < 1:
+            raise ValueError(
+                "wal_segment_max_bytes and wal_snapshot_every "
+                "must be >= 1"
+            )
+        if self.journal_warn_len < 1:
+            raise ValueError(
+                f"journal_warn_len must be >= 1, "
+                f"got {self.journal_warn_len}"
             )
 
 
@@ -257,7 +302,7 @@ class _TicketState:
     """A ticket plus its (possibly fanned-out) shard requests."""
 
     __slots__ = ("ticket", "requests", "responses", "parts",
-                 "primary_part")
+                 "primary_part", "wal_pending", "finalized")
 
     def __init__(self, ticket: StatementTicket):
         self.ticket = ticket
@@ -265,13 +310,15 @@ class _TicketState:
         self.responses: Dict[int, Dict[str, object]] = {}
         self.parts = 0
         self.primary_part = 0
+        self.wal_pending = 0   # WAL commits in flight; gates finalize
+        self.finalized = False
 
 
 class _Shard:
     """Everything the supervisor tracks about one shard slot."""
 
     __slots__ = ("index", "handle", "pending", "journal", "failures",
-                 "restart_at", "next_incarnation")
+                 "restart_at", "next_incarnation", "journal_warned")
 
     def __init__(self, index: int):
         self.index = index
@@ -281,6 +328,7 @@ class _Shard:
         self.failures = 0          # consecutive deaths since last response
         self.restart_at = 0.0
         self.next_incarnation = 0
+        self.journal_warned = False  # one-time growth warning latch
 
 
 class _WorkerHandle:
@@ -360,6 +408,12 @@ class ProcSupervisor:
             if self.config.breaker is not None else None
         )
         self._stop = threading.Event()
+        self._wal: Optional[WalWriter] = None
+        self._wal_failed = False
+        self._recovery_info: Optional[Dict[str, object]] = None
+        # recover + open the WAL *before* the first spawn, so fresh
+        # workers are born with the recovered journals to replay
+        self._init_durability()
         for shard in self._shards:
             self._spawn(shard.index)
         self._monitor = threading.Thread(
@@ -367,6 +421,169 @@ class ProcSupervisor:
             daemon=True,
         )
         self._monitor.start()
+
+    # -- durability --------------------------------------------------------
+
+    def _init_durability(self) -> None:
+        """Recover ``--state-dir`` (if any) and open the WAL writer."""
+        state_dir = self.config.state_dir
+        if state_dir is None:
+            return
+        rec = None
+        span = Span("wal.recovery", state_dir=state_dir)
+        try:
+            if os.path.isdir(state_dir):
+                rec = recover_state(
+                    state_dir, shards=self.config.shards, truncate=True,
+                )
+        finally:
+            span.set_attr("status", "ok" if rec is not None or not
+                          os.path.isdir(state_dir) else "error")
+            if rec is not None:
+                span.set_attr("last_seq", rec.last_seq)
+                span.set_attr("records_replayed", rec.records_replayed)
+                span.set_attr("torn_tail", rec.torn_tail is not None)
+            span.close()
+            if self._tracer is not None:
+                self._tracer.root.children.append(span)
+        start_seq = 0
+        start_ordinal = 0
+        if rec is not None:
+            bad = [s for s in rec.journals if s >= self.config.shards]
+            if bad:
+                raise RecoveryError(
+                    f"recovered journal entries for shard(s) {bad} "
+                    f"but only {self.config.shards} shard(s) are "
+                    f"configured; restart with a matching --procs"
+                )
+            for shard_idx, entries in rec.journals.items():
+                self._shards[shard_idx].journal = list(entries)
+            self._view_shard.update(rec.view_shard)
+            # repro-lint: ignore[RL007] — startup, pre-thread (no racers)
+            self._recovery_info = rec.as_dict()
+            start_seq = rec.last_seq
+            start_ordinal = rec.next_ordinal
+            self._metrics.counter("wal.recoveries").inc()
+            self._metrics.counter("wal.recovered_records").inc(
+                rec.records_replayed
+            )
+            if rec.torn_tail is not None:
+                self._metrics.counter("wal.torn_tail_truncations").inc()
+            for warning in rec.warnings:
+                print(f"[repro.serve] WAL recovery: {warning}",
+                      file=sys.stderr)
+            with self._lock:
+                for s in self._shards:
+                    self._note_journal_len_locked(s)
+        # repro-lint: ignore[RL007] — startup, pre-thread (no racers)
+        self._wal = WalWriter(
+            state_dir,
+            start_seq=start_seq,
+            start_ordinal=start_ordinal,
+            fsync_interval_ms=self.config.fsync_interval_ms,
+            segment_max_bytes=self.config.wal_segment_max_bytes,
+            snapshot_every=self.config.wal_snapshot_every,
+            snapshot_cb=self._wal_snapshot_image,
+            faults=self._faults,
+            metrics=self._metrics,
+        )
+
+    def _wal_snapshot_image(self) -> Dict[str, object]:
+        """The full catalog image for one snapshot compaction.
+
+        Called by the WAL writer *holding the WAL lock*; the lock order
+        WAL -> supervisor is the only one used anywhere (the supervisor
+        always calls into the WAL with its own lock released).
+        Compacting the in-memory journals here is satellite work:
+        replaying a compacted journal builds the identical catalog, and
+        the ``journal_len`` gauges (plus their one-time warning
+        latches) reset with it.
+        """
+        with self._lock:
+            journals: Dict[int, List[Tuple[str, str]]] = {}
+            for shard in self._shards:
+                shard.journal = compact_journal(shard.journal)
+                # re-arm the growth warning only once compaction has
+                # actually caught up — a journal still over threshold
+                # would otherwise re-warn at every snapshot interval
+                if len(shard.journal) <= self.config.journal_warn_len:
+                    shard.journal_warned = False
+                self._note_journal_len_locked(shard)
+                journals[shard.index] = list(shard.journal)
+            return {
+                "shards": self.config.shards,
+                "view_shard": dict(self._view_shard),
+                "journals": journals,
+            }
+
+    def _note_journal_len_locked(self, shard: _Shard) -> None:
+        length = len(shard.journal)
+        self._metrics.gauge(
+            f"proc.s{shard.index}.journal_len"
+        ).set(float(length))
+        if length > self.config.journal_warn_len and not shard.journal_warned:
+            shard.journal_warned = True
+            print(
+                f"[repro.serve] shard {shard.index} catalog journal "
+                f"grew to {length} entries (warn threshold "
+                f"{self.config.journal_warn_len}); snapshot compaction "
+                f"is falling behind",
+                file=sys.stderr,
+            )
+
+    def _wal_commit(self, req: _Request, state: _TicketState) -> None:
+        """Make one acked mutation durable, then release its ticket.
+
+        Runs with the supervisor lock *released* (the fsync can take
+        milliseconds and must not stall readers).  Failure is
+        fail-stop: the response the client sees becomes an error (an
+        ack the WAL cannot back must never be released) and the
+        supervisor refuses further statements.
+        """
+        assert self._wal is not None
+
+        def on_durable() -> None:
+            # runs under the WAL lock, *before* any snapshot this
+            # commit triggers: the journal entry is in the image of
+            # every snapshot whose last_seq covers it
+            with self._lock:
+                shard = self._shards[req.shard]
+                shard.journal.append((req.sql, req.session))
+                self._note_journal_len_locked(shard)
+
+        failure: Optional[DurabilityError] = None
+        try:
+            self._wal.commit(
+                req.shard, req.sql, req.session, on_durable=on_durable,
+            )
+        except DurabilityError as exc:
+            failure = exc
+        finalize = False
+        with self._lock:
+            if failure is not None:
+                self._wal_failed = True
+                state.responses[req.part] = {
+                    "status": "error",
+                    "error": f"durability failure: {failure}",
+                }
+            state.wal_pending -= 1
+            if (
+                len(state.responses) == state.parts
+                and state.wal_pending == 0
+                and not state.finalized
+            ):
+                state.finalized = True
+                self._tickets.pop(state.ticket.index, None)
+                finalize = True
+                self._idle.notify_all()
+        if failure is not None:
+            print(
+                f"[repro.serve] DURABILITY FAILURE: {failure}; "
+                f"refusing further statements (fail-stop)",
+                file=sys.stderr,
+            )
+        if finalize:
+            self._finalize(state)
 
     # -- admission ---------------------------------------------------------
 
@@ -391,6 +608,11 @@ class ProcSupervisor:
                 raise ServeError("supervisor is closed")
             if self._draining:
                 raise ServeError("supervisor is draining")
+            if self._wal_failed:
+                raise DurabilityError(
+                    "the write-ahead log failed; this supervisor is "
+                    "fail-stopped (restart with a healthy --state-dir)"
+                )
             index = self._submitted
             self._submitted += 1
         fidx = fault_index if fault_index is not None else index
@@ -896,6 +1118,7 @@ class ProcSupervisor:
                 "status", str(response.get("status") or "error")
             )
             req.span.close()
+        wal_commit = False
         with self._lock:
             if req.part in state.responses:
                 return  # already resolved (cancel raced a response)
@@ -904,14 +1127,28 @@ class ProcSupervisor:
                 req.journal
                 and response.get("status") == "ok"
             ):
-                self._shards[req.shard].journal.append(
-                    (req.sql, req.session)
-                )
-            if len(state.responses) == state.parts:
+                if self._wal is not None:
+                    # the ack is not releasable until the mutation is
+                    # durable: journal append + finalize wait for the
+                    # WAL commit (made with the lock released below)
+                    state.wal_pending += 1
+                    wal_commit = True
+                else:
+                    shard = self._shards[req.shard]
+                    shard.journal.append((req.sql, req.session))
+                    self._note_journal_len_locked(shard)
+            if (
+                len(state.responses) == state.parts
+                and state.wal_pending == 0
+                and not state.finalized
+            ):
+                state.finalized = True
                 self._tickets.pop(state.ticket.index, None)
                 finalize = True
                 self._idle.notify_all()
-        if finalize:
+        if wal_commit:
+            self._wal_commit(req, state)
+        elif finalize:
             self._finalize(state)
 
     def _finalize(self, state: _TicketState) -> None:
@@ -1171,6 +1408,16 @@ class ProcSupervisor:
             "exitcodes": exitcodes,
             "clean": all(code == 0 for code in exitcodes.values()),
         }
+        if self._wal is not None:
+            try:
+                self._wal.close()
+                report["wal"] = self._wal.stats()
+            except DurabilityError as exc:
+                # shutdown path: the failure is *recorded*, not
+                # swallowed — the drain report carries it and the next
+                # startup recovers from whatever did reach the disk
+                report["wal_close_error"] = str(exc)
+                report["clean"] = False
         with self._lock:
             self._closed = True
             self._drain_report = report
@@ -1211,8 +1458,12 @@ class ProcSupervisor:
 
     def stats(self) -> Dict[str, object]:
         """A point-in-time snapshot of the supervision tree."""
+        # WAL stats are read before taking the supervisor lock: the
+        # only sanctioned lock order is WAL -> supervisor (snapshot_cb)
+        wal = self._wal.stats() if self._wal is not None else None
         with self._lock:
             return {
+                "wal": wal,
                 "submitted": self._submitted,
                 "outstanding": len(self._tickets),
                 "pending": sum(len(s.pending) for s in self._shards),
@@ -1244,6 +1495,7 @@ class ProcSupervisor:
         is self-contained — ``repro stats FILE --slo SPEC`` can gate on
         it offline (the CI warn-only check does exactly that).
         """
+        wal = self._wal.stats() if self._wal is not None else None
         with self._lock:
             shards = []
             for s in self._shards:
@@ -1273,6 +1525,8 @@ class ProcSupervisor:
                 "deaths": dict(sorted(self._deaths.items())),
                 "shards": shards,
             }
+        snap["wal"] = wal
+        snap["recovery"] = self._recovery_info
         snap["breakers"] = self.breaker_states()
         snap["telemetry"] = self.telemetry.stats()
         cluster = self.telemetry.cluster_registry().snapshot()

@@ -329,9 +329,23 @@ class TestTelemetryCLI:
         assert "SLO check: FAIL" in captured.err
         assert "not fatal" in captured.err
 
-    def test_stats_cmd_rejects_garbage_file(self, tmp_path, capsys):
+    def test_stats_cmd_reports_corrupt_snapshot(self, tmp_path, capsys):
+        # a torn/garbage snapshot (SIGUSR1 dump racing a reader) is an
+        # operational failure (exit 2), not an operator mistake
         bogus = tmp_path / "nope.json"
         bogus.write_text("not json")
         rc = main(["stats", str(bogus)])
+        assert rc == EXIT_BUILD_FAILED
+        assert "corrupt snapshot" in capsys.readouterr().err
+
+    def test_stats_cmd_reports_truncated_snapshot(self, tmp_path, capsys):
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"uptime_s": 1.5, "sessions": {"coun')
+        rc = main(["stats", str(torn)])
+        assert rc == EXIT_BUILD_FAILED
+        assert "corrupt snapshot" in capsys.readouterr().err
+
+    def test_stats_cmd_missing_file_is_usage_error(self, tmp_path, capsys):
+        rc = main(["stats", str(tmp_path / "absent.json")])
         assert rc == EXIT_USAGE
         assert "cannot read" in capsys.readouterr().err

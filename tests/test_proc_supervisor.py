@@ -435,3 +435,87 @@ class TestTelemetryPlane:
         # the embedded cluster metrics make the snapshot offline-gateable
         assert "counters" in snap["metrics"]
         assert "dropped_total" in snap["telemetry"]
+
+
+class TestDurableCatalog:
+    """``state_dir``: mutations survive whole-supervisor restarts."""
+
+    def test_catalog_survives_supervisor_restart(self, tmp_path):
+        state = str(tmp_path / "state")
+        with ProcSupervisor(_spec(), _config(state_dir=state)) as sup:
+            assert sup.wait_ready(60)
+            created = sup.submit(CREATE, session="s0")
+            created.wait(60)
+            assert created.outcome == "ok", created.error
+        # a brand-new supervisor — new PID in production — rebuilds the
+        # catalog from the snapshot + WAL before any worker boots
+        with ProcSupervisor(_spec(), _config(state_dir=state)) as sup:
+            assert sup.wait_ready(60)
+            listing = sup.submit("SHOW CADVIEWS", session="s1")
+            listing.wait(60)
+            assert listing.outcome == "ok", listing.error
+            assert listing.result_payload == ["v"]
+            snap = sup.stats_snapshot()
+            assert snap["recovery"]["views"] == {"v": 0}
+            assert snap["wal"] is not None
+
+    def test_journal_growth_warns_once(self, tmp_path, capsys):
+        from repro.obs import MetricsRegistry
+
+        reorder = "REORDER ROWS IN v ORDER BY SIMILARITY(Ford) DESC"
+        metrics = MetricsRegistry()
+        with ProcSupervisor(
+            _spec(),
+            _config(
+                state_dir=str(tmp_path / "state"),
+                journal_warn_len=1,
+                wal_snapshot_every=100,  # keep compaction out of the way
+            ),
+            metrics=metrics,
+        ) as sup:
+            assert sup.wait_ready(60)
+            for i, sql in enumerate([CREATE, reorder, reorder]):
+                ticket = sup.submit(sql, session=f"s{i}")
+                ticket.wait(60)
+                assert ticket.outcome == "ok", ticket.error
+            assert metrics.gauge("proc.s0.journal_len").value == 3.0
+        err = capsys.readouterr().err
+        # the latch fires on the 2nd entry and stays quiet on the 3rd
+        assert err.count("catalog journal grew") == 1
+
+    def test_snapshot_compaction_resets_journal_gauge(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        with ProcSupervisor(
+            _spec(),
+            _config(state_dir=str(tmp_path / "state")),
+            metrics=metrics,
+        ) as sup:
+            assert sup.wait_ready(60)
+            for i, sql in enumerate([CREATE, "DROP CADVIEW v"]):
+                ticket = sup.submit(sql, session=f"s{i}")
+                ticket.wait(60)
+                assert ticket.outcome == "ok", ticket.error
+            assert metrics.gauge("proc.s0.journal_len").value == 2.0
+        # close() takes a final snapshot; CREATE+DROP compact to nothing
+        assert metrics.gauge("proc.s0.journal_len").value == 0.0
+
+    def test_wal_failure_fail_stops_the_supervisor(self, tmp_path):
+        """After a WAL failure the supervisor refuses new work instead
+        of acknowledging mutations it can no longer make durable."""
+        from repro.errors import DurabilityError
+
+        with ProcSupervisor(
+            _spec(), _config(state_dir=str(tmp_path / "state"))
+        ) as sup:
+            assert sup.wait_ready(60)
+            # sever the WAL out from under the supervisor: every
+            # subsequent commit attempt fails like a dead disk would
+            sup._wal.close(final_snapshot=False)
+            ticket = sup.submit(CREATE, session="s0")
+            ticket.wait(60)
+            assert ticket.outcome == "failed"
+            assert "durability failure" in str(ticket.error)
+            with pytest.raises(DurabilityError):
+                sup.submit("SELECT Make FROM data", session="s1")

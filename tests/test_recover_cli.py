@@ -1,0 +1,169 @@
+"""The ``repro recover`` inspector and SIGTERM during startup recovery.
+
+The in-process tests drive ``main()`` against hand-built state dirs
+(raw ``encode_record`` bytes, no supervisor needed).  The subprocess
+test at the bottom is satellite work for the durability tentpole: a
+SIGTERM that lands *while startup recovery is replaying the WAL* must
+still produce a graceful drain and a consistent state dir — the
+handler is installed before the supervisor is constructed precisely
+so that window is covered.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.cli import EXIT_BUILD_FAILED, EXIT_OK, EXIT_USAGE, main
+from repro.serve.durability import encode_record, recover_state
+
+REPO = Path(__file__).parent.parent
+
+CREATE = (
+    "CREATE CADVIEW v AS SET pivot = Make SELECT Price FROM data "
+    "LIMIT COLUMNS 3 IUNITS 2"
+)
+DROP = "DROP CADVIEW v"
+
+
+def _state_dir(tmp_path, records, extra=b"", name="wal-00000000.log"):
+    state = tmp_path / "state"
+    state.mkdir(exist_ok=True)
+    blob = b"".join(
+        encode_record(seq, 0, sql, "s") for seq, sql in records
+    )
+    (state / name).write_bytes(blob + extra)
+    return str(state)
+
+
+class TestRecoverCommand:
+    def test_missing_dir_is_a_usage_error(self, tmp_path, capsys):
+        rc = main(["recover", str(tmp_path / "absent")])
+        assert rc == EXIT_USAGE
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_healthy_dir_recovers_and_reports(self, tmp_path, capsys):
+        state = _state_dir(tmp_path, [(1, CREATE)])
+        rc = main(["recover", state, "--json"])
+        assert rc == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["last_seq"] == 1
+        assert payload["views"] == {"v": 0}
+        assert payload["journal_lengths"] == {"0": 1}
+        assert payload["torn_tail"] is None
+
+    def test_human_rendering_lists_views(self, tmp_path, capsys):
+        state = _state_dir(tmp_path, [(1, CREATE)])
+        rc = main(["recover", state])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "recovered: last_seq=1" in out
+        assert "v -> shard 0" in out
+
+    def test_torn_tail_reported_but_left_in_place(self, tmp_path, capsys):
+        torn = encode_record(2, 0, DROP, "s")[:10]
+        state = _state_dir(tmp_path, [(1, CREATE)], extra=torn)
+        segment = Path(state) / "wal-00000000.log"
+        before = segment.read_bytes()
+        rc = main(["recover", state, "--json"])
+        assert rc == EXIT_OK
+        captured = capsys.readouterr()
+        assert "torn WAL tail" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["torn_tail"]["truncated"] is False
+        # read-only by default: the segment is byte-for-byte untouched
+        assert segment.read_bytes() == before
+
+    def test_truncate_repairs_the_tail(self, tmp_path, capsys):
+        torn = encode_record(2, 0, DROP, "s")[:10]
+        state = _state_dir(tmp_path, [(1, CREATE)], extra=torn)
+        rc = main(["recover", state, "--truncate"])
+        assert rc == EXIT_OK
+        assert "truncated" in capsys.readouterr().out
+        # the repair is durable: a second pass sees a clean dir
+        rc = main(["recover", state, "--json"])
+        captured = capsys.readouterr()
+        assert rc == EXIT_OK
+        assert "torn WAL tail" not in captured.err
+        assert json.loads(captured.out)["torn_tail"] is None
+
+    def test_mid_history_damage_exits_two(self, tmp_path, capsys):
+        good = encode_record(2, 0, DROP, "s")
+        state = _state_dir(
+            tmp_path, [(1, CREATE)], extra=good[:10] + good
+        )
+        rc = main(["recover", state])
+        assert rc == EXIT_BUILD_FAILED
+        assert "unrecoverable" in capsys.readouterr().err
+
+    def test_shard_mismatch_exits_two(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / "snapshot-000000000001.json").write_text(json.dumps({
+            "kind": "repro-wal-snapshot", "last_seq": 1, "shards": 2,
+            "view_shard": {}, "journals": {},
+        }))
+        rc = main(["recover", str(state), "--procs", "4"])
+        assert rc == EXIT_BUILD_FAILED
+        assert "--procs 2" in capsys.readouterr().err
+
+
+class TestSigtermDuringRecovery:
+    def test_sigterm_mid_recovery_drains_clean(self, tmp_path):
+        """SIGTERM landing while startup recovery replays the WAL.
+
+        The state dir carries a torn tail, so recovery prints its loud
+        warning to stderr *from inside supervisor construction* — that
+        line is the sync point: the signal is sent the moment it
+        appears, which is after the CLI armed its handler but while
+        (or microseconds after) the WAL replay is running.  The
+        process must still drain gracefully (exit 0) and leave a
+        state dir a later pass recovers cleanly.
+        """
+        torn = encode_record(2, 0, DROP, "s")[:10]
+        state = _state_dir(tmp_path, [(1, CREATE)], extra=torn)
+        workload = tmp_path / "wl.jsonl"
+        workload.write_text("\n".join([
+            json.dumps({"kind": "session", "dataset": "usedcars",
+                        "rows": 400, "seed": 7}),
+            json.dumps({"kind": "statement",
+                        "statement": "SELECT Make FROM data"}),
+            json.dumps({"kind": "statement", "statement": DROP}),
+        ]) + "\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(workload),
+                "--stress", "--procs", "1", "--state-dir", state,
+            ],
+            cwd=str(REPO), env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        stderr_lines: list[str] = []
+        saw_recovery = threading.Event()
+
+        def _pump():
+            for line in proc.stderr:
+                stderr_lines.append(line)
+                if "WAL recovery" in line:
+                    saw_recovery.set()
+
+        pump = threading.Thread(target=_pump, daemon=True)
+        pump.start()
+        assert saw_recovery.wait(90), "".join(stderr_lines)
+        proc.send_signal(signal.SIGTERM)
+        stdout, _ = proc.communicate(timeout=120)
+        pump.join(timeout=10)
+        assert proc.returncode == 0, (stdout, "".join(stderr_lines))
+        # the interrupted run left a consistent dir: the torn tail was
+        # truncated at startup and whatever was acked is replayable
+        rec = recover_state(state, truncate=False)
+        assert not rec.warnings, rec.warnings
+        assert rec.last_seq >= 1

@@ -645,3 +645,91 @@ class TestShippedTreeIsClean:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "0 finding(s)" in proc.stdout
+
+
+DURABILITY = "src/repro/serve/durability/wal.py"
+
+
+class TestRL010UnsyncedDurabilityWrite:
+    def test_flags_unsynced_write(self):
+        findings, _ = lint_source("""
+            import json
+
+            def dump(path, state):
+                with open(path, "w") as fh:
+                    json.dump(state, fh)
+        """, path=DURABILITY, select={"RL010"})
+        assert [f.rule for f in findings] == ["RL010"]
+        assert "fsync" in findings[0].message
+
+    def test_fsync_in_the_same_function_passes(self):
+        findings, _ = lint_source("""
+            import os
+
+            def dump(path, data):
+                with open(path, "wb") as fh:
+                    fh.write(data)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        """, path=DURABILITY, select={"RL010"})
+        assert findings == []
+
+    def test_the_dir_sync_helper_counts(self):
+        findings, _ = lint_source("""
+            def rotate(state_dir, path):
+                fh = open(path, "ab")
+                _fsync_dir(state_dir)
+                return fh
+        """, path=DURABILITY, select={"RL010"})
+        assert findings == []
+
+    def test_writable_os_open_is_flagged(self):
+        findings, _ = lint_source("""
+            import os
+
+            def ack(path):
+                return os.open(path, os.O_WRONLY | os.O_APPEND)
+        """, path=DURABILITY, select={"RL010"})
+        assert [f.rule for f in findings] == ["RL010"]
+
+    def test_reads_pass(self):
+        findings, _ = lint_source("""
+            def load(path):
+                with open(path, "rb") as fh:
+                    return fh.read()
+        """, path=DURABILITY, select={"RL010"})
+        assert findings == []
+
+    def test_outside_the_durability_package_is_exempt(self):
+        findings, _ = lint_source("""
+            def dump(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+        """, path=SERVE, select={"RL010"})
+        assert findings == []
+
+    def test_a_nested_function_does_not_borrow_the_sync(self):
+        """The fsync must live in the scope doing the writing — an
+        enclosing function's sync says nothing about when the nested
+        writer actually runs."""
+        findings, _ = lint_source("""
+            import os
+
+            def outer(path):
+                def write(data):
+                    with open(path, "w") as fh:
+                        fh.write(data)
+                os.fsync(0)
+                return write
+        """, path=DURABILITY, select={"RL010"})
+        assert [f.rule for f in findings] == ["RL010"]
+
+    def test_suppression_with_justification(self):
+        findings, suppressed = lint_source("""
+            def report(path, text):
+                # repro-lint: ignore[RL010] — harness artifact only
+                with open(path, "w") as fh:
+                    fh.write(text)
+        """, path=DURABILITY, select={"RL010"})
+        assert findings == []
+        assert suppressed == 1

@@ -3,9 +3,10 @@
 A small stdlib-``ast`` lint framework plus the rules that encode this
 repository's hard-won conventions — determinism (seeded randomness),
 budget cooperation (checkpoints in hot loops), observability locking
-discipline, exception-swallowing hygiene and tracer span usage.  See
-``tools/repro_lint/README.md`` for the rule table and the suppression
-syntax, and run it with::
+discipline, exception-swallowing hygiene, tracer span usage, process
+supervision boundaries, telemetry I/O discipline and the durability
+path's fsync contract.  See ``tools/repro_lint/README.md`` for the
+rule table and the suppression syntax, and run it with::
 
     python -m tools.repro_lint src/repro
 """

@@ -12,6 +12,7 @@ RL006  worklog file-handle I/O happens under the writer's ``self._lock``
 RL007  ``self._x`` mutation in ``repro/serve/`` happens under ``self._lock``
 RL008  ``multiprocessing.Process`` is constructed only in ``repro/serve/proc/``
 RL009  telemetry paths do no blocking I/O while holding an obs lock
+RL010  writes in ``repro/serve/durability/`` are fsync'd in-function
 ====== ==================================================================
 
 Every rule explains *why* in its docstring; suppress a justified
@@ -37,6 +38,7 @@ __all__ = [
     "UnlockedServeMutation",
     "StrayProcessConstruction",
     "BlockingIOUnderObsLock",
+    "UnsyncedDurabilityWrite",
 ]
 
 # Reporting records that an isolated failure was handled, not swallowed.
@@ -582,3 +584,96 @@ class DanglingTracerSpan(Rule):
                     "span(...) result must be entered with `with` (or "
                     "ExitStack.enter_context)",
                 )
+
+
+# What counts as "made durable" inside a durability-path function: a
+# direct fsync/fdatasync, or the module's own directory-entry sync.
+_SYNC_CALL_NAMES = {"fsync", "fdatasync", "_fsync_dir"}
+# os.open flags that produce a writable descriptor.
+_WRITE_FLAG_NAMES = {"O_WRONLY", "O_RDWR", "O_APPEND", "O_TRUNC"}
+
+
+def _opens_for_write(node: ast.Call) -> bool:
+    """True for ``open(..., "w"/"a"/"x"/"+")`` and writable ``os.open``."""
+    if _call_name(node) != "open":
+        return False
+    mode = node.args[1] if len(node.args) >= 2 else None
+    for kw in node.keywords:
+        if kw.arg in ("mode", "flags"):
+            mode = kw.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return bool(set(mode.value) & set("wax+"))
+    if mode is not None:
+        return any(
+            isinstance(sub, ast.Attribute)
+            and sub.attr in _WRITE_FLAG_NAMES
+            for sub in ast.walk(mode)
+        )
+    return False
+
+
+@register
+class UnsyncedDurabilityWrite(Rule):
+    """RL010: durability-path writes go through the fsync discipline.
+
+    ``repro/serve/durability/`` exists to make one promise: data the
+    caller was told is safe survives ``kill -9``.  Every file opened
+    for writing there must be made durable in the same function —
+    ``os.fsync``/``os.fdatasync`` on the descriptor, or the module's
+    ``_fsync_dir`` for directory entries after a create/rename.  A
+    buffered write without a sync is exactly the bug the torture
+    harness exists to catch, except the lint catches it before the
+    harness has to.  Harness-only artifacts (workload files, failure
+    reports) are not part of the promise; suppress those sites with a
+    justification instead of weakening the rule.
+    """
+
+    code = "RL010"
+    description = "unsynced file write in repro/serve/durability/"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.is_test:
+            return
+        parts = Path(module.path).parts
+        if not ("serve" in parts and "durability" in parts):
+            return
+        for body in self._scopes(module.tree):
+            writes: List[ast.Call] = []
+            synced = False
+            for node in self._scope_walk(body):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _opens_for_write(node):
+                    writes.append(node)
+                elif _call_name(node) in _SYNC_CALL_NAMES:
+                    synced = True
+            if synced:
+                continue
+            for node in writes:
+                yield self.finding(
+                    module, node,
+                    "file opened for writing with no fsync in the "
+                    "same function; durability-path writes must be "
+                    "synced (os.fsync / os.fdatasync / _fsync_dir) "
+                    "before anyone is told they are safe",
+                )
+
+    def _scopes(self, tree: ast.Module) -> Iterator[List[ast.stmt]]:
+        """Module top level, then every (async) function body."""
+        yield tree.body
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node.body
+
+    def _scope_walk(self, body: List[ast.stmt]) -> Iterator[ast.AST]:
+        """Walk a scope without descending into nested def/class."""
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.Lambda),
+            ):
+                stack.extend(ast.iter_child_nodes(node))
